@@ -1,0 +1,121 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A1 eager/rendezvous threshold — moves the Fig. 2/4 overlap cliff;
+//   A2 rendezvous pipeline depth — how much large-transfer overlap the
+//      baseline gets "for free" from NIC autonomy;
+//   A3 offload-thread detection latency (doorbell poll granularity);
+//   A4 the dedicated core's cost — Dslash internal-compute slowdown vs the
+//      thread count donated to communication;
+//   A5 command-queue capacity under a burst of posts (ring-full stalls).
+#include <cstdio>
+
+#include "apps/qcd/dslash_perf.hpp"
+#include "benchlib/osu.hpp"
+#include "benchlib/overlap.hpp"
+#include "benchlib/table.hpp"
+#include "mpi/cluster.hpp"
+
+using namespace benchlib;
+using core::Approach;
+
+namespace {
+
+void a1_eager_threshold() {
+  std::printf("A1: eager/rendezvous threshold vs baseline overlap at 192K\n");
+  Table t({"threshold", "comm(us)", "overlap%"});
+  for (std::size_t thr : {32u << 10, 128u << 10, 512u << 10}) {
+    auto prof = machine::xeon_fdr();
+    prof.eager_threshold = thr;
+    const OverlapResult r = overlap_p2p(Approach::kBaseline, prof, 192 << 10);
+    t.row({fmt_bytes(thr), fmt_us(r.comm_us), fmt_pct(r.overlap_frac)});
+  }
+  t.print();
+}
+
+void a2_pipeline_depth() {
+  std::printf("\nA2: rndv pipeline depth vs baseline overlap at 2M\n");
+  Table t({"depth", "overlap%", "wait%"});
+  for (int depth : {1, 4, 16, 64}) {
+    auto prof = machine::xeon_fdr();
+    prof.rndv_pipeline_depth = depth;
+    const OverlapResult r = overlap_p2p(Approach::kBaseline, prof, 2 << 20);
+    t.row({fmt_int(depth), fmt_pct(r.overlap_frac), fmt_pct(r.wait_frac)});
+  }
+  t.print();
+}
+
+void a3_detect_latency() {
+  std::printf("\nA3: offload doorbell detection latency vs 8B latency\n");
+  Table t({"detect(ns)", "one-way latency(us)"});
+  for (int ns : {10, 40, 200, 1000}) {
+    auto prof = machine::xeon_fdr();
+    prof.cmd_detect = sim::Time(ns);
+    prof.done_flag_detect = sim::Time(ns);
+    const OsuResult r = osu_latency(Approach::kOffload, prof, 8);
+    t.row({fmt_int(ns), fmt_us(r.latency_us)});
+  }
+  t.print();
+}
+
+void a4_dedicated_core() {
+  std::printf("\nA4: cost of the dedicated core — Dslash internal compute vs "
+              "cores per rank (16 nodes, 32^3x256)\n");
+  Table t({"cores/rank", "baseline internal(us)", "offload internal(us)",
+           "slowdown"});
+  for (int cores : {4, 8, 14, 28}) {
+    qcd::QcdPerfConfig cfg;
+    cfg.global = {32, 32, 32, 256};
+    cfg.nodes = 16;
+    cfg.iters = 5;
+    cfg.profile.cores_per_rank = cores;
+    cfg.approach = Approach::kBaseline;
+    const double base = run_qcd_perf(cfg).internal_us;
+    cfg.approach = Approach::kOffload;
+    const double off = run_qcd_perf(cfg).internal_us;
+    t.row({fmt_int(cores), fmt_us(base, 0), fmt_us(off, 0),
+           fmt_pct((off - base) / base)});
+  }
+  t.print();
+}
+
+void a5_ring_capacity() {
+  std::printf("\nA5: command-ring capacity under a 512-post burst\n");
+  Table t({"capacity", "ring-full stalls", "burst time(us)"});
+  for (std::size_t cap : {16u, 64u, 256u, 1024u}) {
+    smpi::ClusterConfig cc;
+    cc.nranks = 2;
+    cc.deadline = sim::Time::from_sec(60);
+    smpi::Cluster cluster(cc);
+    std::uint64_t stalls = 0;
+    double us = 0;
+    cluster.run([&](smpi::RankCtx& rc) {
+      core::OffloadProxy p(rc, cap, 4096);
+      p.start();
+      const int peer = 1 - rc.rank();
+      std::vector<core::PReq> reqs;
+      const sim::Time t0 = sim::now();
+      for (int i = 0; i < 512; ++i) {
+        reqs.push_back(p.irecv(nullptr, 64, smpi::Datatype::kByte, peer, i));
+        reqs.push_back(p.isend(nullptr, 64, smpi::Datatype::kByte, peer, i));
+      }
+      if (rc.rank() == 0) us = (sim::now() - t0).us();
+      p.waitall(reqs);
+      if (rc.rank() == 0) stalls = p.channel().stats().ring_full_stalls;
+      p.barrier();
+      p.stop();
+    });
+    t.row({fmt_int(static_cast<long long>(cap)),
+           fmt_int(static_cast<long long>(stalls)), fmt_us(us, 1)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  a1_eager_threshold();
+  a2_pipeline_depth();
+  a3_detect_latency();
+  a4_dedicated_core();
+  a5_ring_capacity();
+  return 0;
+}

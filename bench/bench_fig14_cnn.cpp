@@ -1,0 +1,36 @@
+// Figure 14: deep-learning CNN training throughput (images/s) vs nodes for
+// every approach, hybrid data/model parallelism.
+//
+// Paper shape: all approaches match up to ~8 nodes (compute dominates);
+// at 64 nodes comm-self and offload beat baseline by ~2x (the conv-gradient
+// allreduces overlap with backprop + next forward), offload slightly ahead
+// of comm-self.
+#include <cstdio>
+#include <vector>
+
+#include "apps/cnn/trainer.hpp"
+#include "benchlib/table.hpp"
+
+using namespace benchlib;
+using cnn::CnnPerfConfig;
+using core::Approach;
+
+int main() {
+  std::printf("Figure 14: CNN hybrid-parallel training, batch 256, Endeavor "
+              "Xeon (images/s)\n");
+  Table t({"nodes", "baseline", "iprobe", "comm-self", "offload"});
+  for (int nodes : {2, 4, 8, 16, 32, 64}) {
+    std::vector<std::string> row{fmt_int(nodes)};
+    for (Approach a : {Approach::kBaseline, Approach::kIprobe,
+                       Approach::kCommSelf, Approach::kOffload}) {
+      CnnPerfConfig cfg;
+      cfg.nodes = nodes;
+      cfg.iters = 3;
+      cfg.approach = a;
+      row.push_back(fmt_double(run_cnn_perf(cfg).imgs_per_sec, 0));
+    }
+    t.row(row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Distributed 1-D FFT example: runs the real-arithmetic 6-step transform
+// (three all-to-alls) on 4 ranks, verifies against a naive DFT, then shows
+// the SOI-style pipelined harness comparing baseline vs offload.
+//
+//   $ ./examples/pipeline_fft
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "apps/fft/distributed_fft.hpp"
+#include "mpi/cluster.hpp"
+#include "sim/rng.hpp"
+
+using namespace fft;
+using core::Approach;
+
+int main() {
+  // ---- part 1: a real distributed transform, checked against the DFT ----
+  const std::size_t rows = 32, cols = 32, n = rows * cols;
+  std::vector<cd> signal(n);
+  sim::Rng rng(2024);
+  for (auto& z : signal) z = cd(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const std::vector<cd> reference = naive_dft(signal);
+
+  double max_err = 0;
+  smpi::ClusterConfig cfg;
+  cfg.nranks = 4;
+  smpi::Cluster cluster(cfg);
+  cluster.run([&](smpi::RankCtx& rc) {
+    auto mpi = core::make_proxy(Approach::kOffload, rc);
+    mpi->start();
+    DistributedFft dfft(rc, *mpi, rows, cols);
+    const std::size_t loc = dfft.local();
+    std::vector<cd> block(
+        signal.begin() + static_cast<std::ptrdiff_t>(loc * static_cast<std::size_t>(rc.rank())),
+        signal.begin() + static_cast<std::ptrdiff_t>(loc * static_cast<std::size_t>(rc.rank() + 1)));
+    dfft.forward(block);
+    for (std::size_t i = 0; i < loc; ++i) {
+      max_err = std::max(max_err,
+                         std::abs(block[i] - reference[loc * static_cast<std::size_t>(rc.rank()) + i]));
+    }
+    mpi->barrier();
+    mpi->stop();
+  });
+  std::printf("distributed FFT of %zu points on 4 ranks: max |err| vs DFT = %.2e\n",
+              n, max_err);
+
+  // ---- part 2: the SOI pipeline at paper scale (phantom traffic) ----
+  std::printf("\nSOI-pipelined FFT, 2^26 points/node, 8 nodes:\n");
+  for (Approach a : {Approach::kBaseline, Approach::kOffload}) {
+    FftPerfConfig pc;
+    pc.nodes = 8;
+    pc.points_per_node = 1u << 26;
+    pc.iters = 2;
+    pc.approach = a;
+    const FftPerfResult r = run_fft_perf(pc);
+    std::printf("  %-9s total %7.1f ms (post %6.3f ms, wait %6.1f ms)  %.1f GFLOPS\n",
+                core::approach_name(a), r.total_ms, r.post_ms, r.wait_ms, r.gflops);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the offload library in ~60 lines.
+//
+// Spawns a 4-rank simulated cluster, starts the MPI offload infrastructure
+// on each rank, and demonstrates the headline property: a large nonblocking
+// exchange makes progress *during* computation, so the waits at the end are
+// nearly free — without the application doing anything special.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "core/proxy.hpp"
+#include "mpi/cluster.hpp"
+
+using namespace smpi;
+
+int main() {
+  ClusterConfig cfg;
+  cfg.nranks = 4;
+  Cluster cluster(cfg);
+
+  cluster.run([](RankCtx& rc) {
+    // One line to get the paper's infrastructure: a dedicated offload thread
+    // plus the lock-free command queue, behind the same API as direct MPI.
+    auto mpi = core::make_proxy(core::Approach::kOffload, rc);
+    mpi->start();
+
+    const int me = rc.rank();
+    const int right = (me + 1) % rc.nranks();
+    const int left = (me + rc.nranks() - 1) % rc.nranks();
+
+    const std::size_t n = 1 << 20;  // 1 MB: rendezvous territory
+    std::vector<char> send_buf(n, static_cast<char>('A' + me));
+    std::vector<char> recv_buf(n);
+
+    // Post the nonblocking ring exchange; each call costs ~140 ns (it only
+    // touches the command queue).
+    core::PReq reqs[2];
+    reqs[0] = mpi->irecv(recv_buf.data(), n, Datatype::kByte, left, 0);
+    reqs[1] = mpi->isend(send_buf.data(), n, Datatype::kByte, right, 0);
+
+    // Compute. The offload thread drives the rendezvous handshake and the
+    // transfer concurrently.
+    compute(sim::Time::from_ms(1));
+
+    const sim::Time before_wait = sim::now();
+    mpi->waitall(reqs);
+    const double wait_us = (sim::now() - before_wait).us();
+
+    // Sum the received payload through an offloaded collective.
+    double local = static_cast<double>(recv_buf[0]);
+    double sum = 0;
+    mpi->allreduce(&local, &sum, 1, Datatype::kDouble, Op::kSum);
+
+    if (me == 0) {
+      std::printf("rank 0: got '%c' from rank %d; wait took %.2f us "
+                  "(transfer ~175 us, fully overlapped)\n",
+                  recv_buf[0], left, wait_us);
+      std::printf("rank 0: allreduce of first bytes = %.0f\n", sum);
+    }
+    mpi->stop();
+  });
+  std::printf("done at simulated t=%s\n",
+              sim::Time(cluster.engine().now().ns()).str().c_str());
+  return 0;
+}

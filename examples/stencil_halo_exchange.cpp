@@ -1,0 +1,87 @@
+// The motivating example of the paper (Listing 1): a stencil computation
+// with halo exchange, run under all four approaches. Shows how the same
+// application code gets very different overlap depending on who drives MPI
+// progress.
+//
+//   $ ./examples/stencil_halo_exchange
+#include <cstdio>
+#include <vector>
+
+#include "core/proxy.hpp"
+#include "mpi/cluster.hpp"
+
+using namespace smpi;
+using core::Approach;
+using core::PReq;
+
+namespace {
+
+struct Phases {
+  double post_us, compute_us, wait_us, total_us;
+};
+
+Phases run_stencil(Approach a) {
+  ClusterConfig cfg;
+  cfg.nranks = 8;
+  cfg.thread_level = core::required_thread_level(a);
+  Cluster cluster(cfg);
+  Phases ph{};
+
+  cluster.run([&](RankCtx& rc) {
+    auto mpi = core::make_proxy(a, rc);
+    mpi->start();
+    const int me = rc.rank(), np = rc.nranks();
+    const int up = (me + 1) % np, dn = (me + np - 1) % np;
+    const std::size_t halo = 512 * 1024;  // 512 KB faces (rendezvous)
+    std::vector<double> top(halo / 8, me), bottom(halo / 8, -me);
+    std::vector<double> from_up(halo / 8), from_dn(halo / 8);
+
+    for (int iter = 0; iter < 5; ++iter) {
+      mpi->barrier();
+      const sim::Time t0 = sim::now();
+      // Line 6 of Listing 1: master posts the boundary exchange.
+      PReq reqs[4];
+      reqs[0] = mpi->irecv(from_up.data(), halo / 8, Datatype::kDouble, up, 0);
+      reqs[1] = mpi->irecv(from_dn.data(), halo / 8, Datatype::kDouble, dn, 1);
+      reqs[2] = mpi->isend(bottom.data(), halo / 8, Datatype::kDouble, dn, 0);
+      reqs[3] = mpi->isend(top.data(), halo / 8, Datatype::kDouble, up, 1);
+      const sim::Time t1 = sim::now();
+      // Lines 7-17: internal volume processing with PROGRESS insertions.
+      for (int chunk = 0; chunk < 4; ++chunk) {
+        compute(sim::Time::from_us(100));
+        mpi->progress_hint();
+      }
+      const sim::Time t2 = sim::now();
+      // Line 18: wait for the boundary exchange.
+      mpi->waitall(reqs);
+      const sim::Time t3 = sim::now();
+      if (rc.rank() == 0 && iter == 4) {
+        ph.post_us = (t1 - t0).us();
+        ph.compute_us = (t2 - t1).us();
+        ph.wait_us = (t3 - t2).us();
+        ph.total_us = (t3 - t0).us();
+      }
+    }
+    mpi->stop();
+  });
+  return ph;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Stencil halo exchange (8 ranks, 512 KB faces, 400 us of "
+              "interior compute)\n\n");
+  std::printf("%-10s %10s %12s %10s %10s\n", "approach", "post(us)",
+              "compute(us)", "wait(us)", "total(us)");
+  for (Approach a : {Approach::kBaseline, Approach::kIprobe,
+                     Approach::kCommSelf, Approach::kOffload}) {
+    const Phases ph = run_stencil(a);
+    std::printf("%-10s %10.2f %12.2f %10.2f %10.2f\n", core::approach_name(a),
+                ph.post_us, ph.compute_us, ph.wait_us, ph.total_us);
+  }
+  std::printf("\nThe offload approach posts in nanoseconds and finds the "
+              "exchange already\ncomplete at the wait — the transfer ran "
+              "during the compute phase.\n");
+  return 0;
+}

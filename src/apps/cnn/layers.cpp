@@ -1,0 +1,224 @@
+#include "apps/cnn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace cnn {
+
+void fill_random(std::vector<float>& v, std::uint64_t seed, float scale) {
+  sim::Rng rng(seed);
+  for (float& x : v) x = scale * static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+// ----------------------------------------------------------------- Conv2d ----
+
+Conv2d::Conv2d(int in_c, int out_c, int k)
+    : weight(static_cast<std::size_t>(out_c) * in_c * k * k),
+      bias(static_cast<std::size_t>(out_c)),
+      wgrad(weight.size()),
+      bgrad(bias.size()),
+      in_c_(in_c),
+      out_c_(out_c),
+      k_(k) {
+  fill_random(weight, 0x1234 + static_cast<std::uint64_t>(out_c),
+              1.0f / static_cast<float>(in_c * k * k));
+}
+
+Tensor Conv2d::forward(const Tensor& x) const {
+  if (x.c != in_c_) throw std::invalid_argument("conv: channel mismatch");
+  Tensor y(x.n, out_c_, out_h(x.h), out_w(x.w));
+  for (int n = 0; n < x.n; ++n) {
+    for (int oc = 0; oc < out_c_; ++oc) {
+      for (int oh = 0; oh < y.h; ++oh) {
+        for (int ow = 0; ow < y.w; ++ow) {
+          float acc = bias[static_cast<std::size_t>(oc)];
+          for (int ic = 0; ic < in_c_; ++ic) {
+            for (int kh = 0; kh < k_; ++kh) {
+              for (int kw = 0; kw < k_; ++kw) {
+                const float wv = weight[((static_cast<std::size_t>(oc) * in_c_ + ic) * k_ + kh) * k_ + kw];
+                acc += wv * x.at(n, ic, oh + kh, ow + kw);
+              }
+            }
+          }
+          y.at(n, oc, oh, ow) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& x, const Tensor& dy) {
+  Tensor dx(x.n, x.c, x.h, x.w);
+  for (int n = 0; n < x.n; ++n) {
+    for (int oc = 0; oc < out_c_; ++oc) {
+      for (int oh = 0; oh < dy.h; ++oh) {
+        for (int ow = 0; ow < dy.w; ++ow) {
+          const float g = dy.at(n, oc, oh, ow);
+          bgrad[static_cast<std::size_t>(oc)] += g;
+          for (int ic = 0; ic < in_c_; ++ic) {
+            for (int kh = 0; kh < k_; ++kh) {
+              for (int kw = 0; kw < k_; ++kw) {
+                const std::size_t wi =
+                    ((static_cast<std::size_t>(oc) * in_c_ + ic) * k_ + kh) * k_ + kw;
+                wgrad[wi] += g * x.at(n, ic, oh + kh, ow + kw);
+                dx.at(n, ic, oh + kh, ow + kw) += g * weight[wi];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+void Conv2d::sgd_step(float lr) {
+  for (std::size_t i = 0; i < weight.size(); ++i) weight[i] -= lr * wgrad[i];
+  for (std::size_t i = 0; i < bias.size(); ++i) bias[i] -= lr * bgrad[i];
+}
+
+void Conv2d::zero_grad() {
+  std::fill(wgrad.begin(), wgrad.end(), 0.0f);
+  std::fill(bgrad.begin(), bgrad.end(), 0.0f);
+}
+
+// ------------------------------------------------------------------- ReLU ----
+
+Tensor relu_forward(const Tensor& x) {
+  Tensor y = x;
+  for (float& v : y.v) v = std::max(0.0f, v);
+  return y;
+}
+
+Tensor relu_backward(const Tensor& x, const Tensor& dy) {
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < x.v.size(); ++i) {
+    if (x.v[i] <= 0.0f) dx.v[i] = 0.0f;
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------- MaxPool ----
+
+Tensor maxpool_forward(const Tensor& x, Tensor* argmax) {
+  if (x.h % 2 != 0 || x.w % 2 != 0) throw std::invalid_argument("pool: odd dims");
+  Tensor y(x.n, x.c, x.h / 2, x.w / 2);
+  if (argmax != nullptr) *argmax = Tensor(x.n, x.c, x.h / 2, x.w / 2);
+  for (int n = 0; n < x.n; ++n) {
+    for (int c = 0; c < x.c; ++c) {
+      for (int oh = 0; oh < y.h; ++oh) {
+        for (int ow = 0; ow < y.w; ++ow) {
+          float best = -1e30f;
+          int best_i = 0;
+          for (int dh = 0; dh < 2; ++dh) {
+            for (int dw = 0; dw < 2; ++dw) {
+              const float v = x.at(n, c, oh * 2 + dh, ow * 2 + dw);
+              if (v > best) {
+                best = v;
+                best_i = dh * 2 + dw;
+              }
+            }
+          }
+          y.at(n, c, oh, ow) = best;
+          if (argmax != nullptr) {
+            argmax->at(n, c, oh, ow) = static_cast<float>(best_i);
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor maxpool_backward(const Tensor& x, const Tensor& argmax, const Tensor& dy) {
+  Tensor dx(x.n, x.c, x.h, x.w);
+  for (int n = 0; n < x.n; ++n) {
+    for (int c = 0; c < x.c; ++c) {
+      for (int oh = 0; oh < dy.h; ++oh) {
+        for (int ow = 0; ow < dy.w; ++ow) {
+          const int best = static_cast<int>(argmax.at(n, c, oh, ow));
+          dx.at(n, c, oh * 2 + best / 2, ow * 2 + best % 2) += dy.at(n, c, oh, ow);
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// ----------------------------------------------------------------- Linear ----
+
+Linear::Linear(int in_f_, int out_f_)
+    : in_f(in_f_),
+      out_f(out_f_),
+      weight(static_cast<std::size_t>(out_f_) * in_f_),
+      bias(static_cast<std::size_t>(out_f_)),
+      wgrad(weight.size()),
+      bgrad(bias.size()) {
+  fill_random(weight, 0x9876 + static_cast<std::uint64_t>(out_f_),
+              1.0f / static_cast<float>(in_f_));
+}
+
+std::vector<float> Linear::forward(const std::vector<float>& x, int batch) const {
+  std::vector<float> y(static_cast<std::size_t>(batch) * out_f);
+  for (int n = 0; n < batch; ++n) {
+    for (int o = 0; o < out_f; ++o) {
+      float acc = bias[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in_f; ++i) {
+        acc += weight[static_cast<std::size_t>(o) * in_f + i] *
+               x[static_cast<std::size_t>(n) * in_f + i];
+      }
+      y[static_cast<std::size_t>(n) * out_f + o] = acc;
+    }
+  }
+  return y;
+}
+
+std::vector<float> Linear::backward(const std::vector<float>& x,
+                                    const std::vector<float>& dy, int batch) {
+  std::vector<float> dx(static_cast<std::size_t>(batch) * in_f);
+  for (int n = 0; n < batch; ++n) {
+    for (int o = 0; o < out_f; ++o) {
+      const float g = dy[static_cast<std::size_t>(n) * out_f + o];
+      bgrad[static_cast<std::size_t>(o)] += g;
+      for (int i = 0; i < in_f; ++i) {
+        wgrad[static_cast<std::size_t>(o) * in_f + i] +=
+            g * x[static_cast<std::size_t>(n) * in_f + i];
+        dx[static_cast<std::size_t>(n) * in_f + i] +=
+            g * weight[static_cast<std::size_t>(o) * in_f + i];
+      }
+    }
+  }
+  return dx;
+}
+
+void Linear::sgd_step(float lr) {
+  for (std::size_t i = 0; i < weight.size(); ++i) weight[i] -= lr * wgrad[i];
+  for (std::size_t i = 0; i < bias.size(); ++i) bias[i] -= lr * bgrad[i];
+}
+
+void Linear::zero_grad() {
+  std::fill(wgrad.begin(), wgrad.end(), 0.0f);
+  std::fill(bgrad.begin(), bgrad.end(), 0.0f);
+}
+
+// ------------------------------------------------------------------- loss ----
+
+float mse_loss(const std::vector<float>& pred, const std::vector<float>& target,
+               std::vector<float>* dpred) {
+  if (pred.size() != target.size()) throw std::invalid_argument("mse size");
+  float loss = 0;
+  if (dpred != nullptr) dpred->assign(pred.size(), 0.0f);
+  const float inv = 1.0f / static_cast<float>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += 0.5f * d * d * inv;
+    if (dpred != nullptr) (*dpred)[i] = d * inv;
+  }
+  return loss;
+}
+
+}  // namespace cnn

@@ -1,0 +1,55 @@
+#include "apps/fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fft {
+
+void fft_inplace(cd* a, std::size_t n, bool inverse) {
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const cd wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cd w(1);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cd u = a[i + k];
+        const cd v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<cd> naive_dft(const std::vector<cd>& in, bool inverse) {
+  const std::size_t n = in.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<cd> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cd acc = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * std::numbers::pi *
+                         static_cast<double>(j * k % n) / static_cast<double>(n);
+      acc += in[j] * cd(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+double fft_flops(double n) { return 5.0 * n * std::log2(n); }
+
+}  // namespace fft

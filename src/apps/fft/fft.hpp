@@ -1,0 +1,23 @@
+// Local FFT kernels (radix-2 iterative Cooley-Tukey) and a naive DFT
+// reference used to validate the distributed transforms.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace fft {
+
+using cd = std::complex<double>;
+
+/// In-place radix-2 DIT FFT; n must be a power of two. inverse=true computes
+/// the unnormalized inverse transform.
+void fft_inplace(cd* data, std::size_t n, bool inverse = false);
+
+/// O(n^2) reference DFT.
+std::vector<cd> naive_dft(const std::vector<cd>& in, bool inverse = false);
+
+/// 5 * n * log2(n) — the standard operation count used to report FFT flops.
+double fft_flops(double n);
+
+}  // namespace fft

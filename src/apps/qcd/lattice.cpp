@@ -1,0 +1,102 @@
+#include "apps/qcd/lattice.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qcd {
+
+namespace {
+
+std::vector<int> prime_factors_desc(int n) {
+  std::vector<int> f;
+  for (int p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      f.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) f.push_back(n);
+  std::sort(f.rbegin(), f.rend());
+  return f;
+}
+
+}  // namespace
+
+Dims choose_grid(int nranks, const Dims& global) {
+  if (nranks < 1) throw std::invalid_argument("nranks < 1");
+  Dims grid{1, 1, 1, 1};
+  Dims local = global;
+  for (int f : prime_factors_desc(nranks)) {
+    // Pick the dimension with the largest local extent divisible by f;
+    // ties prefer T, then Z, then Y, then X (the paper's order).
+    int best = -1;
+    for (int mu : {kT, kZ, kY, kX}) {
+      const auto m = static_cast<std::size_t>(mu);
+      if (local[m] % f != 0) continue;
+      if (best < 0 || local[m] > local[static_cast<std::size_t>(best)]) best = mu;
+    }
+    if (best < 0) {
+      throw std::invalid_argument("cannot decompose lattice over this rank count");
+    }
+    const auto b = static_cast<std::size_t>(best);
+    grid[b] *= f;
+    local[b] /= f;
+  }
+  return grid;
+}
+
+Decomposition::Decomposition(const Dims& global, const Dims& grid, int rank)
+    : global_(global), grid_(grid), rank_(rank) {
+  for (std::size_t mu = 0; mu < 4; ++mu) {
+    if (global[mu] % grid[mu] != 0) {
+      throw std::invalid_argument("grid does not divide lattice");
+    }
+    local_[mu] = global[mu] / grid[mu];
+  }
+  coords_ = rank_to_coords(rank, grid);
+}
+
+Dims Decomposition::rank_to_coords(int rank, const Dims& grid) {
+  Dims c;
+  c[kX] = rank % grid[kX];
+  rank /= grid[kX];
+  c[kY] = rank % grid[kY];
+  rank /= grid[kY];
+  c[kZ] = rank % grid[kZ];
+  rank /= grid[kZ];
+  c[kT] = rank;
+  return c;
+}
+
+int Decomposition::coords_to_rank(const Dims& c, const Dims& grid) {
+  return c[kX] + grid[kX] * (c[kY] + grid[kY] * (c[kZ] + grid[kZ] * c[kT]));
+}
+
+int Decomposition::neighbor_rank(int mu, int dir) const {
+  Dims c = coords_;
+  const auto m = static_cast<std::size_t>(mu);
+  c[m] = (c[m] + dir + grid_[m]) % grid_[m];
+  return coords_to_rank(c, grid_);
+}
+
+std::int64_t Decomposition::face_sites(int mu) const {
+  return local_volume() / local_[static_cast<std::size_t>(mu)];
+}
+
+Dims Decomposition::to_global(const Dims& c) const {
+  Dims g;
+  for (std::size_t mu = 0; mu < 4; ++mu) g[mu] = coords_[mu] * local_[mu] + c[mu];
+  return g;
+}
+
+std::int64_t Decomposition::boundary_sites() const {
+  // Inclusion-exclusion is overkill: boundary = V - interior where interior
+  // shrinks each partitioned dimension by 2 (both faces).
+  Dims inner = local_;
+  for (std::size_t mu = 0; mu < 4; ++mu) {
+    if (grid_[mu] > 1) inner[mu] = std::max(0, inner[mu] - 2);
+  }
+  return local_volume() - volume(inner);
+}
+
+}  // namespace qcd

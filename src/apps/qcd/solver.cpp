@@ -1,0 +1,128 @@
+#include "apps/qcd/solver.hpp"
+
+#include <cmath>
+
+namespace qcd {
+
+void WilsonOp::apply(const SpinorField& in, SpinorField& out) {
+  dslash_.apply_to(in, out);
+  // out = in - kappa * D in
+  for (std::size_t i = 0; i < out.v.size(); ++i) {
+    out.v[i] = in.v[i] - kappa_ * out.v[i];
+  }
+}
+
+std::complex<double> global_dot(core::Proxy& proxy, const SpinorField& a,
+                                const SpinorField& b) {
+  const std::complex<double> local = spinor_dot(a, b);
+  double in[2] = {local.real(), local.imag()};
+  double out[2] = {0, 0};
+  proxy.allreduce(in, out, 2, smpi::Datatype::kDouble, smpi::Op::kSum);
+  return {out[0], out[1]};
+}
+
+double global_norm2(core::Proxy& proxy, const SpinorField& a) {
+  const double local = spinor_norm2(a);
+  double out = 0;
+  proxy.allreduce(&local, &out, 1, smpi::Datatype::kDouble, smpi::Op::kSum);
+  return out;
+}
+
+SolveResult cg_solve(WilsonOp& op, core::Proxy& proxy, const SpinorField& b,
+                     SpinorField& x, double tol, int max_iters) {
+  const Dims d = b.dims;
+  SpinorField r(d), p(d), ap(d);
+  // r = b - M x; p = r.
+  op.apply(x, ap);
+  spinor_copy(b, r);
+  spinor_axpy(cf(-1), ap, r);
+  spinor_copy(r, p);
+
+  const double b2 = global_norm2(proxy, b);
+  double rr = global_norm2(proxy, r);
+  SolveResult res;
+  for (int it = 0; it < max_iters; ++it) {
+    op.apply(p, ap);
+    const std::complex<double> pap = global_dot(proxy, p, ap);
+    const double alpha = rr / pap.real();
+    spinor_axpy(cf(static_cast<float>(alpha)), p, x);
+    spinor_axpy(cf(static_cast<float>(-alpha)), ap, r);
+    const double rr_new = global_norm2(proxy, r);
+    res.iterations = it + 1;
+    if (rr_new <= tol * tol * b2) {
+      res.converged = true;
+      res.residual = std::sqrt(rr_new / b2);
+      return res;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    spinor_xpay(r, cf(static_cast<float>(beta)), p);  // p = r + beta p
+  }
+  res.residual = std::sqrt(rr / b2);
+  return res;
+}
+
+SolveResult bicgstab_solve(WilsonOp& op, core::Proxy& proxy, const SpinorField& b,
+                           SpinorField& x, double tol, int max_iters) {
+  const Dims d = b.dims;
+  SpinorField r(d), r0(d), p(d), v(d), s(d), t(d);
+  op.apply(x, v);
+  spinor_copy(b, r);
+  spinor_axpy(cf(-1), v, r);
+  spinor_copy(r, r0);
+  spinor_copy(r, p);
+
+  const double b2 = global_norm2(proxy, b);
+  std::complex<double> rho = global_dot(proxy, r0, r);
+  SolveResult res;
+  for (int it = 0; it < max_iters; ++it) {
+    op.apply(p, v);
+    const std::complex<double> r0v = global_dot(proxy, r0, v);
+    const std::complex<double> alpha = rho / r0v;
+    // s = r - alpha v
+    spinor_copy(r, s);
+    spinor_axpy(cf(static_cast<cf::value_type>(-alpha.real()),
+                   static_cast<cf::value_type>(-alpha.imag())),
+                v, s);
+    op.apply(s, t);
+    const std::complex<double> ts = global_dot(proxy, t, s);
+    const double tt = global_norm2(proxy, t);
+    const std::complex<double> omega = ts / tt;
+    // x += alpha p + omega s
+    spinor_axpy(cf(static_cast<cf::value_type>(alpha.real()),
+                   static_cast<cf::value_type>(alpha.imag())),
+                p, x);
+    spinor_axpy(cf(static_cast<cf::value_type>(omega.real()),
+                   static_cast<cf::value_type>(omega.imag())),
+                s, x);
+    // r = s - omega t
+    spinor_copy(s, r);
+    spinor_axpy(cf(static_cast<cf::value_type>(-omega.real()),
+                   static_cast<cf::value_type>(-omega.imag())),
+                t, r);
+    const double rr = global_norm2(proxy, r);
+    res.iterations = it + 1;
+    if (rr <= tol * tol * b2) {
+      res.converged = true;
+      res.residual = std::sqrt(rr / b2);
+      return res;
+    }
+    const std::complex<double> rho_new = global_dot(proxy, r0, r);
+    const std::complex<double> beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    // p = r + beta (p - omega v)
+    spinor_axpy(cf(static_cast<cf::value_type>(-omega.real()),
+                   static_cast<cf::value_type>(-omega.imag())),
+                v, p);
+    spinor_xpay(r,
+                cf(static_cast<cf::value_type>(beta.real()),
+                   static_cast<cf::value_type>(beta.imag())),
+                p);
+    const double rr2 = rr;
+    (void)rr2;
+  }
+  res.residual = std::sqrt(global_norm2(proxy, r) / b2);
+  return res;
+}
+
+}  // namespace qcd

@@ -1,0 +1,48 @@
+// Iterative solvers for the Wilson fermion matrix M = 1 - kappa * D
+// (paper Section 5.1: CG and BiCGStab dominate LQCD application time).
+//
+// Our simplified D is Hermitian, so M is Hermitian positive definite for
+// small kappa and CG applies to M directly; BiCGStab is implemented in its
+// general non-Hermitian form. Global inner products go through the proxy's
+// allreduce — the source of the solver's sensitivity to MPI_Allreduce
+// latency the paper calls out (Fig. 11).
+#pragma once
+
+#include "apps/qcd/dslash.hpp"
+
+namespace qcd {
+
+/// M x = x - kappa * D x.
+class WilsonOp {
+ public:
+  WilsonOp(DistributedDslash& dslash, float kappa)
+      : dslash_(dslash), kappa_(kappa) {}
+
+  void apply(const SpinorField& in, SpinorField& out);
+  [[nodiscard]] const Decomposition& dec() const { return dslash_.dec(); }
+
+ private:
+  DistributedDslash& dslash_;
+  float kappa_;
+};
+
+struct SolveResult {
+  int iterations = 0;
+  double residual = 0;  ///< final ||b - Mx|| / ||b||
+  bool converged = false;
+};
+
+/// Conjugate gradients on the (Hermitian positive definite) Wilson matrix.
+SolveResult cg_solve(WilsonOp& op, core::Proxy& proxy, const SpinorField& b,
+                     SpinorField& x, double tol = 1e-6, int max_iters = 200);
+
+/// BiCGStab (general form; also converges for the Hermitian case).
+SolveResult bicgstab_solve(WilsonOp& op, core::Proxy& proxy, const SpinorField& b,
+                           SpinorField& x, double tol = 1e-6, int max_iters = 200);
+
+/// Globally-summed inner products (allreduce over the proxy).
+std::complex<double> global_dot(core::Proxy& proxy, const SpinorField& a,
+                                const SpinorField& b);
+double global_norm2(core::Proxy& proxy, const SpinorField& a);
+
+}  // namespace qcd

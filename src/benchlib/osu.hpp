@@ -1,0 +1,35 @@
+// Reimplementations of the OSU microbenchmark kernels on SimMPI, driven
+// through the approach proxies (paper Section 4.2, 4.4, 4.5).
+#pragma once
+
+#include <cstddef>
+
+#include "core/proxy.hpp"
+#include "machine/profile.hpp"
+
+namespace benchlib {
+
+struct OsuResult {
+  double latency_us = 0;      ///< one-way latency
+  double bandwidth_mbps = 0;  ///< MB/s (bandwidth test only)
+  double post_us = 0;         ///< mean time in the nonblocking post call
+};
+
+/// OSU latency: ping-pong between 2 ranks; returns one-way latency and the
+/// mean MPI_Isend issue time (the paper's Fig. 4 quantity).
+OsuResult osu_latency(core::Approach a, const machine::Profile& prof,
+                      std::size_t bytes, int iters = 40, int warmup = 5);
+
+/// OSU bandwidth: rank 0 streams a window of nonblocking sends, rank 1
+/// acknowledges the window; returns MB/s.
+OsuResult osu_bandwidth(core::Approach a, const machine::Profile& prof,
+                        std::size_t bytes, int window = 64, int iters = 8);
+
+/// OSU multithreaded latency: `threads` thread-pairs ping-pong concurrently
+/// (paper Fig. 6). baseline/comm-self run the MPI library at THREAD_MULTIPLE;
+/// offload keeps FUNNELED because only its engine enters MPI.
+OsuResult osu_latency_mt(core::Approach a, const machine::Profile& prof,
+                         int threads, std::size_t bytes, int iters = 30,
+                         int warmup = 5);
+
+}  // namespace benchlib

@@ -1,0 +1,47 @@
+// The paper's compute-communication overlap benchmark (Section 4.1).
+//
+// Step 1 measures, with no intervening computation:
+//   post time  — Irecv+Isend issue time,
+//   wait time  — the two MPI_Waits,
+//   comm time  — post + wait (the full exchange).
+// Step 2 repeats with compute(comm_time) inserted between Isend and the
+// first Wait. overlap = wait1 - wait2 (the communication that was hidden).
+// All three are reported as fractions of comm time; 100% overlap means the
+// second step's wait was (nearly) free.
+#pragma once
+
+#include <cstddef>
+
+#include "core/proxy.hpp"
+#include "machine/profile.hpp"
+
+namespace benchlib {
+
+struct OverlapResult {
+  double comm_us = 0;
+  double post_frac = 0;     ///< post time / comm time
+  double wait_frac = 0;     ///< step-2 wait time / comm time
+  double overlap_frac = 0;  ///< (wait1 - wait2) / comm time
+};
+
+/// Point-to-point overlap between 2 ranks for a message of `bytes`.
+OverlapResult overlap_p2p(core::Approach a, const machine::Profile& prof,
+                          std::size_t bytes, int iters = 20, int warmup = 4);
+
+/// Which collective to measure in overlap_collective.
+enum class CollKind { kIbcast, kIreduce, kIallreduce, kIalltoall, kIallgather, kIbarrier };
+
+const char* coll_name(CollKind k);
+
+/// IMB-NBC-style overlap for a nonblocking collective on `nranks` ranks with
+/// per-rank payload `bytes`: overlap% = 1 - wait_overlapped / t_pure.
+OverlapResult overlap_collective(core::Approach a, const machine::Profile& prof,
+                                 CollKind kind, int nranks, std::size_t bytes,
+                                 int iters = 10, int warmup = 2);
+
+/// Issue time of a nonblocking collective (paper Fig. 5).
+double icollective_post_us(core::Approach a, const machine::Profile& prof,
+                           CollKind kind, int nranks, std::size_t bytes,
+                           int iters = 10, int warmup = 2);
+
+}  // namespace benchlib

@@ -1,0 +1,49 @@
+// Serialized MPI-call commands exchanged through the MPSC ring.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/types.hpp"
+
+namespace core {
+
+enum class CmdOp : std::uint8_t {
+  kShutdown,
+  kIsend,
+  kIrecv,
+  kIbarrier,
+  kIbcast,
+  kIreduce,
+  kIallreduce,
+  kIalltoall,
+  kIallgather,
+  kIgather,
+  kIscatter,
+  kWinCreate,
+  kWinFree,
+  kPut,
+  kGet,
+  kIfence,
+};
+
+/// One offloaded MPI call, parameters serialized into a flat struct (the
+/// paper's "call-specific structure"). `proxy` is the RequestPool slot whose
+/// done flag signals completion back to the application thread.
+struct Command {
+  CmdOp op = CmdOp::kShutdown;
+  std::uint32_t proxy = 0;
+  const void* sbuf = nullptr;
+  void* rbuf = nullptr;
+  std::uint64_t count = 0;
+  smpi::Datatype dtype = smpi::Datatype::kByte;
+  smpi::Op rop = smpi::Op::kSum;
+  int peer = -1;  ///< dst/src/root/target depending on op
+  int tag = 0;
+  smpi::Comm comm = smpi::kCommWorld;
+  // ---- RMA ----
+  smpi::Win win{};
+  smpi::Win* win_out = nullptr;  ///< result slot for kWinCreate
+  std::uint64_t offset = 0;      ///< target window offset
+};
+
+}  // namespace core

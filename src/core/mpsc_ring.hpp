@@ -1,0 +1,96 @@
+// Lock-free bounded multi-producer / single-consumer command ring.
+//
+// This is the paper's "lightweight lock-free command queue" (Section 3.1):
+// application threads enqueue serialized MPI calls concurrently; the single
+// offload thread dequeues. The implementation is Dmitry Vyukov's bounded
+// MPMC queue specialized to one consumer (the head index needs no atomicity
+// beyond the per-cell sequence protocol).
+//
+// The same class is used in two ways:
+//  * inside the simulator (single host thread, virtual-time costs charged
+//    around push/pop), and
+//  * under real std::thread stress tests and google-benchmark microbenches,
+//    which validate the lock-free protocol itself.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace core {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` must be a power of two.
+  explicit MpscRing(std::size_t capacity)
+      : mask_(capacity - 1), cells_(capacity) {
+    if (capacity < 2 || (capacity & (capacity - 1)) != 0) {
+      throw std::invalid_argument("MpscRing capacity must be a power of two");
+    }
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Multi-producer push; returns false when full.
+  bool try_push(T v) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos & mask_];
+      const std::size_t seq = c.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          c.val = std::move(v);
+          c.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer pop; returns false when empty.
+  bool try_pop(T& out) {
+    Cell& c = cells_[head_ & mask_];
+    const std::size_t seq = c.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(head_ + 1) < 0) {
+      return false;  // empty
+    }
+    out = std::move(c.val);
+    c.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  /// Approximate occupancy (exact when quiescent).
+  [[nodiscard]] std::size_t size_approx() const {
+    return tail_.load(std::memory_order_relaxed) - head_;
+  }
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T val;
+  };
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::size_t mask_;
+  std::vector<Cell> cells_;
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // producers
+  alignas(kCacheLine) std::size_t head_{0};               // the one consumer
+};
+
+}  // namespace core

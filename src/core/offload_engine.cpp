@@ -1,0 +1,223 @@
+#include "core/offload_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace core {
+
+OffloadChannel::OffloadChannel(smpi::RankCtx& rc, std::size_t ring_capacity,
+                               std::uint32_t pool_capacity)
+    : rc_(rc),
+      ring_(ring_capacity),
+      pool_(pool_capacity),
+      completions_(rc.profile().done_flag_detect) {}
+
+// ------------------------------------------------------ application side ----
+
+std::uint32_t OffloadChannel::submit(Command cmd) {
+  const auto& p = rc_.profile();
+  // Allocate the proxy request (lock-free pool op).
+  sim::advance(p.request_pool_op);
+  std::uint32_t proxy = pool_.alloc();
+  for (int retries = 0; proxy == RequestPool::kNil; ++retries) {
+    // Pool exhausted: wait for another thread to recycle a slot. A
+    // single-threaded application that over-posts can never recycle, so a
+    // bounded wait converts that programming error into a clear failure
+    // instead of a silent deadlock.
+    if (retries > 64) {
+      throw std::runtime_error(
+          "offload request pool exhausted: too many outstanding requests "
+          "(increase pool_capacity or wait on requests sooner)");
+    }
+    ++stats_.ring_full_stalls;
+    const std::uint64_t seen = completions_.count();
+    completions_.wait_beyond_timeout(seen, sim::Time::from_us(200));
+    proxy = pool_.alloc();
+  }
+  cmd.proxy = proxy;
+  // Serialize parameters + lock-free enqueue.
+  sim::advance(p.cmd_enqueue);
+  while (!ring_.try_push(cmd)) {
+    ++stats_.ring_full_stalls;
+    sim::advance(p.cmd_enqueue);  // retry cost
+  }
+  // Ring the doorbell: the offload thread's poll loop notices new work after
+  // its detection latency.
+  rc_.arrivals().signal();
+  return proxy;
+}
+
+void OffloadChannel::wait_done(std::uint32_t proxy, smpi::Status* st) {
+  const auto& p = rc_.profile();
+  for (;;) {
+    sim::advance(p.done_flag_check);
+    if (pool_.done(proxy)) break;
+    const std::uint64_t seen = completions_.count();
+    if (pool_.done(proxy)) break;
+    completions_.wait_beyond(seen);
+  }
+  if (st != nullptr) *st = pool_.status(proxy);
+  sim::advance(p.request_pool_op);
+  pool_.free(proxy);
+  completions_.signal();  // a freed slot may unblock a pool-exhausted submit
+}
+
+bool OffloadChannel::test_done(std::uint32_t proxy, smpi::Status* st) {
+  const auto& p = rc_.profile();
+  sim::advance(p.done_flag_check);
+  if (!pool_.done(proxy)) return false;
+  if (st != nullptr) *st = pool_.status(proxy);
+  sim::advance(p.request_pool_op);
+  pool_.free(proxy);
+  completions_.signal();
+  return true;
+}
+
+void OffloadChannel::shutdown() {
+  Command c;
+  c.op = CmdOp::kShutdown;
+  sim::advance(rc_.profile().cmd_enqueue);
+  while (!ring_.try_push(c)) sim::advance(rc_.profile().cmd_enqueue);
+  rc_.arrivals().signal();
+}
+
+// ------------------------------------------------------------ engine side ----
+
+void OffloadChannel::issue(const Command& cmd) {
+  using smpi::Datatype;
+  smpi::Request real{};
+  // Ops with no (or immediate) MPI-level completion are finished inline.
+  switch (cmd.op) {
+    case CmdOp::kWinCreate:
+      *cmd.win_out = rc_.win_create(cmd.rbuf, cmd.count, cmd.comm);
+      pool_.complete(cmd.proxy, smpi::Status{});
+      ++stats_.completions;
+      completions_.signal();
+      return;
+    case CmdOp::kWinFree:
+      rc_.win_free(cmd.win);
+      pool_.complete(cmd.proxy, smpi::Status{});
+      ++stats_.completions;
+      completions_.signal();
+      return;
+    case CmdOp::kPut:
+      rc_.put(cmd.sbuf, cmd.count, cmd.peer, cmd.offset, cmd.win);
+      pool_.complete(cmd.proxy, smpi::Status{});
+      ++stats_.completions;
+      completions_.signal();
+      return;
+    case CmdOp::kGet:
+      rc_.get(cmd.rbuf, cmd.count, cmd.peer, cmd.offset, cmd.win);
+      pool_.complete(cmd.proxy, smpi::Status{});
+      ++stats_.completions;
+      completions_.signal();
+      return;
+    case CmdOp::kIfence:
+      real = rc_.ifence(cmd.win);
+      inflight_.push_back({real, cmd.proxy});
+      return;
+    default:
+      break;
+  }
+  switch (cmd.op) {
+    case CmdOp::kIsend:
+      real = rc_.isend(cmd.sbuf, cmd.count, cmd.dtype, cmd.peer, cmd.tag, cmd.comm);
+      break;
+    case CmdOp::kIrecv:
+      real = rc_.irecv(cmd.rbuf, cmd.count, cmd.dtype, cmd.peer, cmd.tag, cmd.comm);
+      break;
+    case CmdOp::kIbarrier:
+      real = rc_.ibarrier(cmd.comm);
+      break;
+    case CmdOp::kIbcast:
+      real = rc_.ibcast(cmd.rbuf, cmd.count, cmd.dtype, cmd.peer, cmd.comm);
+      break;
+    case CmdOp::kIreduce:
+      real = rc_.ireduce(cmd.sbuf, cmd.rbuf, cmd.count, cmd.dtype, cmd.rop,
+                         cmd.peer, cmd.comm);
+      break;
+    case CmdOp::kIallreduce:
+      real = rc_.iallreduce(cmd.sbuf, cmd.rbuf, cmd.count, cmd.dtype, cmd.rop,
+                            cmd.comm);
+      break;
+    case CmdOp::kIalltoall:
+      real = rc_.ialltoall(cmd.sbuf, cmd.rbuf, cmd.count, cmd.dtype, cmd.comm);
+      break;
+    case CmdOp::kIallgather:
+      real = rc_.iallgather(cmd.sbuf, cmd.rbuf, cmd.count, cmd.dtype, cmd.comm);
+      break;
+    case CmdOp::kIgather:
+      real = rc_.igather(cmd.sbuf, cmd.rbuf, cmd.count, cmd.dtype, cmd.peer,
+                         cmd.comm);
+      break;
+    case CmdOp::kIscatter:
+      real = rc_.iscatter(cmd.sbuf, cmd.rbuf, cmd.count, cmd.dtype, cmd.peer,
+                          cmd.comm);
+      break;
+    case CmdOp::kShutdown:
+      throw std::logic_error("shutdown reached issue()");
+  }
+  inflight_.push_back({real, cmd.proxy});
+  stats_.max_inflight = std::max<std::uint64_t>(stats_.max_inflight,
+                                                inflight_.size());
+}
+
+void OffloadChannel::drive_progress() {
+  if (inflight_.empty()) return;
+  // MPI_Testany over the in-flight set; publish done flags for completions.
+  // Loop until a pass makes no progress (a real offload thread would call
+  // Testany repeatedly while its queue is empty).
+  for (;;) {
+    scratch_reqs_.clear();
+    for (const Inflight& f : inflight_) scratch_reqs_.push_back(f.real);
+    int idx = -1;
+    smpi::Status st;
+    ++stats_.testany_calls;
+    const bool flag = rc_.testany(scratch_reqs_, &idx, &st);
+    if (!flag || idx < 0) return;
+    const auto i = static_cast<std::size_t>(idx);
+    pool_.complete(inflight_[i].proxy, st);
+    ++stats_.completions;
+    inflight_.erase(inflight_.begin() + static_cast<std::ptrdiff_t>(idx));
+    completions_.signal();
+    if (inflight_.empty()) return;
+  }
+}
+
+void OffloadChannel::engine_main() {
+  const auto& p = rc_.profile();
+  std::uint64_t seen = rc_.arrivals().count();
+  for (;;) {
+    Command cmd;
+    bool worked = false;
+    while (ring_.try_pop(cmd)) {
+      sim::advance(p.cmd_dequeue);
+      worked = true;
+      if (cmd.op == CmdOp::kShutdown) {
+        shutdown_requested_ = true;
+        continue;
+      }
+      ++stats_.commands;
+      issue(cmd);
+    }
+    drive_progress();
+    if (shutdown_requested_ && inflight_.empty() && ring_.empty_approx()) {
+      return;
+    }
+    if (worked) {
+      seen = rc_.arrivals().count();
+      continue;
+    }
+    // Nothing to do: sleep until the doorbell (new command) or a network
+    // event (progress opportunity). The Notifier's detection latency models
+    // the spin-poll granularity of the real busy-waiting offload thread.
+    const std::uint64_t cur = rc_.arrivals().count();
+    if (cur > seen) {
+      seen = cur;
+      continue;  // something happened while we were working
+    }
+    seen = rc_.arrivals().wait_beyond(seen);
+  }
+}
+
+}  // namespace core

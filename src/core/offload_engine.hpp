@@ -1,0 +1,92 @@
+// The MPI offload engine (paper Section 3).
+//
+// One dedicated fiber per rank — "the offload thread" — is the only execution
+// context that ever enters the MPI library. Application threads interact with
+// it exclusively through:
+//   * the lock-free command ring (call submission),
+//   * the lock-free request pool (completion flags).
+//
+// Engine loop:
+//   1. drain the command ring, issuing each command as a *nonblocking* MPI
+//      call (blocking application calls were converted by the channel);
+//   2. when the ring is empty, drive progress on all in-flight operations
+//      with MPI_Testany, publishing done flags as they complete;
+//   3. when nothing is in flight and no commands are pending, sleep on the
+//      rank's doorbell (a real offload thread spins; the simulator models the
+//      spin-detection latency on wake instead of burning events).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/command.hpp"
+#include "core/mpsc_ring.hpp"
+#include "core/request_pool.hpp"
+#include "mpi/rank_ctx.hpp"
+#include "sim/sync.hpp"
+
+namespace core {
+
+struct OffloadStats {
+  std::uint64_t commands = 0;
+  std::uint64_t testany_calls = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t max_inflight = 0;
+  std::uint64_t ring_full_stalls = 0;
+};
+
+/// Shared state between application threads and the offload engine of one
+/// rank. Application-facing calls live in OffloadProxy (core/proxy.hpp);
+/// this class is the engine side plus the submission primitives.
+class OffloadChannel {
+ public:
+  OffloadChannel(smpi::RankCtx& rc, std::size_t ring_capacity = 1024,
+                 std::uint32_t pool_capacity = 4096);
+
+  smpi::RankCtx& rank_ctx() { return rc_; }
+  RequestPool& pool() { return pool_; }
+  [[nodiscard]] const OffloadStats& stats() const { return stats_; }
+
+  // ---------------- application side ----------------
+
+  /// Serialize + enqueue; returns the proxy request slot. Charges the
+  /// enqueue cost; spins (virtually) if the ring is momentarily full.
+  std::uint32_t submit(Command cmd);
+
+  /// Spin on the done flag of `proxy` (the paper's optimized MPI_Wait: no
+  /// MPI call, just a flag check). Frees the slot.
+  void wait_done(std::uint32_t proxy, smpi::Status* st = nullptr);
+
+  /// Nonblocking flag check; frees the slot when done.
+  bool test_done(std::uint32_t proxy, smpi::Status* st = nullptr);
+
+  /// Enqueue the shutdown command (engine exits after draining in-flight).
+  void shutdown();
+
+  // ---------------- engine side ----------------
+
+  /// Body of the offload fiber.
+  void engine_main();
+
+ private:
+  void issue(const Command& cmd);
+  void drive_progress();
+
+  smpi::RankCtx& rc_;
+  MpscRing<Command> ring_;
+  RequestPool pool_;
+  /// Signalled by the engine whenever it publishes a done flag; application
+  /// waiters use it to model their done-flag spin loop without event spam.
+  sim::Notifier completions_;
+  bool shutdown_requested_ = false;
+
+  struct Inflight {
+    smpi::Request real;
+    std::uint32_t proxy;
+  };
+  std::vector<Inflight> inflight_;
+  std::vector<smpi::Request> scratch_reqs_;
+  OffloadStats stats_;
+};
+
+}  // namespace core

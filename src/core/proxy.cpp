@@ -1,0 +1,362 @@
+#include "core/proxy.hpp"
+
+#include <stdexcept>
+
+#include "mpi/cluster.hpp"
+
+namespace core {
+
+const char* approach_name(Approach a) {
+  switch (a) {
+    case Approach::kBaseline:
+      return "baseline";
+    case Approach::kIprobe:
+      return "iprobe";
+    case Approach::kCommSelf:
+      return "comm-self";
+    case Approach::kOffload:
+      return "offload";
+  }
+  return "?";
+}
+
+Approach approach_from_string(const std::string& s) {
+  if (s == "baseline") return Approach::kBaseline;
+  if (s == "iprobe") return Approach::kIprobe;
+  if (s == "commself" || s == "comm-self") return Approach::kCommSelf;
+  if (s == "offload") return Approach::kOffload;
+  throw std::invalid_argument("unknown approach: " + s);
+}
+
+smpi::ThreadLevel required_thread_level(Approach a) {
+  // comm-self needs concurrent MPI calls (progress thread + master); the
+  // others drive MPI from a single thread.
+  return a == Approach::kCommSelf ? smpi::ThreadLevel::kMultiple
+                                  : smpi::ThreadLevel::kFunneled;
+}
+
+// ------------------------------------------------------- default blocking ----
+
+void Proxy::send(const void* b, std::size_t n, smpi::Datatype dt, int dst,
+                 int tag, smpi::Comm c) {
+  PReq r = isend(b, n, dt, dst, tag, c);
+  wait(r);
+}
+
+void Proxy::recv(void* b, std::size_t n, smpi::Datatype dt, int src, int tag,
+                 smpi::Comm c, smpi::Status* st) {
+  PReq r = irecv(b, n, dt, src, tag, c);
+  wait(r, st);
+}
+
+void Proxy::waitall(std::span<PReq> rs) {
+  for (PReq& r : rs) wait(r);
+}
+
+void Proxy::barrier(smpi::Comm c) {
+  PReq r = ibarrier(c);
+  wait(r);
+}
+
+void Proxy::bcast(void* b, std::size_t n, smpi::Datatype dt, int root,
+                  smpi::Comm c) {
+  PReq r = ibcast(b, n, dt, root, c);
+  wait(r);
+}
+
+void Proxy::reduce(const void* s, void* r, std::size_t n, smpi::Datatype dt,
+                   smpi::Op op, int root, smpi::Comm c) {
+  PReq rq = ireduce(s, r, n, dt, op, root, c);
+  wait(rq);
+}
+
+void Proxy::allreduce(const void* s, void* r, std::size_t n, smpi::Datatype dt,
+                      smpi::Op op, smpi::Comm c) {
+  PReq rq = iallreduce(s, r, n, dt, op, c);
+  wait(rq);
+}
+
+void Proxy::alltoall(const void* s, void* r, std::size_t n_per,
+                     smpi::Datatype dt, smpi::Comm c) {
+  PReq rq = ialltoall(s, r, n_per, dt, c);
+  wait(rq);
+}
+
+void Proxy::allgather(const void* s, void* r, std::size_t n_per,
+                      smpi::Datatype dt, smpi::Comm c) {
+  PReq rq = iallgather(s, r, n_per, dt, c);
+  wait(rq);
+}
+
+smpi::Win Proxy::win_create(void* base, std::size_t bytes, smpi::Comm c) {
+  return rc_.win_create(base, bytes, c);
+}
+void Proxy::win_free(smpi::Win w) { rc_.win_free(w); }
+void Proxy::put(const void* origin, std::size_t bytes, int target,
+                std::size_t target_offset, smpi::Win w) {
+  rc_.put(origin, bytes, target, target_offset, w);
+}
+void Proxy::get(void* origin, std::size_t bytes, int target,
+                std::size_t target_offset, smpi::Win w) {
+  rc_.get(origin, bytes, target, target_offset, w);
+}
+void Proxy::fence(smpi::Win w) { rc_.win_fence(w); }
+
+// ------------------------------------------------------------ DirectProxy ----
+
+namespace {
+PReq wrap(smpi::Request r) { return PReq{static_cast<std::uint64_t>(r.idx)}; }
+smpi::Request unwrap(PReq r) { return smpi::Request{static_cast<int>(r.v)}; }
+}  // namespace
+
+PReq DirectProxy::isend(const void* b, std::size_t n, smpi::Datatype dt,
+                        int dst, int tag, smpi::Comm c) {
+  return wrap(rc_.isend(b, n, dt, dst, tag, c));
+}
+PReq DirectProxy::irecv(void* b, std::size_t n, smpi::Datatype dt, int src,
+                        int tag, smpi::Comm c) {
+  return wrap(rc_.irecv(b, n, dt, src, tag, c));
+}
+void DirectProxy::wait(PReq& r, smpi::Status* st) {
+  smpi::Request rq = unwrap(r);
+  rc_.wait(rq, st);
+  r = wrap(rq);
+}
+bool DirectProxy::test(PReq& r, smpi::Status* st) {
+  smpi::Request rq = unwrap(r);
+  const bool done = rc_.test(rq, st);
+  r = wrap(rq);
+  return done;
+}
+void DirectProxy::waitall(std::span<PReq> rs) {
+  std::vector<smpi::Request> reqs;
+  reqs.reserve(rs.size());
+  for (PReq r : rs) reqs.push_back(unwrap(r));
+  rc_.waitall(reqs);
+  for (std::size_t i = 0; i < rs.size(); ++i) rs[i] = wrap(reqs[i]);
+}
+PReq DirectProxy::ibarrier(smpi::Comm c) { return wrap(rc_.ibarrier(c)); }
+PReq DirectProxy::ibcast(void* b, std::size_t n, smpi::Datatype dt, int root,
+                         smpi::Comm c) {
+  return wrap(rc_.ibcast(b, n, dt, root, c));
+}
+PReq DirectProxy::ireduce(const void* s, void* r, std::size_t n,
+                          smpi::Datatype dt, smpi::Op op, int root,
+                          smpi::Comm c) {
+  return wrap(rc_.ireduce(s, r, n, dt, op, root, c));
+}
+PReq DirectProxy::iallreduce(const void* s, void* r, std::size_t n,
+                             smpi::Datatype dt, smpi::Op op, smpi::Comm c) {
+  return wrap(rc_.iallreduce(s, r, n, dt, op, c));
+}
+PReq DirectProxy::ialltoall(const void* s, void* r, std::size_t n_per,
+                            smpi::Datatype dt, smpi::Comm c) {
+  return wrap(rc_.ialltoall(s, r, n_per, dt, c));
+}
+PReq DirectProxy::iallgather(const void* s, void* r, std::size_t n_per,
+                             smpi::Datatype dt, smpi::Comm c) {
+  return wrap(rc_.iallgather(s, r, n_per, dt, c));
+}
+
+// ------------------------------------------------------------ IprobeProxy ----
+
+void IprobeProxy::progress_hint() {
+  rc_.iprobe(smpi::kAnySource, smpi::kAnyTag, smpi::kCommWorld, nullptr);
+}
+
+// ---------------------------------------------------------- CommSelfProxy ----
+
+void CommSelfProxy::start() {
+  if (rc_.thread_level() != smpi::ThreadLevel::kMultiple) {
+    throw std::logic_error("comm-self requires MPI_THREAD_MULTIPLE");
+  }
+  // Duplicate COMM_SELF (purely local) and park a thread in a blocking
+  // receive on it. The matching send is only posted by stop().
+  progress_comm_ = rc_.comm_dup(smpi::kCommSelf);
+  running_ = true;
+  smpi::RankCtx* rc = &rc_;
+  auto* self = this;
+  rc_.cluster().spawn_on(rc_.rank(), "rank" + std::to_string(rc_.rank()) + ".commself",
+                         [rc, self]() {
+                           rc->recv(&self->recv_token_, 1, smpi::Datatype::kByte,
+                                    0, 0, self->progress_comm_, nullptr);
+                           self->running_ = false;
+                         });
+}
+
+void CommSelfProxy::stop() {
+  if (!running_) return;
+  // Unblock the progress thread by satisfying its receive.
+  stop_token_ = 1;
+  rc_.send(&stop_token_, 1, smpi::Datatype::kByte, 0, 0, progress_comm_);
+  // Let the progress fiber observe completion and exit.
+  while (running_) sim::advance(sim::Time::from_ns(100));
+}
+
+// ----------------------------------------------------------- OffloadProxy ----
+
+OffloadProxy::OffloadProxy(smpi::RankCtx& rc, std::size_t ring_capacity,
+                           std::uint32_t pool_capacity)
+    : Proxy(rc), channel_(rc, ring_capacity, pool_capacity) {}
+
+void OffloadProxy::start() {
+  auto* ch = &channel_;
+  engine_fiber_ = &rc_.cluster().spawn_on(
+      rc_.rank(), "rank" + std::to_string(rc_.rank()) + ".offload",
+      [ch]() { ch->engine_main(); });
+}
+
+void OffloadProxy::stop() {
+  channel_.shutdown();
+  while (engine_fiber_ != nullptr && !engine_fiber_->done()) {
+    sim::advance(sim::Time::from_ns(100));
+  }
+}
+
+namespace {
+Command base_cmd(CmdOp op, smpi::Comm c) {
+  Command cmd;
+  cmd.op = op;
+  cmd.comm = c;
+  return cmd;
+}
+}  // namespace
+
+PReq OffloadProxy::isend(const void* b, std::size_t n, smpi::Datatype dt,
+                         int dst, int tag, smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kIsend, c);
+  cmd.sbuf = b;
+  cmd.count = n;
+  cmd.dtype = dt;
+  cmd.peer = dst;
+  cmd.tag = tag;
+  return PReq{channel_.submit(cmd)};
+}
+PReq OffloadProxy::irecv(void* b, std::size_t n, smpi::Datatype dt, int src,
+                         int tag, smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kIrecv, c);
+  cmd.rbuf = b;
+  cmd.count = n;
+  cmd.dtype = dt;
+  cmd.peer = src;
+  cmd.tag = tag;
+  return PReq{channel_.submit(cmd)};
+}
+void OffloadProxy::wait(PReq& r, smpi::Status* st) {
+  channel_.wait_done(static_cast<std::uint32_t>(r.v), st);
+}
+bool OffloadProxy::test(PReq& r, smpi::Status* st) {
+  return channel_.test_done(static_cast<std::uint32_t>(r.v), st);
+}
+PReq OffloadProxy::ibarrier(smpi::Comm c) {
+  return PReq{channel_.submit(base_cmd(CmdOp::kIbarrier, c))};
+}
+PReq OffloadProxy::ibcast(void* b, std::size_t n, smpi::Datatype dt, int root,
+                          smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kIbcast, c);
+  cmd.rbuf = b;
+  cmd.count = n;
+  cmd.dtype = dt;
+  cmd.peer = root;
+  return PReq{channel_.submit(cmd)};
+}
+PReq OffloadProxy::ireduce(const void* s, void* r, std::size_t n,
+                           smpi::Datatype dt, smpi::Op op, int root,
+                           smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kIreduce, c);
+  cmd.sbuf = s;
+  cmd.rbuf = r;
+  cmd.count = n;
+  cmd.dtype = dt;
+  cmd.rop = op;
+  cmd.peer = root;
+  return PReq{channel_.submit(cmd)};
+}
+PReq OffloadProxy::iallreduce(const void* s, void* r, std::size_t n,
+                              smpi::Datatype dt, smpi::Op op, smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kIallreduce, c);
+  cmd.sbuf = s;
+  cmd.rbuf = r;
+  cmd.count = n;
+  cmd.dtype = dt;
+  cmd.rop = op;
+  return PReq{channel_.submit(cmd)};
+}
+PReq OffloadProxy::ialltoall(const void* s, void* r, std::size_t n_per,
+                             smpi::Datatype dt, smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kIalltoall, c);
+  cmd.sbuf = s;
+  cmd.rbuf = r;
+  cmd.count = n_per;
+  cmd.dtype = dt;
+  return PReq{channel_.submit(cmd)};
+}
+PReq OffloadProxy::iallgather(const void* s, void* r, std::size_t n_per,
+                              smpi::Datatype dt, smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kIallgather, c);
+  cmd.sbuf = s;
+  cmd.rbuf = r;
+  cmd.count = n_per;
+  cmd.dtype = dt;
+  return PReq{channel_.submit(cmd)};
+}
+
+smpi::Win OffloadProxy::win_create(void* base, std::size_t bytes, smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kWinCreate, c);
+  cmd.rbuf = base;
+  cmd.count = bytes;
+  smpi::Win out;
+  cmd.win_out = &out;
+  channel_.wait_done(channel_.submit(cmd));
+  return out;
+}
+void OffloadProxy::win_free(smpi::Win w) {
+  Command cmd = base_cmd(CmdOp::kWinFree, smpi::kCommWorld);
+  cmd.win = w;
+  channel_.wait_done(channel_.submit(cmd));
+}
+void OffloadProxy::put(const void* origin, std::size_t bytes, int target,
+                       std::size_t target_offset, smpi::Win w) {
+  Command cmd = base_cmd(CmdOp::kPut, smpi::kCommWorld);
+  cmd.sbuf = origin;
+  cmd.count = bytes;
+  cmd.peer = target;
+  cmd.offset = target_offset;
+  cmd.win = w;
+  // Fire-and-forget at the MPI level: the engine completes the proxy slot as
+  // soon as the put is injected; remote completion is the fence's job.
+  channel_.wait_done(channel_.submit(cmd));
+}
+void OffloadProxy::get(void* origin, std::size_t bytes, int target,
+                       std::size_t target_offset, smpi::Win w) {
+  Command cmd = base_cmd(CmdOp::kGet, smpi::kCommWorld);
+  cmd.rbuf = origin;
+  cmd.count = bytes;
+  cmd.peer = target;
+  cmd.offset = target_offset;
+  cmd.win = w;
+  channel_.wait_done(channel_.submit(cmd));
+}
+void OffloadProxy::fence(smpi::Win w) {
+  Command cmd = base_cmd(CmdOp::kIfence, smpi::kCommWorld);
+  cmd.win = w;
+  channel_.wait_done(channel_.submit(cmd));
+}
+
+// ---------------------------------------------------------------- factory ----
+
+std::unique_ptr<Proxy> make_proxy(Approach a, smpi::RankCtx& rc) {
+  switch (a) {
+    case Approach::kBaseline:
+      return std::make_unique<DirectProxy>(rc);
+    case Approach::kIprobe:
+      return std::make_unique<IprobeProxy>(rc);
+    case Approach::kCommSelf:
+      return std::make_unique<CommSelfProxy>(rc);
+    case Approach::kOffload:
+      return std::make_unique<OffloadProxy>(rc);
+  }
+  throw std::logic_error("unknown approach");
+}
+
+}  // namespace core

@@ -1,0 +1,223 @@
+// Proxy — one interface, four communication approaches (paper Sections 2-3).
+//
+// Applications and benchmarks are written once against Proxy; selecting the
+// approach at run time reproduces the paper's property that no application
+// change is needed (the paper uses LD_PRELOAD interposition; we own the MPI
+// library, so a vtable stands in for the PLT).
+//
+//   baseline  — direct MPI calls from the application thread(s).
+//   iprobe    — baseline + progress_hint() mapped to MPI_Iprobe (the
+//               PROGRESS macro of Listing 1).
+//   comm-self — spawns a progress thread blocked in MPI_Recv on a duplicated
+//               COMM_SELF; requires MPI_THREAD_MULTIPLE.
+//   offload   — the paper's contribution: all calls serialized to the
+//               dedicated offload thread via the lock-free command ring.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/offload_engine.hpp"
+#include "mpi/rank_ctx.hpp"
+#include "mpi/types.hpp"
+
+namespace core {
+
+/// Approach selector.
+enum class Approach : std::uint8_t {
+  kBaseline,
+  kIprobe,
+  kCommSelf,
+  kOffload,
+};
+
+const char* approach_name(Approach a);
+/// Parse "baseline" / "iprobe" / "commself" / "offload".
+Approach approach_from_string(const std::string& s);
+/// Thread level the underlying MPI must be initialized with.
+smpi::ThreadLevel required_thread_level(Approach a);
+
+/// Proxy-level request handle. Meaning is proxy-specific (real smpi request
+/// index for direct proxies; RequestPool slot for offload).
+struct PReq {
+  std::uint64_t v = 0;
+};
+
+class Proxy {
+ public:
+  explicit Proxy(smpi::RankCtx& rc) : rc_(rc) {}
+  virtual ~Proxy() = default;
+
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  [[nodiscard]] smpi::RankCtx& rank_ctx() { return rc_; }
+  [[nodiscard]] virtual Approach approach() const = 0;
+
+  /// Spawn helper threads (comm-self progress thread / offload engine).
+  virtual void start() {}
+  /// Drain and join helper threads. Must be called before the rank exits.
+  virtual void stop() {}
+
+  // ---- point-to-point ----
+  virtual PReq isend(const void* b, std::size_t n, smpi::Datatype dt, int dst,
+                     int tag, smpi::Comm c = smpi::kCommWorld) = 0;
+  virtual PReq irecv(void* b, std::size_t n, smpi::Datatype dt, int src,
+                     int tag, smpi::Comm c = smpi::kCommWorld) = 0;
+  virtual void send(const void* b, std::size_t n, smpi::Datatype dt, int dst,
+                    int tag, smpi::Comm c = smpi::kCommWorld);
+  virtual void recv(void* b, std::size_t n, smpi::Datatype dt, int src, int tag,
+                    smpi::Comm c = smpi::kCommWorld, smpi::Status* st = nullptr);
+
+  // ---- completion ----
+  virtual void wait(PReq& r, smpi::Status* st = nullptr) = 0;
+  virtual bool test(PReq& r, smpi::Status* st = nullptr) = 0;
+  virtual void waitall(std::span<PReq> rs);
+
+  // ---- collectives ----
+  virtual void barrier(smpi::Comm c = smpi::kCommWorld);
+  virtual PReq ibarrier(smpi::Comm c = smpi::kCommWorld) = 0;
+  virtual void bcast(void* b, std::size_t n, smpi::Datatype dt, int root,
+                     smpi::Comm c = smpi::kCommWorld);
+  virtual PReq ibcast(void* b, std::size_t n, smpi::Datatype dt, int root,
+                      smpi::Comm c = smpi::kCommWorld) = 0;
+  virtual void reduce(const void* s, void* r, std::size_t n, smpi::Datatype dt,
+                      smpi::Op op, int root, smpi::Comm c = smpi::kCommWorld);
+  virtual PReq ireduce(const void* s, void* r, std::size_t n, smpi::Datatype dt,
+                       smpi::Op op, int root, smpi::Comm c = smpi::kCommWorld) = 0;
+  virtual void allreduce(const void* s, void* r, std::size_t n,
+                         smpi::Datatype dt, smpi::Op op,
+                         smpi::Comm c = smpi::kCommWorld);
+  virtual PReq iallreduce(const void* s, void* r, std::size_t n,
+                          smpi::Datatype dt, smpi::Op op,
+                          smpi::Comm c = smpi::kCommWorld) = 0;
+  virtual void alltoall(const void* s, void* r, std::size_t n_per,
+                        smpi::Datatype dt, smpi::Comm c = smpi::kCommWorld);
+  virtual PReq ialltoall(const void* s, void* r, std::size_t n_per,
+                         smpi::Datatype dt, smpi::Comm c = smpi::kCommWorld) = 0;
+  virtual void allgather(const void* s, void* r, std::size_t n_per,
+                         smpi::Datatype dt, smpi::Comm c = smpi::kCommWorld);
+  virtual PReq iallgather(const void* s, void* r, std::size_t n_per,
+                          smpi::Datatype dt, smpi::Comm c = smpi::kCommWorld) = 0;
+
+  // ---- one-sided (RMA) ----
+  virtual smpi::Win win_create(void* base, std::size_t bytes,
+                               smpi::Comm c = smpi::kCommWorld);
+  virtual void win_free(smpi::Win w);
+  virtual void put(const void* origin, std::size_t bytes, int target,
+                   std::size_t target_offset, smpi::Win w);
+  virtual void get(void* origin, std::size_t bytes, int target,
+                   std::size_t target_offset, smpi::Win w);
+  virtual void fence(smpi::Win w);
+
+  /// Hook the application sprinkles into compute loops (Listing 1's
+  /// PROGRESS). No-op except for the iprobe approach.
+  virtual void progress_hint() {}
+
+  /// Number of threads left for application compute out of `cores`
+  /// (approaches with a dedicated communication thread consume one).
+  [[nodiscard]] virtual int compute_threads(int cores) const { return cores; }
+
+ protected:
+  smpi::RankCtx& rc_;
+};
+
+/// Direct-call proxy (baseline); also the base for iprobe and comm-self.
+class DirectProxy : public Proxy {
+ public:
+  using Proxy::Proxy;
+  [[nodiscard]] Approach approach() const override { return Approach::kBaseline; }
+
+  PReq isend(const void* b, std::size_t n, smpi::Datatype dt, int dst, int tag,
+             smpi::Comm c = smpi::kCommWorld) override;
+  PReq irecv(void* b, std::size_t n, smpi::Datatype dt, int src, int tag,
+             smpi::Comm c = smpi::kCommWorld) override;
+  void wait(PReq& r, smpi::Status* st = nullptr) override;
+  bool test(PReq& r, smpi::Status* st = nullptr) override;
+  void waitall(std::span<PReq> rs) override;
+  PReq ibarrier(smpi::Comm c = smpi::kCommWorld) override;
+  PReq ibcast(void* b, std::size_t n, smpi::Datatype dt, int root,
+              smpi::Comm c = smpi::kCommWorld) override;
+  PReq ireduce(const void* s, void* r, std::size_t n, smpi::Datatype dt,
+               smpi::Op op, int root, smpi::Comm c = smpi::kCommWorld) override;
+  PReq iallreduce(const void* s, void* r, std::size_t n, smpi::Datatype dt,
+                  smpi::Op op, smpi::Comm c = smpi::kCommWorld) override;
+  PReq ialltoall(const void* s, void* r, std::size_t n_per, smpi::Datatype dt,
+                 smpi::Comm c = smpi::kCommWorld) override;
+  PReq iallgather(const void* s, void* r, std::size_t n_per, smpi::Datatype dt,
+                  smpi::Comm c = smpi::kCommWorld) override;
+};
+
+class IprobeProxy : public DirectProxy {
+ public:
+  using DirectProxy::DirectProxy;
+  [[nodiscard]] Approach approach() const override { return Approach::kIprobe; }
+  void progress_hint() override;
+};
+
+class CommSelfProxy : public DirectProxy {
+ public:
+  using DirectProxy::DirectProxy;
+  [[nodiscard]] Approach approach() const override { return Approach::kCommSelf; }
+  void start() override;
+  void stop() override;
+  [[nodiscard]] int compute_threads(int cores) const override {
+    return cores > 1 ? cores - 1 : cores;
+  }
+
+ private:
+  smpi::Comm progress_comm_{};
+  bool running_ = false;
+  char stop_token_ = 0;
+  char recv_token_ = 0;
+};
+
+class OffloadProxy : public Proxy {
+ public:
+  explicit OffloadProxy(smpi::RankCtx& rc, std::size_t ring_capacity = 1024,
+                        std::uint32_t pool_capacity = 4096);
+  [[nodiscard]] Approach approach() const override { return Approach::kOffload; }
+  void start() override;
+  void stop() override;
+  [[nodiscard]] int compute_threads(int cores) const override {
+    return cores > 1 ? cores - 1 : cores;
+  }
+  [[nodiscard]] OffloadChannel& channel() { return channel_; }
+
+  smpi::Win win_create(void* base, std::size_t bytes, smpi::Comm c) override;
+  void win_free(smpi::Win w) override;
+  void put(const void* origin, std::size_t bytes, int target,
+           std::size_t target_offset, smpi::Win w) override;
+  void get(void* origin, std::size_t bytes, int target,
+           std::size_t target_offset, smpi::Win w) override;
+  void fence(smpi::Win w) override;
+
+  PReq isend(const void* b, std::size_t n, smpi::Datatype dt, int dst, int tag,
+             smpi::Comm c = smpi::kCommWorld) override;
+  PReq irecv(void* b, std::size_t n, smpi::Datatype dt, int src, int tag,
+             smpi::Comm c = smpi::kCommWorld) override;
+  void wait(PReq& r, smpi::Status* st = nullptr) override;
+  bool test(PReq& r, smpi::Status* st = nullptr) override;
+  PReq ibarrier(smpi::Comm c = smpi::kCommWorld) override;
+  PReq ibcast(void* b, std::size_t n, smpi::Datatype dt, int root,
+              smpi::Comm c = smpi::kCommWorld) override;
+  PReq ireduce(const void* s, void* r, std::size_t n, smpi::Datatype dt,
+               smpi::Op op, int root, smpi::Comm c = smpi::kCommWorld) override;
+  PReq iallreduce(const void* s, void* r, std::size_t n, smpi::Datatype dt,
+                  smpi::Op op, smpi::Comm c = smpi::kCommWorld) override;
+  PReq ialltoall(const void* s, void* r, std::size_t n_per, smpi::Datatype dt,
+                 smpi::Comm c = smpi::kCommWorld) override;
+  PReq iallgather(const void* s, void* r, std::size_t n_per, smpi::Datatype dt,
+                  smpi::Comm c = smpi::kCommWorld) override;
+
+ private:
+  OffloadChannel channel_;
+  sim::Fiber* engine_fiber_ = nullptr;
+};
+
+/// Factory; caller picks the approach per rank (all ranks should agree).
+std::unique_ptr<Proxy> make_proxy(Approach a, smpi::RankCtx& rc);
+
+}  // namespace core

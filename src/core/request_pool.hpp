@@ -1,0 +1,119 @@
+// Lock-free pool of proxy MPI_Request objects (paper Section 3.1/3.3).
+//
+// A nonblocking offloaded call must return a request handle before the
+// offload thread has issued the real MPI call, so the library hands out
+// slots from this pre-allocated pool; the slot index *is* the application's
+// MPI_Request. The free list is an array-based Treiber stack whose head
+// packs a 32-bit ABA tag next to the 32-bit slot index, making alloc/free
+// safe for concurrent application threads (MPI_THREAD_MULTIPLE).
+//
+// Completion protocol: the offload thread writes the Status, then stores
+// `done` with release; application threads spin on `done` with acquire.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+namespace core {
+
+class RequestPool {
+ public:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  explicit RequestPool(std::uint32_t capacity) : slots_(capacity) {
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      slots_[i].next.store(i + 1 < capacity ? i + 1 : kNil,
+                           std::memory_order_relaxed);
+    }
+    head_.store(pack(0, 0), std::memory_order_relaxed);
+  }
+
+  RequestPool(const RequestPool&) = delete;
+  RequestPool& operator=(const RequestPool&) = delete;
+
+  /// Pop a free slot; returns kNil when exhausted.
+  std::uint32_t alloc() {
+    std::uint64_t h = head_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t idx = index_of(h);
+      if (idx == kNil) return kNil;
+      const std::uint32_t next = slots_[idx].next.load(std::memory_order_relaxed);
+      const std::uint64_t nh = pack(next, tag_of(h) + 1);
+      if (head_.compare_exchange_weak(h, nh, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        slots_[idx].done.store(0, std::memory_order_relaxed);
+        slots_[idx].status = smpi::Status{};
+        return idx;
+      }
+    }
+  }
+
+  /// Return a slot to the pool. The caller must own it (completed request).
+  void free(std::uint32_t idx) {
+    if (idx >= slots_.size()) throw std::out_of_range("RequestPool::free");
+    std::uint64_t h = head_.load(std::memory_order_acquire);
+    for (;;) {
+      slots_[idx].next.store(index_of(h), std::memory_order_relaxed);
+      const std::uint64_t nh = pack(idx, tag_of(h) + 1);
+      if (head_.compare_exchange_weak(h, nh, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  /// Offload-thread side: publish completion.
+  void complete(std::uint32_t idx, const smpi::Status& st) {
+    slots_[idx].status = st;
+    slots_[idx].done.store(1, std::memory_order_release);
+  }
+
+  /// Application side: has the request completed?
+  [[nodiscard]] bool done(std::uint32_t idx) const {
+    return slots_[idx].done.load(std::memory_order_acquire) != 0;
+  }
+  [[nodiscard]] const smpi::Status& status(std::uint32_t idx) const {
+    return slots_[idx].status;
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  /// Number of free slots (O(n); for tests only, quiescent state).
+  [[nodiscard]] std::uint32_t free_count() const {
+    std::uint32_t n = 0;
+    std::uint32_t idx = index_of(head_.load(std::memory_order_acquire));
+    while (idx != kNil) {
+      ++n;
+      idx = slots_[idx].next.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> done{0};
+    smpi::Status status;
+    std::atomic<std::uint32_t> next{kNil};
+  };
+
+  static std::uint64_t pack(std::uint32_t idx, std::uint32_t tag) {
+    return (static_cast<std::uint64_t>(tag) << 32) | idx;
+  }
+  static std::uint32_t index_of(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h & 0xffffffffu);
+  }
+  static std::uint32_t tag_of(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h >> 32);
+  }
+
+  std::vector<Slot> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace core

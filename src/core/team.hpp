@@ -1,0 +1,111 @@
+// Team — an OpenMP-style persistent thread team for one rank.
+//
+// Models the `#pragma omp parallel` regions of Listing 1: `nthreads` fibers
+// (the calling fiber is thread 0, the "master") execute a body in lockstep
+// regions separated by team barriers. Workers are persistent across regions
+// so large iteration counts do not accumulate fiber stacks.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+#include "sim/sync.hpp"
+
+namespace core {
+
+class Team {
+ public:
+  /// Spawns nthreads-1 persistent worker fibers on `rc`'s rank.
+  Team(smpi::RankCtx& rc, int nthreads,
+       sim::Time barrier_entry_cost = sim::Time::from_ns(150))
+      : rc_(rc),
+        nthreads_(nthreads),
+        barrier_(nthreads, barrier_entry_cost) {
+    if (nthreads < 1) throw std::invalid_argument("Team needs >= 1 thread");
+    workers_done_ = 0;
+    for (int t = 1; t < nthreads; ++t) {
+      rc.cluster().spawn_on(
+          rc.rank(),
+          "rank" + std::to_string(rc.rank()) + ".omp" + std::to_string(t),
+          [this, t]() { worker_loop(t); });
+    }
+  }
+
+  ~Team() {
+    if (!stopped_) shutdown();
+  }
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  [[nodiscard]] int nthreads() const { return nthreads_; }
+
+  /// Run `body(tid)` on every team thread; the caller participates as tid 0.
+  /// Returns when all threads have finished the region.
+  void parallel(const std::function<void(int)>& body) {
+    if (stopped_) throw std::logic_error("Team already shut down");
+    body_ = &body;
+    ++region_;
+    work_avail_.signal();
+    body(0);
+    // Join: wait for all workers to report region completion.
+    while (workers_finished_ != nthreads_ - 1) {
+      const std::uint64_t seen = region_done_.count();
+      if (workers_finished_ == nthreads_ - 1) break;
+      region_done_.wait_beyond(seen);
+    }
+    workers_finished_ = 0;
+    body_ = nullptr;
+  }
+
+  /// Team barrier usable inside a parallel region.
+  void barrier() { barrier_.arrive_and_wait(); }
+
+  /// Terminate the worker fibers (called automatically by the destructor).
+  void shutdown() {
+    stopped_ = true;
+    ++region_;
+    work_avail_.signal();
+    while (workers_done_ != nthreads_ - 1) {
+      const std::uint64_t seen = worker_exit_.count();
+      if (workers_done_ == nthreads_ - 1) break;
+      worker_exit_.wait_beyond(seen);
+    }
+  }
+
+ private:
+  void worker_loop(int tid) {
+    std::uint64_t my_region = 0;
+    for (;;) {
+      while (region_ == my_region) {
+        const std::uint64_t seen = work_avail_.count();
+        if (region_ != my_region) break;
+        work_avail_.wait_beyond(seen);
+      }
+      my_region = region_;
+      if (stopped_) break;
+      (*body_)(tid);
+      ++workers_finished_;
+      region_done_.signal();
+    }
+    ++workers_done_;
+    worker_exit_.signal();
+  }
+
+  smpi::RankCtx& rc_;
+  int nthreads_;
+  sim::Barrier barrier_;
+  const std::function<void(int)>* body_ = nullptr;
+  std::uint64_t region_ = 0;
+  int workers_finished_ = 0;
+  int workers_done_ = 0;
+  bool stopped_ = false;
+  sim::Notifier work_avail_{sim::Time::from_ns(60)};
+  sim::Notifier region_done_{sim::Time::from_ns(60)};
+  sim::Notifier worker_exit_{sim::Time::from_ns(60)};
+};
+
+}  // namespace core

@@ -1,0 +1,69 @@
+#include "machine/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace machine {
+
+namespace {
+/// Minimum bytes a message occupies on the wire (headers/flits).
+constexpr std::size_t kMinWireBytes = 64;
+}  // namespace
+
+Network::Network(sim::Engine& engine, const Profile& profile, int nranks)
+    : engine_(engine),
+      profile_(profile),
+      nranks_(nranks),
+      egress_free_(static_cast<std::size_t>(nranks), sim::Time::zero()),
+      ingress_free_(static_cast<std::size_t>(nranks), sim::Time::zero()),
+      handlers_(static_cast<std::size_t>(nranks)) {}
+
+void Network::set_delivery_handler(int rank, DeliveryHandler handler) {
+  handlers_.at(static_cast<std::size_t>(rank)) = std::move(handler);
+}
+
+void Network::send(NetMessage&& msg) {
+  assert(msg.src >= 0 && msg.src < nranks_);
+  assert(msg.dst >= 0 && msg.dst < nranks_);
+  const std::size_t wire = std::max(msg.wire_bytes, kMinWireBytes);
+  const sim::Time ser = profile_.wire_cost(wire);
+  const sim::Time now = engine_.now();
+
+  ++stats_.messages;
+  stats_.bytes += wire;
+
+  auto& eg = egress_free_[static_cast<std::size_t>(msg.src)];
+  const sim::Time depart = std::max(now, eg);
+  eg = depart + ser;
+
+  // Shared-fabric constraint: the message also occupies the aggregate
+  // bisection for bytes/bisection_bw (tapered networks only).
+  sim::Time reach = depart + ser + profile_.net_latency;
+  if (profile_.bisection_bytes_per_ns > 0) {
+    const sim::Time fser(static_cast<std::int64_t>(
+        static_cast<double>(wire) / profile_.bisection_bytes_per_ns));
+    const sim::Time fstart = std::max(depart + ser, fabric_free_);
+    fabric_free_ = fstart + fser;
+    reach = std::max(reach, fabric_free_ + profile_.net_latency);
+  }
+
+  auto& in = ingress_free_[static_cast<std::size_t>(msg.dst)];
+  const sim::Time deliver = std::max(reach, in + ser);
+  in = deliver;
+
+  // The handler lookup is deferred to delivery time so handlers can be
+  // (re)registered while traffic is in flight.
+  auto boxed = std::make_shared<NetMessage>(std::move(msg));
+  engine_.call_at(deliver, [this, boxed]() {
+    auto& h = handlers_[static_cast<std::size_t>(boxed->dst)];
+    if (!h) {
+      throw std::logic_error("network delivery to rank without handler");
+    }
+    h(std::move(*boxed));
+  });
+}
+
+}  // namespace machine

@@ -1,0 +1,77 @@
+// Simulated interconnect.
+//
+// Model: every rank owns a NIC with one egress and one ingress queue. A
+// message departs when the egress link is free, occupies it for
+// bytes/bandwidth, traverses the wire (fixed latency), then occupies the
+// destination ingress link for bytes/bandwidth before delivery. This
+// reproduces the two first-order fabric behaviours the paper's evaluation
+// depends on:
+//   * per-NIC serialization — alltoall bandwidth per node does not scale
+//     with node count (paper Sec. 5.2), incast contends at the receiver;
+//   * in-order delivery per (src,dst) pair — MPI's non-overtaking rule.
+//
+// Crucially the network itself progresses autonomously in virtual time (it
+// is hardware), while *software* protocol actions (matching, copies,
+// rendezvous handshakes) only happen when a fiber is inside the MPI library.
+// That split is what makes the paper's asynchronous-progress problem exist
+// in the simulator at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "machine/profile.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace machine {
+
+/// A wire-level message. The MPI layer defines the meaning of `kind` and the
+/// header words; the network treats them opaquely.
+struct NetMessage {
+  int src = -1;
+  int dst = -1;
+  std::uint32_t kind = 0;
+  std::uint64_t h0 = 0, h1 = 0, h2 = 0, h3 = 0;  ///< protocol header words
+  std::vector<std::byte> payload;                ///< inline (eager) data
+  std::size_t wire_bytes = 0;                    ///< bytes charged on the wire
+};
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  using DeliveryHandler = std::function<void(NetMessage&&)>;
+
+  Network(sim::Engine& engine, const Profile& profile, int nranks);
+
+  /// Register the inbox handler for a rank. The handler runs in scheduler
+  /// context at delivery time and must not block.
+  void set_delivery_handler(int rank, DeliveryHandler handler);
+
+  /// Inject a message. Called from a fiber or scheduler context at the time
+  /// the NIC doorbell rings (CPU cost of the doorbell is charged by the
+  /// caller). Transmission and delivery are autonomous from this point.
+  void send(NetMessage&& msg);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] const Profile& profile() const { return profile_; }
+
+ private:
+  sim::Engine& engine_;
+  Profile profile_;
+  int nranks_;
+  std::vector<sim::Time> egress_free_;
+  std::vector<sim::Time> ingress_free_;
+  sim::Time fabric_free_;
+  std::vector<DeliveryHandler> handlers_;
+  NetworkStats stats_;
+};
+
+}  // namespace machine

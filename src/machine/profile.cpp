@@ -1,0 +1,57 @@
+#include "machine/profile.hpp"
+
+namespace machine {
+
+Profile xeon_fdr() {
+  Profile p;
+  p.name = "xeon_fdr";
+  // Defaults in the struct are the Xeon/FDR calibration.
+  return p;
+}
+
+Profile xeon_phi() {
+  Profile p;
+  p.name = "xeon_phi";
+  p.cores_per_rank = 60;  // 61 cores, one reserved for the OS
+  // In-order 1.1 GHz cores: scalar software paths run ~5x slower than the
+  // Haswell Xeon, single-thread copy bandwidth is much lower.
+  p.copy_bytes_per_ns = 2.0;
+  p.mpi_call_overhead = sim::Time(1200);
+  p.mpi_match_cost = sim::Time(600);
+  p.mpi_progress_poll_cost = sim::Time(400);
+  p.rndv_handshake_cpu = sim::Time(1500);
+  p.thread_multiple_entry = sim::Time(4500);
+  p.big_lock_acquire = sim::Time(600);
+  p.big_lock_slice = sim::Time(2000);
+  p.net_latency = sim::Time(1500);   // PCIe hop adds latency
+  p.net_bytes_per_ns = 5.0;
+  p.nic_doorbell = sim::Time(900);
+  p.cmd_enqueue = sim::Time(350);    // paper: offload overhead ~1.7 us on Phi
+  p.cmd_dequeue = sim::Time(250);
+  p.cmd_detect = sim::Time(200);
+  p.done_flag_check = sim::Time(100);
+  p.done_flag_detect = sim::Time(200);
+  p.request_pool_op = sim::Time(75);
+  return p;
+}
+
+Profile aries_corespec() {
+  Profile p = aries();
+  p.name = "aries_corespec";
+  p.thread_multiple_entry = sim::Time(500);
+  p.big_lock_slice = sim::Time(150);
+  p.big_lock_acquire = sim::Time(60);
+  return p;
+}
+
+Profile aries() {
+  Profile p;
+  p.name = "aries";
+  p.cores_per_rank = 12;  // Edison: dual-socket 12-core IvyBridge, rank/socket
+  p.net_latency = sim::Time(500);
+  p.net_bytes_per_ns = 8.0;
+  p.mpi_call_overhead = sim::Time(300);
+  return p;
+}
+
+}  // namespace machine

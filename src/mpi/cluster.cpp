@@ -1,0 +1,63 @@
+#include "mpi/cluster.hpp"
+
+#include <stdexcept>
+
+namespace smpi {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(std::move(cfg)), engine_(), net_(engine_, cfg_.profile, cfg_.nranks) {
+  if (cfg_.nranks < 1) throw std::invalid_argument("nranks must be >= 1");
+  ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    ranks_.push_back(std::make_unique<RankCtx>(*this, r, cfg_.thread_level));
+    RankCtx* rc = ranks_.back().get();
+    net_.set_delivery_handler(r, [rc](machine::NetMessage&& m) {
+      rc->deliver(std::move(m));
+    });
+  }
+}
+
+Cluster::~Cluster() = default;
+
+sim::Fiber& Cluster::spawn_on(int rank, std::string name,
+                              std::function<void()> body) {
+  RankCtx* rc = ranks_.at(static_cast<std::size_t>(rank)).get();
+  sim::Fiber& f = engine_.spawn(std::move(name), std::move(body));
+  f.set_user_data(rc);
+  return f;
+}
+
+sim::Time Cluster::run(std::function<void(RankCtx&)> rank_main) {
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    RankCtx* rc = ranks_[static_cast<std::size_t>(r)].get();
+    spawn_on(r, "rank" + std::to_string(r) + ".main",
+             [rc, rank_main]() { rank_main(*rc); });
+  }
+  const sim::Time end = engine_.run_until(cfg_.deadline);
+  if (!engine_.all_fibers_done()) {
+    std::string who;
+    for (const auto& n : engine_.unfinished_fibers()) {
+      who += ' ';
+      who += n;
+    }
+    throw std::runtime_error(
+        (end >= cfg_.deadline ? "simulation deadline exceeded; stuck fibers:"
+                              : "simulated deadlock; stuck fibers:") +
+        who);
+  }
+  return end;
+}
+
+RankCtx& Cluster::here() {
+  sim::Engine* e = sim::Engine::current();
+  if (e == nullptr || e->current_fiber() == nullptr) {
+    throw std::logic_error("smpi call outside a cluster fiber");
+  }
+  void* p = e->current_fiber()->user_data();
+  if (p == nullptr) {
+    throw std::logic_error("calling fiber is not bound to an MPI rank");
+  }
+  return *static_cast<RankCtx*>(p);
+}
+
+}  // namespace smpi

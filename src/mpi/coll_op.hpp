@@ -1,0 +1,59 @@
+// Nonblocking-collective schedules.
+//
+// A collective is compiled (per rank) into a list of stages. Each stage posts
+// a set of internal point-to-point operations; when they all complete, an
+// optional local computation runs (e.g. a reduction combine) and the next
+// stage is posted. The schedule advances only inside the progress engine —
+// i.e. only while some thread is in the MPI library — which is exactly why
+// nonblocking collectives need asynchronous progress (paper Fig. 3/5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mpi/types.hpp"
+#include "sim/time.hpp"
+
+namespace smpi {
+
+class RankCtx;
+
+struct CollStage {
+  struct SendItem {
+    int dst;  ///< comm rank
+    const void* buf;
+    std::size_t bytes;
+  };
+  struct RecvItem {
+    int src;  ///< comm rank
+    void* buf;
+    std::size_t bytes;
+  };
+  std::vector<SendItem> sends;
+  std::vector<RecvItem> recvs;
+  /// Local work after the stage's messages complete (reduction combines,
+  /// copy-outs). Runs on the fiber driving progress; may advance the clock.
+  std::function<void(RankCtx&)> on_complete;
+};
+
+struct CollOp {
+  Comm comm{};
+  /// Optional gate: the next stage (and final completion) is held back until
+  /// this returns true. Used by ifence to drain outstanding RMA first.
+  std::function<bool(RankCtx&)> gate;
+  std::uint64_t seq = 0;  ///< per-comm collective sequence number (tag base)
+  std::vector<CollStage> stages;
+  std::size_t cur = 0;
+  bool stage_posted = false;
+  std::vector<Request> pending;  ///< internal requests of the current stage
+  /// Scratch buffers owned by the schedule (accumulators, pack buffers).
+  std::vector<std::vector<std::byte>> temps;
+  /// Final copy-out / epilogue, run once when the last stage completes.
+  std::function<void(RankCtx&)> on_finish;
+
+  std::byte* temp(std::size_t i) { return temps[i].data(); }
+};
+
+}  // namespace smpi

@@ -1,0 +1,14 @@
+// Datatype sizes and reduction-operator application.
+#pragma once
+
+#include <cstddef>
+
+#include "mpi/types.hpp"
+
+namespace smpi {
+
+/// Apply `inout[i] = op(inout[i], in[i])` elementwise over `count` elements
+/// of type `dt`. Complex types support kSum and kProd only.
+void apply_op(Op op, Datatype dt, const void* in, void* inout, std::size_t count);
+
+}  // namespace smpi

@@ -1,0 +1,65 @@
+// MpiEntry — RAII guard for one entry into the MPI library.
+//
+// Charges the per-call software overhead and, under THREAD_MULTIPLE, the
+// extra atomic/locking cost plus the global lock itself. Blocking waits must
+// release the lock while sleeping (unlock_for_sleep/relock), which is how
+// real big-lock MPIs let a progress thread run while another thread blocks.
+#pragma once
+
+#include "machine/profile.hpp"
+#include "mpi/rank_ctx.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace smpi {
+
+class MpiEntry {
+ public:
+  MpiEntry(RankCtx& rc, bool internal) : rc_(rc), internal_(internal) {
+    if (internal_) return;
+    const auto& p = rc_.profile();
+    entered_at_ = sim::now();
+    ++rc_.stats().calls;
+    sim::advance(p.mpi_call_overhead);
+    if (rc_.thread_level() == ThreadLevel::kMultiple) {
+      rc_.big_lock_.lock();  // Mutex charges big_lock_acquire itself
+      locked_ = true;
+      // The extra THREAD_MULTIPLE bookkeeping happens inside the critical
+      // section in big-lock MPIs — this is what makes concurrent calls
+      // serialize so badly (paper Fig. 6).
+      sim::advance(p.thread_multiple_entry);
+    }
+  }
+
+  ~MpiEntry() {
+    if (internal_) return;
+    if (locked_) rc_.big_lock_.unlock();
+    rc_.stats().time_in_mpi += sim::now() - entered_at_;
+  }
+
+  MpiEntry(const MpiEntry&) = delete;
+  MpiEntry& operator=(const MpiEntry&) = delete;
+
+  void unlock_for_sleep() {
+    if (locked_) {
+      rc_.big_lock_.unlock();
+      locked_ = false;
+    }
+  }
+  void relock() {
+    if (!internal_ && rc_.thread_level() == ThreadLevel::kMultiple && !locked_) {
+      rc_.big_lock_.lock();
+      locked_ = true;
+    }
+  }
+  [[nodiscard]] bool holds_lock() const { return locked_; }
+  [[nodiscard]] bool internal() const { return internal_; }
+
+ private:
+  RankCtx& rc_;
+  bool internal_;
+  bool locked_ = false;
+  sim::Time entered_at_;
+};
+
+}  // namespace smpi

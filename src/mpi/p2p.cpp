@@ -1,0 +1,439 @@
+// Point-to-point operations, request completion, and the blocking-wait
+// kernel. Protocol selection:
+//   * bytes <= profile.eager_threshold → eager: copy into an internal buffer
+//     (CPU, proportional to size), inject; the send request completes
+//     immediately (locally buffered).
+//   * bytes >  threshold → rendezvous: post an RTS; data moves only after
+//     the receiver's progress engine matched it and returned a CTS — the
+//     mechanism behind the paper's Fig. 2/4 overlap cliff.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "mpi/cluster.hpp"
+#include "mpi/entry.hpp"
+#include "mpi/rank_ctx.hpp"
+#include "mpi/wire.hpp"
+
+namespace smpi {
+
+RankCtx::RankCtx(Cluster& cluster, int rank, ThreadLevel level)
+    : cluster_(cluster), rank_(rank), level_(level) {
+  comms_.init(rank, cluster.nranks());
+}
+
+int RankCtx::nranks() const { return cluster_.nranks(); }
+
+const machine::Profile& RankCtx::profile() const { return cluster_.profile(); }
+
+// ------------------------------------------------------------ internals ----
+
+Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
+                                int dst_global, std::uint32_t ctx, int tag,
+                                Comm comm) {
+  (void)comm;
+  const auto& p = profile();
+  RequestImpl& r = reqs_.alloc();
+
+  if (dst_global == rank_) {
+    // Loopback: one shared-memory copy, delivered straight to our own inbox
+    // (always "eager" — no NIC involved).
+    sim::advance(p.copy_cost(bytes));
+    machine::NetMessage m;
+    m.src = m.dst = rank_;
+    m.kind = kWireEager;
+    m.h0 = ctx;
+    m.h1 = static_cast<std::uint64_t>(static_cast<std::int64_t>(tag));
+    m.h2 = bytes;
+    if (buf != nullptr) {
+      m.payload.resize(bytes);
+      std::memcpy(m.payload.data(), buf, bytes);
+    } else {
+      m.wire_bytes = bytes;  // phantom payload: timing only
+    }
+    inbox_.push_back(std::move(m));
+    arrivals_.signal();
+    r.kind = ReqKind::kSendEager;
+    r.complete = true;
+    ++stats_.eager_sends;
+    return Request{r.idx};
+  }
+
+  if (bytes <= p.eager_threshold) {
+    // Eager: internal copy + doorbell; complete at once.
+    sim::advance(p.copy_cost(bytes));
+    sim::advance(p.nic_doorbell);
+    machine::NetMessage m;
+    m.src = rank_;
+    m.dst = dst_global;
+    m.kind = kWireEager;
+    m.h0 = ctx;
+    m.h1 = static_cast<std::uint64_t>(static_cast<std::int64_t>(tag));
+    m.h2 = bytes;
+    if (buf != nullptr) {
+      m.payload.resize(bytes);
+      std::memcpy(m.payload.data(), buf, bytes);
+    }
+    m.wire_bytes = bytes;
+    cluster_.network().send(std::move(m));
+    r.kind = ReqKind::kSendEager;
+    r.complete = true;
+    ++stats_.eager_sends;
+    return Request{r.idx};
+  }
+
+  // Rendezvous: control message only; the payload stays in the user buffer.
+  sim::advance(p.nic_doorbell);
+  r.kind = ReqKind::kSendRndv;
+  r.sbuf = buf;
+  r.sbytes = bytes;
+  r.dst_global = dst_global;
+  machine::NetMessage m;
+  m.src = rank_;
+  m.dst = dst_global;
+  m.kind = kWireRts;
+  m.h0 = ctx;
+  m.h1 = static_cast<std::uint64_t>(static_cast<std::int64_t>(tag));
+  m.h2 = static_cast<std::uint64_t>(r.idx);
+  m.h3 = bytes;
+  cluster_.network().send(std::move(m));
+  pending_rndv_send_.push_back(&r);
+  ++stats_.rndv_sends;
+  return Request{r.idx};
+}
+
+Request RankCtx::irecv_internal(void* buf, std::size_t bytes, int src_global,
+                                std::uint32_t ctx, int tag, Comm comm) {
+  const auto& p = profile();
+  RequestImpl& r = reqs_.alloc();
+  r.kind = ReqKind::kRecv;
+  r.rbuf = buf;
+  r.rbytes = bytes;
+  r.ctx = ctx;
+  r.src_global = src_global;
+  r.tag = tag;
+  r.comm = comm;
+
+  // First look in the unexpected queue (MPI ordering requires it).
+  if (auto um = match_.match_unexpected(ctx, src_global, tag)) {
+    ++stats_.unexpected_hits;
+    sim::advance(p.mpi_match_cost);
+    if (um->is_rndv) {
+      if (um->bytes > bytes) throw std::runtime_error("recv truncation (rndv)");
+      send_cts(um->sender_req, um->env.src_global, r);
+      r.matched_rndv = true;
+      r.status.source = comms_.get(comm).from_global(um->env.src_global);
+      r.status.tag = um->env.tag;
+      r.status.bytes = um->bytes;
+      pending_rndv_recv_.push_back(&r);
+    } else {
+      if (um->bytes > bytes) throw std::runtime_error("recv truncation");
+      sim::advance(p.copy_cost(um->bytes));
+      if (buf != nullptr && !um->payload.empty()) {
+        std::memcpy(buf, um->payload.data(), um->payload.size());
+      }
+      r.status.source = comms_.get(comm).from_global(um->env.src_global);
+      r.status.tag = um->env.tag;
+      r.status.bytes = um->bytes;
+      r.complete = true;
+    }
+    return Request{r.idx};
+  }
+
+  match_.post_recv(&r);
+  return Request{r.idx};
+}
+
+// ------------------------------------------------------------ wait core ----
+
+bool RankCtx::software_work_pending() const {
+  return !inbox_.empty() || !pending_rndv_send_.empty() ||
+         !pending_rndv_recv_.empty() || !active_colls_.empty();
+}
+
+void RankCtx::wait_until(MpiEntry& entry, const std::function<bool()>& done) {
+  const auto& p = profile();
+  // Fast path: already complete (e.g. MPI_Wait on a finished eager send) —
+  // real implementations check the request state before touching the
+  // progress engine.
+  if (done()) return;
+  ++blocked_in_mpi_;
+  struct Dec {
+    int& v;
+    ~Dec() { --v; }
+  } dec{blocked_in_mpi_};
+  // Adaptive spin: a MULTIPLE waiter hammers the lock at the base period
+  // while traffic is active, but backs off exponentially when consecutive
+  // re-polls find nothing (bounds simulator event counts on long waits
+  // without changing contention behaviour at microsecond scales).
+  std::int64_t backoff = p.multiple_repoll.ns();
+  for (;;) {
+    // Capture the arrival cursor BEFORE polling: anything that lands while
+    // the poll's own work advances the clock makes the wait below return
+    // immediately instead of being lost.
+    const std::uint64_t seen = arrivals_.count();
+    progress_poll();
+    if (done()) return;
+    if (level_ == ThreadLevel::kMultiple) {
+      // A blocked MULTIPLE thread cycles lock→progress→unlock; it holds the
+      // lock for a slice each cycle, which is what serializes other threads
+      // when several of them block concurrently (paper Fig. 6). With no
+      // other thread inside the library the cycling has no observable
+      // effect, so the model waits for an arrival instead (every protocol
+      // transition is arrival-signalled).
+      sim::advance(p.big_lock_slice);
+      entry.unlock_for_sleep();
+      if (blocked_in_mpi_ > 1) {
+        if (arrivals_.wait_beyond_timeout(seen, sim::Time(backoff))) {
+          backoff = p.multiple_repoll.ns();  // traffic: spin hard again
+        } else {
+          backoff = std::min<std::int64_t>(backoff * 2,
+                                           p.multiple_repoll.ns() * 128);
+        }
+      } else {
+        arrivals_.wait_beyond(seen);
+      }
+      entry.relock();
+    } else {
+      arrivals_.wait_beyond(seen);
+    }
+  }
+}
+
+bool RankCtx::test_internal(RequestImpl& r, Status* st) {
+  if (!r.complete) return false;
+  if (st != nullptr) *st = r.status;
+  return true;
+}
+
+void RankCtx::release_if_complete(Request& r, Status* st) {
+  RequestImpl& impl = reqs_.get(r);
+  if (!impl.complete) return;
+  if (st != nullptr) *st = impl.status;
+  reqs_.release(impl);
+  r = kRequestNull;
+}
+
+// ------------------------------------------------------------ public API ----
+
+Request RankCtx::isend(const void* buf, std::size_t count, Datatype dt, int dst,
+                       int tag, Comm comm) {
+  MpiEntry entry(*this, false);
+  const CommInfo& ci = comms_.get(comm);
+  if (dst == kProcNull) {
+    RequestImpl& r = reqs_.alloc();
+    r.kind = ReqKind::kSendEager;
+    r.complete = true;
+    return Request{r.idx};
+  }
+  Request rq = isend_internal(buf, count * datatype_size(dt), ci.to_global(dst),
+                              ci.context, tag, comm);
+  progress_poll();  // an MPI entry is a progress opportunity
+  return rq;
+}
+
+Request RankCtx::irecv(void* buf, std::size_t count, Datatype dt, int src,
+                       int tag, Comm comm) {
+  MpiEntry entry(*this, false);
+  const CommInfo& ci = comms_.get(comm);
+  if (src == kProcNull) {
+    RequestImpl& r = reqs_.alloc();
+    r.kind = ReqKind::kRecv;
+    r.complete = true;
+    r.status = Status{kProcNull, kAnyTag, 0};
+    return Request{r.idx};
+  }
+  const int src_global = (src == kAnySource) ? kAnySource : ci.to_global(src);
+  Request rq = irecv_internal(buf, count * datatype_size(dt), src_global,
+                              ci.context, tag, comm);
+  progress_poll();
+  return rq;
+}
+
+void RankCtx::send(const void* buf, std::size_t count, Datatype dt, int dst,
+                   int tag, Comm comm) {
+  Request r = isend(buf, count, dt, dst, tag, comm);
+  wait(r);
+}
+
+void RankCtx::recv(void* buf, std::size_t count, Datatype dt, int src, int tag,
+                   Comm comm, Status* st) {
+  Request r = irecv(buf, count, dt, src, tag, comm);
+  wait(r, st);
+}
+
+bool RankCtx::test(Request& r, Status* st) {
+  MpiEntry entry(*this, false);
+  if (r.is_null()) {
+    if (st != nullptr) *st = Status{};
+    return true;
+  }
+  progress_poll();
+  RequestImpl& impl = reqs_.get(r);
+  if (!impl.complete) return false;
+  release_if_complete(r, st);
+  return true;
+}
+
+void RankCtx::wait(Request& r, Status* st) {
+  MpiEntry entry(*this, false);
+  if (r.is_null()) return;
+  RequestImpl& impl = reqs_.get(r);
+  wait_until(entry, [&] { return impl.complete; });
+  release_if_complete(r, st);
+}
+
+void RankCtx::waitall(std::span<Request> rs) {
+  MpiEntry entry(*this, false);
+  wait_until(entry, [&] {
+    for (Request& r : rs) {
+      if (!r.is_null() && !reqs_.get(r).complete) return false;
+    }
+    return true;
+  });
+  for (Request& r : rs) {
+    if (!r.is_null()) release_if_complete(r, nullptr);
+  }
+}
+
+int RankCtx::waitany(std::span<Request> rs, Status* st) {
+  MpiEntry entry(*this, false);
+  int found = -1;
+  wait_until(entry, [&] {
+    bool any_active = false;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (rs[i].is_null()) continue;
+      any_active = true;
+      if (reqs_.get(rs[i]).complete) {
+        found = static_cast<int>(i);
+        return true;
+      }
+    }
+    return !any_active;  // all null → "undefined" completion
+  });
+  if (found >= 0) release_if_complete(rs[static_cast<std::size_t>(found)], st);
+  return found;
+}
+
+bool RankCtx::testany(std::span<Request> rs, int* index, Status* st) {
+  MpiEntry entry(*this, false);
+  progress_poll();
+  bool any_active = false;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (rs[i].is_null()) continue;
+    any_active = true;
+    if (reqs_.get(rs[i]).complete) {
+      *index = static_cast<int>(i);
+      release_if_complete(rs[i], st);
+      return true;
+    }
+  }
+  *index = -1;
+  return !any_active;
+}
+
+bool RankCtx::testall(std::span<Request> rs) {
+  MpiEntry entry(*this, false);
+  progress_poll();
+  for (Request& r : rs) {
+    if (!r.is_null() && !reqs_.get(r).complete) return false;
+  }
+  for (Request& r : rs) {
+    if (!r.is_null()) release_if_complete(r, nullptr);
+  }
+  return true;
+}
+
+std::vector<int> RankCtx::waitsome(std::span<Request> rs) {
+  MpiEntry entry(*this, false);
+  bool any_active = false;
+  for (Request& r : rs) any_active = any_active || !r.is_null();
+  if (!any_active) return {};
+  wait_until(entry, [&] {
+    for (Request& r : rs) {
+      if (!r.is_null() && reqs_.get(r).complete) return true;
+    }
+    return false;
+  });
+  std::vector<int> done;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (!rs[i].is_null() && reqs_.get(rs[i]).complete) {
+      done.push_back(static_cast<int>(i));
+      release_if_complete(rs[i], nullptr);
+    }
+  }
+  return done;
+}
+
+void RankCtx::sendrecv(const void* sbuf, std::size_t scount, int dst, int stag,
+                       void* rbuf, std::size_t rcount, int src, int rtag,
+                       Datatype dt, Comm comm, Status* st) {
+  Request rr = irecv(rbuf, rcount, dt, src, rtag, comm);
+  Request rs = isend(sbuf, scount, dt, dst, stag, comm);
+  wait(rr, st);
+  wait(rs);
+}
+
+bool RankCtx::iprobe(int src, int tag, Comm comm, Status* st) {
+  MpiEntry entry(*this, false);
+  progress_poll();
+  const CommInfo& ci = comms_.get(comm);
+  const int src_global = (src == kAnySource) ? kAnySource : ci.to_global(src);
+  const UnexpectedMsg* m = match_.peek_unexpected(ci.context, src_global, tag);
+  if (m == nullptr) return false;
+  if (st != nullptr) {
+    st->source = ci.from_global(m->env.src_global);
+    st->tag = m->env.tag;
+    st->bytes = m->bytes;
+  }
+  return true;
+}
+
+void RankCtx::probe(int src, int tag, Comm comm, Status* st) {
+  MpiEntry entry(*this, false);
+  const CommInfo& ci = comms_.get(comm);
+  const int src_global = (src == kAnySource) ? kAnySource : ci.to_global(src);
+  const UnexpectedMsg* found = nullptr;
+  wait_until(entry, [&] {
+    found = match_.peek_unexpected(ci.context, src_global, tag);
+    return found != nullptr;
+  });
+  if (st != nullptr) {
+    st->source = ci.from_global(found->env.src_global);
+    st->tag = found->env.tag;
+    st->bytes = found->bytes;
+  }
+}
+
+void RankCtx::progress() {
+  MpiEntry entry(*this, false);
+  progress_poll();
+}
+
+Comm RankCtx::comm_dup(Comm parent) {
+  // Collective by MPI rules; synchronize like a barrier so no rank races
+  // ahead and sends on the new context before everyone constructed it.
+  barrier(parent);
+  MpiEntry entry(*this, false);
+  return comms_.dup(parent);
+}
+
+Comm RankCtx::comm_split(Comm parent, int color, int key) {
+  // Exchange (color,key) of every member, then compute the split locally.
+  const CommInfo& ci = comms_.get(parent);
+  std::vector<std::pair<int, int>> color_key(
+      static_cast<std::size_t>(ci.size()));
+  std::pair<int, int> mine{color, key};
+  static_assert(sizeof(std::pair<int, int>) == 2 * sizeof(int));
+  allgather(&mine, color_key.data(), 2, Datatype::kInt, parent);
+  MpiEntry entry(*this, false);
+  return comms_.split(parent, color_key);
+}
+
+void RankCtx::comm_free(Comm c) {
+  MpiEntry entry(*this, false);
+  comms_.free(c);
+}
+
+}  // namespace smpi

@@ -1,0 +1,303 @@
+// The progress engine: NIC delivery (hardware side) and progress_poll
+// (software side).
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "mpi/cluster.hpp"
+#include "mpi/rank_ctx.hpp"
+#include "mpi/wire.hpp"
+
+namespace smpi {
+
+// ------------------------------------------------------------- hardware ----
+
+void RankCtx::deliver(machine::NetMessage&& m) {
+  if (m.kind == kWireRmaPut || m.kind == kWireRmaGetReq ||
+      m.kind == kWireRmaGetResp) {
+    rma_deliver(m);
+    return;
+  }
+  if (m.kind == kWireData) {
+    // RDMA write of one pipeline chunk: the NIC moves the bytes straight
+    // into the matched receive buffer and raises completion counters. No
+    // simulated CPU is consumed — but injecting the NEXT chunk beyond the
+    // pipeline depth requires the sender's progress engine (software).
+    RequestImpl& rreq = reqs_.get(Request{static_cast<int>(m.h0)});
+    assert(rreq.active && rreq.kind == ReqKind::kRecv && rreq.matched_rndv);
+    const auto chunk = static_cast<std::size_t>(m.h3);
+    assert(rreq.rndv_received + chunk <= rreq.rbytes);
+    if (rreq.rbuf != nullptr && m.h1 != 0) {
+      // Chunks arrive in order per (src,dst) pair.
+      std::memcpy(static_cast<std::byte*>(rreq.rbuf) + rreq.rndv_received,
+                  reinterpret_cast<const void*>(m.h1), chunk);
+    }
+    rreq.rndv_received += chunk;
+    if (rreq.rndv_received >= rreq.status.bytes) rreq.data_arrived = true;
+    arrivals_.signal();
+    // Sender-side NIC completion counter.
+    RankCtx& sender = cluster_.rank(m.src);
+    RequestImpl& sreq = sender.reqs_.get(Request{static_cast<int>(m.h2)});
+    assert(sreq.active && sreq.kind == ReqKind::kSendRndv);
+    sreq.dma_delivered += chunk;
+    sender.arrivals_.signal();
+    return;
+  }
+  inbox_.push_back(std::move(m));
+  arrivals_.signal();
+}
+
+// ------------------------------------------------------------- software ----
+
+void RankCtx::progress_poll() {
+  // Reentry would mean two fibers are inside the library concurrently
+  // without the big lock — a violation of the declared thread level.
+  if (in_progress_) {
+    throw std::logic_error("concurrent MPI entry under non-MULTIPLE level");
+  }
+  in_progress_ = true;
+  ++stats_.progress_passes;
+  const auto& p = profile();
+  sim::advance(p.mpi_progress_poll_cost);
+
+  while (!inbox_.empty()) {
+    machine::NetMessage m = std::move(inbox_.front());
+    inbox_.pop_front();
+    process_inbox_message(std::move(m));
+  }
+
+  // Drive rendezvous sends: keep the chunk pipeline full, notice completion.
+  for (std::size_t i = 0; i < pending_rndv_send_.size();) {
+    RequestImpl* r = pending_rndv_send_[i];
+    if (r->cts_received) {
+      while (r->dma_sent < r->sbytes &&
+             r->dma_sent - r->dma_delivered <
+                 p.rndv_chunk_bytes * static_cast<std::size_t>(p.rndv_pipeline_depth)) {
+        start_rndv_chunk(*r);
+      }
+    }
+    if (r->cts_received && r->dma_delivered >= r->sbytes) {
+      sim::advance(p.mpi_match_cost);
+      r->complete = true;
+      pending_rndv_send_[i] = pending_rndv_send_.back();
+      pending_rndv_send_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  for (std::size_t i = 0; i < pending_rndv_recv_.size();) {
+    RequestImpl* r = pending_rndv_recv_[i];
+    if (r->data_arrived) {
+      sim::advance(p.mpi_match_cost);
+      r->complete = true;
+      pending_rndv_recv_[i] = pending_rndv_recv_.back();
+      pending_rndv_recv_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  advance_collectives();
+  in_progress_ = false;
+}
+
+void RankCtx::process_inbox_message(machine::NetMessage&& m) {
+  switch (m.kind) {
+    case kWireEager:
+      handle_eager(std::move(m));
+      return;
+    case kWireRts:
+      handle_rts(std::move(m));
+      return;
+    case kWireCts:
+      handle_cts(std::move(m));
+      return;
+    default:
+      throw std::logic_error("unknown wire message kind");
+  }
+}
+
+void RankCtx::handle_eager(machine::NetMessage&& m) {
+  const auto& p = profile();
+  sim::advance(p.mpi_match_cost);
+  Envelope env{static_cast<std::uint32_t>(m.h0), m.src,
+               static_cast<int>(static_cast<std::int64_t>(m.h1))};
+  const auto declared = static_cast<std::size_t>(m.h2);
+  if (RequestImpl* r = match_.match_posted(env)) {
+    if (declared > r->rbytes) {
+      throw std::runtime_error("recv truncation (eager)");
+    }
+    sim::advance(p.copy_cost(declared));
+    if (r->rbuf != nullptr && !m.payload.empty()) {
+      std::memcpy(r->rbuf, m.payload.data(), m.payload.size());
+    }
+    r->status.source = comms_.get(r->comm).from_global(env.src_global);
+    r->status.tag = env.tag;
+    r->status.bytes = declared;
+    r->complete = true;
+    return;
+  }
+  UnexpectedMsg um;
+  um.env = env;
+  um.bytes = declared;
+  um.payload = std::move(m.payload);
+  match_.add_unexpected(std::move(um));
+}
+
+void RankCtx::handle_rts(machine::NetMessage&& m) {
+  const auto& p = profile();
+  sim::advance(p.mpi_match_cost);
+  Envelope env{static_cast<std::uint32_t>(m.h0), m.src,
+               static_cast<int>(static_cast<std::int64_t>(m.h1))};
+  const auto bytes = static_cast<std::size_t>(m.h3);
+  if (RequestImpl* r = match_.match_posted(env)) {
+    if (bytes > r->rbytes) throw std::runtime_error("recv truncation (rndv)");
+    send_cts(m.h2, m.src, *r);
+    r->matched_rndv = true;
+    r->status.source = comms_.get(r->comm).from_global(env.src_global);
+    r->status.tag = env.tag;
+    r->status.bytes = bytes;
+    pending_rndv_recv_.push_back(r);
+    return;
+  }
+  UnexpectedMsg um;
+  um.env = env;
+  um.bytes = bytes;
+  um.is_rndv = true;
+  um.sender_req = m.h2;
+  match_.add_unexpected(std::move(um));
+}
+
+void RankCtx::send_cts(std::uint64_t sender_req, int sender_global,
+                       RequestImpl& rreq) {
+  const auto& p = profile();
+  sim::advance(p.rndv_handshake_cpu);
+  sim::advance(p.nic_doorbell);
+  machine::NetMessage cts;
+  cts.src = rank_;
+  cts.dst = sender_global;
+  cts.kind = kWireCts;
+  cts.h0 = sender_req;
+  cts.h1 = static_cast<std::uint64_t>(rreq.idx);
+  cluster_.network().send(std::move(cts));
+}
+
+void RankCtx::handle_cts(machine::NetMessage&& m) {
+  const auto& p = profile();
+  sim::advance(p.rndv_handshake_cpu);
+  RequestImpl& sreq = reqs_.get(Request{static_cast<int>(m.h0)});
+  assert(sreq.active && sreq.kind == ReqKind::kSendRndv);
+  sreq.cts_received = true;
+  sreq.peer_rreq = m.h1;
+  // Fill the chunk pipeline; further chunks are injected by progress as
+  // NIC completions come back.
+  while (sreq.dma_sent < sreq.sbytes &&
+         sreq.dma_sent - sreq.dma_delivered <
+             p.rndv_chunk_bytes * static_cast<std::size_t>(p.rndv_pipeline_depth)) {
+    start_rndv_chunk(sreq);
+  }
+}
+
+void RankCtx::start_rndv_chunk(RequestImpl& sreq) {
+  const auto& p = profile();
+  const std::size_t chunk =
+      std::min(p.rndv_chunk_bytes, sreq.sbytes - sreq.dma_sent);
+  sim::advance(p.nic_doorbell);
+  machine::NetMessage data;
+  data.src = rank_;
+  data.dst = sreq.dst_global;
+  data.kind = kWireData;
+  data.h0 = sreq.peer_rreq;
+  data.h1 = sreq.sbuf == nullptr
+                ? 0
+                : reinterpret_cast<std::uint64_t>(
+                      static_cast<const std::byte*>(sreq.sbuf) + sreq.dma_sent);
+  data.h2 = static_cast<std::uint64_t>(sreq.idx);
+  data.h3 = chunk;
+  data.wire_bytes = chunk;
+  sreq.dma_sent += chunk;
+  cluster_.network().send(std::move(data));
+}
+
+// ----------------------------------------------------------- collectives ----
+
+void RankCtx::post_coll_stage(RequestImpl& creq) {
+  CollOp& op = *creq.coll;
+  const CommInfo& ci = comms_.get(op.comm);
+  const std::uint32_t ictx = ci.context | 0x40000000u;
+  const CollStage& st = op.stages[op.cur];
+  // One tag per collective instance: within an instance every (src,dst) pair
+  // exchanges at most one message per direction, and instances on the same
+  // communicator are distinguished by their sequence number.
+  const int tag = static_cast<int>(op.seq % (1u << 30));
+  op.pending.clear();
+  // Post receives before sends (good practice and avoids self-flooding).
+  for (const auto& rv : st.recvs) {
+    op.pending.push_back(irecv_internal(rv.buf, rv.bytes, ci.to_global(rv.src),
+                                        ictx, tag, op.comm));
+  }
+  for (const auto& sd : st.sends) {
+    op.pending.push_back(isend_internal(sd.buf, sd.bytes, ci.to_global(sd.dst),
+                                        ictx, tag, op.comm));
+  }
+  op.stage_posted = true;
+}
+
+void RankCtx::advance_collectives() {
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (std::size_t i = 0; i < active_colls_.size();) {
+      RequestImpl* creq = active_colls_[i];
+      CollOp& op = *creq->coll;
+      if (op.gate && op.cur == 0 && !op.stage_posted && !op.gate(*this)) {
+        ++i;
+        continue;  // e.g. ifence waiting for outstanding RMA to drain
+      }
+      if (op.cur < op.stages.size() && !op.stage_posted) {
+        post_coll_stage(*creq);
+        moved = true;
+      }
+      if (op.stage_posted) {
+        bool all_done = true;
+        for (Request r : op.pending) {
+          if (!r.is_null() && !reqs_.get(r).complete) {
+            all_done = false;
+            break;
+          }
+        }
+        if (all_done) {
+          for (Request r : op.pending) {
+            if (!r.is_null()) reqs_.release(reqs_.get(r));
+          }
+          op.pending.clear();
+          if (op.stages[op.cur].on_complete) op.stages[op.cur].on_complete(*this);
+          ++op.cur;
+          op.stage_posted = false;
+          moved = true;
+        }
+      }
+      if (op.cur >= op.stages.size() && !op.stage_posted) {
+        if (op.on_finish) op.on_finish(*this);
+        creq->complete = true;
+        active_colls_[i] = active_colls_.back();
+        active_colls_.pop_back();
+        arrivals_.signal();  // wake local waiters blocked on this collective
+        continue;            // re-examine the swapped-in element
+      }
+      ++i;
+    }
+  }
+}
+
+Request RankCtx::start_collective(std::unique_ptr<CollOp> op) {
+  RequestImpl& r = reqs_.alloc();
+  r.kind = ReqKind::kColl;
+  r.coll = std::move(op);
+  active_colls_.push_back(&r);
+  progress_poll();  // posts stage 0 (and may finish a 1-rank collective)
+  return Request{r.idx};
+}
+
+}  // namespace smpi

@@ -1,0 +1,225 @@
+// RankCtx — one MPI rank's library state and entry points.
+//
+// Everything an MPI implementation keeps per process lives here: the
+// communicator and request tables, the matching engine, the NIC inbox, the
+// progress engine, and the THREAD_MULTIPLE global lock. All fibers belonging
+// to a rank (its "OpenMP threads", a comm-self progress thread, an offload
+// thread) share one RankCtx.
+//
+// Progress model (the crux of the reproduction): the network autonomously
+// deposits arrivals into `inbox_` and flips DMA flags, but *software* actions
+// — matching, eager copy-out, rendezvous handshakes, collective schedules,
+// request completion — happen only inside progress_poll(), which runs only
+// while some fiber is executing an MPI call. An MPI implementation with no
+// thread inside it makes no progress; that is the asynchrony gap the paper's
+// offload thread closes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "machine/network.hpp"
+#include "machine/profile.hpp"
+#include "mpi/coll_op.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/matching.hpp"
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace smpi {
+
+class Cluster;
+
+/// Counters exposed for tests and benchmark sanity checks.
+struct RankStats {
+  std::uint64_t calls = 0;            ///< library entries
+  std::uint64_t progress_passes = 0;
+  std::uint64_t eager_sends = 0;
+  std::uint64_t rndv_sends = 0;
+  std::uint64_t unexpected_hits = 0;  ///< receives satisfied from unexpected q
+  sim::Time time_in_mpi;              ///< virtual time spent inside the library
+};
+
+class RankCtx {
+ public:
+  RankCtx(Cluster& cluster, int rank, ThreadLevel level);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nranks() const;
+  [[nodiscard]] ThreadLevel thread_level() const { return level_; }
+  [[nodiscard]] const machine::Profile& profile() const;
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+  [[nodiscard]] const RankStats& stats() const { return stats_; }
+  [[nodiscard]] RankStats& stats() { return stats_; }
+
+  CommTable& comms() { return comms_; }
+  RequestTable& requests() { return reqs_; }
+  MatchingEngine& matching() { return match_; }
+  sim::Notifier& arrivals() { return arrivals_; }
+
+  // ---------------- point-to-point ----------------
+  Request isend(const void* buf, std::size_t count, Datatype dt, int dst,
+                int tag, Comm comm);
+  Request irecv(void* buf, std::size_t count, Datatype dt, int src, int tag,
+                Comm comm);
+  void send(const void* buf, std::size_t count, Datatype dt, int dst, int tag,
+            Comm comm);
+  void recv(void* buf, std::size_t count, Datatype dt, int src, int tag,
+            Comm comm, Status* st = nullptr);
+  /// MPI_Sendrecv: simultaneous exchange (deadlock-free composite).
+  void sendrecv(const void* sbuf, std::size_t scount, int dst, int stag,
+                void* rbuf, std::size_t rcount, int src, int rtag, Datatype dt,
+                Comm comm, Status* st = nullptr);
+
+  // ---------------- completion ----------------
+  bool test(Request& r, Status* st = nullptr);
+  void wait(Request& r, Status* st = nullptr);
+  void waitall(std::span<Request> rs);
+  int waitany(std::span<Request> rs, Status* st = nullptr);
+  /// MPI_Testany: true if some active request completed (index via *index),
+  /// also true with *index = -1 ("undefined") when no active requests exist.
+  bool testany(std::span<Request> rs, int* index, Status* st = nullptr);
+  /// MPI_Testall: true iff every active request has completed (all released).
+  bool testall(std::span<Request> rs);
+  /// MPI_Waitsome: blocks until >=1 active request completes; returns the
+  /// indices completed this call (empty if none were active).
+  std::vector<int> waitsome(std::span<Request> rs);
+  bool iprobe(int src, int tag, Comm comm, Status* st = nullptr);
+  void probe(int src, int tag, Comm comm, Status* st = nullptr);
+
+  // ---------------- collectives ----------------
+  void barrier(Comm comm);
+  Request ibarrier(Comm comm);
+  void bcast(void* buf, std::size_t count, Datatype dt, int root, Comm comm);
+  Request ibcast(void* buf, std::size_t count, Datatype dt, int root, Comm comm);
+  void reduce(const void* sbuf, void* rbuf, std::size_t count, Datatype dt,
+              Op op, int root, Comm comm);
+  Request ireduce(const void* sbuf, void* rbuf, std::size_t count, Datatype dt,
+                  Op op, int root, Comm comm);
+  void allreduce(const void* sbuf, void* rbuf, std::size_t count, Datatype dt,
+                 Op op, Comm comm);
+  Request iallreduce(const void* sbuf, void* rbuf, std::size_t count,
+                     Datatype dt, Op op, Comm comm);
+  void alltoall(const void* sbuf, void* rbuf, std::size_t count_per_rank,
+                Datatype dt, Comm comm);
+  Request ialltoall(const void* sbuf, void* rbuf, std::size_t count_per_rank,
+                    Datatype dt, Comm comm);
+  void allgather(const void* sbuf, void* rbuf, std::size_t count_per_rank,
+                 Datatype dt, Comm comm);
+  Request iallgather(const void* sbuf, void* rbuf, std::size_t count_per_rank,
+                     Datatype dt, Comm comm);
+  void gather(const void* sbuf, void* rbuf, std::size_t count_per_rank,
+              Datatype dt, int root, Comm comm);
+  Request igather(const void* sbuf, void* rbuf, std::size_t count_per_rank,
+                  Datatype dt, int root, Comm comm);
+  void scatter(const void* sbuf, void* rbuf, std::size_t count_per_rank,
+               Datatype dt, int root, Comm comm);
+  Request iscatter(const void* sbuf, void* rbuf, std::size_t count_per_rank,
+                   Datatype dt, int root, Comm comm);
+  void reduce_scatter_block(const void* sbuf, void* rbuf,
+                            std::size_t count_per_rank, Datatype dt, Op op,
+                            Comm comm);
+  /// Inclusive prefix reduction (MPI_Scan), binomial up-phase per rank.
+  void scan(const void* sbuf, void* rbuf, std::size_t count, Datatype dt,
+            Op op, Comm comm);
+  Request iscan(const void* sbuf, void* rbuf, std::size_t count, Datatype dt,
+                Op op, Comm comm);
+
+  // ---------------- one-sided (RMA) ----------------
+  /// Collective over `comm`: expose [base, base+bytes) for remote access.
+  Win win_create(void* base, std::size_t bytes, Comm comm);
+  void win_free(Win w);
+  /// Nonblocking one-sided write/read; completed by the next fence.
+  void put(const void* origin, std::size_t bytes, int target_rank,
+           std::size_t target_offset, Win w);
+  void get(void* origin, std::size_t bytes, int target_rank,
+           std::size_t target_offset, Win w);
+  /// Fence: completes all locally-issued RMA and synchronizes the group.
+  void win_fence(Win w);
+  /// Nonblocking fence (an extension MPI lacks — the paper's Sec. 3.3
+  /// caveat; having it lets the offload engine never block on a fence).
+  Request ifence(Win w);
+
+  // ---------------- communicator management ----------------
+  Comm comm_dup(Comm parent);
+  /// Collective over `parent` (exchanges colors/keys internally).
+  Comm comm_split(Comm parent, int color, int key);
+  void comm_free(Comm c);
+
+  /// One locked pass of the progress engine (what MPI_Iprobe is typically
+  /// used for by the "iprobe" approach).
+  void progress();
+
+  // ---------------- internal: called by the Cluster / network ----------------
+  /// NIC delivery handler; runs in scheduler context.
+  void deliver(machine::NetMessage&& m);
+
+ private:
+  friend class MpiEntry;
+
+  // Library-internal variants: no entry overhead/locking (already inside).
+  Request isend_internal(const void* buf, std::size_t bytes, int dst_global,
+                         std::uint32_t ctx, int tag, Comm comm);
+  Request irecv_internal(void* buf, std::size_t bytes, int src_global,
+                         std::uint32_t ctx, int tag, Comm comm);
+  bool test_internal(RequestImpl& r, Status* st);
+  void release_if_complete(Request& r, Status* st);
+
+  /// Software progress pass: drain the inbox, advance rendezvous transfers
+  /// and collective schedules. Charges CPU time on the calling fiber.
+  void progress_poll();
+  void process_inbox_message(machine::NetMessage&& m);
+  void handle_eager(machine::NetMessage&& m);
+  void handle_rts(machine::NetMessage&& m);
+  void handle_cts(machine::NetMessage&& m);
+  void send_cts(std::uint64_t sender_req, int sender_global, RequestImpl& rreq);
+  void start_rndv_chunk(RequestImpl& sreq);
+  void advance_collectives();
+  void post_coll_stage(RequestImpl& creq);
+  Request start_collective(std::unique_ptr<CollOp> op);
+
+  /// Blocking-wait kernel shared by recv/wait/waitall/...: loops
+  /// progress→check→sleep with the thread-level-appropriate lock cycling.
+  /// `done` is evaluated after each progress pass.
+  void wait_until(class MpiEntry& entry, const std::function<bool()>& done);
+
+  [[nodiscard]] bool software_work_pending() const;
+
+  Cluster& cluster_;
+  int rank_;
+  ThreadLevel level_;
+
+  CommTable comms_;
+  RequestTable reqs_;
+  MatchingEngine match_;
+
+  sim::Mutex big_lock_;
+  sim::Notifier arrivals_;
+  std::deque<machine::NetMessage> inbox_;
+  std::vector<RequestImpl*> pending_rndv_send_;
+  std::vector<RequestImpl*> pending_rndv_recv_;
+  std::vector<RequestImpl*> active_colls_;
+
+  struct WinInfo {
+    void* base = nullptr;
+    std::size_t bytes = 0;
+    Comm comm{};
+    std::uint32_t id = 0;        ///< globally consistent window id
+    std::int64_t outstanding = 0;  ///< my un-acked puts/gets
+    bool freed = false;
+  };
+  std::vector<WinInfo> wins_;
+  /// Hardware-side RMA delivery; true if the message was RMA traffic.
+  bool rma_deliver(machine::NetMessage& m);
+  bool in_progress_ = false;  ///< reentrancy guard (debug invariant)
+  int blocked_in_mpi_ = 0;    ///< threads currently inside a blocking wait
+
+  RankStats stats_;
+};
+
+}  // namespace smpi

@@ -1,0 +1,123 @@
+// Internal representation of nonblocking operations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpi/coll_op.hpp"
+#include "mpi/matching.hpp"
+#include "mpi/types.hpp"
+
+namespace smpi {
+
+enum class ReqKind : std::uint8_t {
+  kNull,
+  kSendEager,  ///< complete at post time (data buffered/injected)
+  kSendRndv,   ///< RTS -> CTS -> DMA; completes when DMA has drained
+  kRecv,
+  kColl,       ///< nonblocking collective driven by a schedule
+};
+
+struct RequestImpl {
+  int idx = 0;  ///< handle value (self index in the table)
+  ReqKind kind = ReqKind::kNull;
+  bool active = false;    ///< slot in use
+  bool complete = false;  ///< user-visible completion
+  Status status;          ///< source/tag/bytes for receives
+
+  // ---- receive fields ----
+  void* rbuf = nullptr;
+  std::size_t rbytes = 0;      ///< capacity of rbuf
+  std::uint32_t ctx = 0;       ///< matching triple (with wildcards)
+  int src_global = kAnySource;
+  int tag = kAnyTag;
+  Comm comm{};                 ///< for translating status.source
+  bool matched_rndv = false;   ///< CTS sent, waiting for DMA
+  bool data_arrived = false;   ///< set by the "NIC" when all DMA chunks land
+  std::size_t rndv_received = 0;  ///< bytes landed so far (chunks in order)
+
+  // ---- rendezvous-send fields ----
+  const void* sbuf = nullptr;
+  std::size_t sbytes = 0;
+  int dst_global = -1;
+  bool cts_received = false;      ///< processed by sender's progress
+  std::uint64_t peer_rreq = 0;    ///< receiver's request index (from CTS)
+  std::size_t dma_sent = 0;       ///< bytes injected so far
+  std::size_t dma_delivered = 0;  ///< bytes the NIC reported delivered
+
+  // ---- collective ----
+  std::unique_ptr<CollOp> coll;
+
+  void reset() {
+    kind = ReqKind::kNull;
+    active = complete = false;
+    status = Status{};
+    rbuf = nullptr;
+    rbytes = 0;
+    ctx = 0;
+    src_global = kAnySource;
+    tag = kAnyTag;
+    comm = Comm{};
+    matched_rndv = data_arrived = false;
+    sbuf = nullptr;
+    sbytes = 0;
+    dst_global = -1;
+    cts_received = false;
+    peer_rreq = 0;
+    dma_sent = dma_delivered = 0;
+    rndv_received = 0;
+    coll.reset();
+  }
+};
+
+/// Per-rank request table. Handles are indices; 0 is reserved for the null
+/// request. Freed slots are recycled through a free list.
+class RequestTable {
+ public:
+  RequestTable() {
+    slots_.push_back(std::make_unique<RequestImpl>());  // null request
+    slots_[0]->idx = 0;
+  }
+
+  RequestImpl& alloc() {
+    if (!free_.empty()) {
+      int idx = free_.back();
+      free_.pop_back();
+      RequestImpl& r = *slots_[static_cast<std::size_t>(idx)];
+      r.reset();
+      r.idx = idx;
+      r.active = true;
+      return r;
+    }
+    int idx = static_cast<int>(slots_.size());
+    slots_.push_back(std::make_unique<RequestImpl>());
+    RequestImpl& r = *slots_.back();
+    r.idx = idx;
+    r.active = true;
+    return r;
+  }
+
+  RequestImpl& get(Request h) { return *slots_.at(static_cast<std::size_t>(h.idx)); }
+  const RequestImpl& get(Request h) const {
+    return *slots_.at(static_cast<std::size_t>(h.idx));
+  }
+
+  void release(RequestImpl& r) {
+    if (r.idx == 0) return;
+    r.active = false;
+    free_.push_back(r.idx);
+  }
+
+  [[nodiscard]] std::size_t active_count() const {
+    return slots_.size() - 1 - free_.size();
+  }
+
+ private:
+  std::vector<std::unique_ptr<RequestImpl>> slots_;
+  std::vector<int> free_;
+};
+
+}  // namespace smpi

@@ -1,0 +1,69 @@
+// Small online statistics accumulator used by benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace sim {
+
+class Stats {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double sum() const {
+    double s = 0;
+    for (double v : samples_) s += v;
+    return s;
+  }
+  [[nodiscard]] double mean() const {
+    return samples_.empty() ? 0.0 : sum() / static_cast<double>(samples_.size());
+  }
+  [[nodiscard]] double min() const {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+  [[nodiscard]] double max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// q in [0,1]; nearest-rank on the sorted sample.
+  [[nodiscard]] double percentile(double q) {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    auto idx = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
+    idx = std::min(idx, samples_.size() - 1);
+    return samples_[idx];
+  }
+  [[nodiscard]] double median() { return percentile(0.5); }
+
+  [[nodiscard]] double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    double m = mean(), acc = 0;
+    for (double v : samples_) acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace sim

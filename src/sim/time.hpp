@@ -1,0 +1,63 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated durations are integer nanoseconds. A strong type (rather
+// than a bare int64_t) keeps wall-clock time and virtual time from being
+// mixed up, which is an easy and disastrous bug in a simulator that also
+// measures real host time in its microbenchmarks.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace sim {
+
+/// A point or span on the virtual clock, in nanoseconds.
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) * 1e-9; }
+
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() { return Time(std::numeric_limits<std::int64_t>::max()); }
+  static constexpr Time from_ns(std::int64_t v) { return Time(v); }
+  static constexpr Time from_us(double v) { return Time(static_cast<std::int64_t>(v * 1e3)); }
+  static constexpr Time from_ms(double v) { return Time(static_cast<std::int64_t>(v * 1e6)); }
+  static constexpr Time from_sec(double v) { return Time(static_cast<std::int64_t>(v * 1e9)); }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ns_ + b.ns_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ns_ - b.ns_); }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time(a.ns_ * k); }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time(a.ns_ * k); }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr Time operator""_ns(unsigned long long v) { return Time(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_us(unsigned long long v) { return Time(static_cast<std::int64_t>(v) * 1000); }
+constexpr Time operator""_ms(unsigned long long v) { return Time(static_cast<std::int64_t>(v) * 1000000); }
+constexpr Time operator""_s(unsigned long long v) { return Time(static_cast<std::int64_t>(v) * 1000000000); }
+}  // namespace literals
+
+}  // namespace sim

@@ -1,0 +1,133 @@
+// Tests for the extended MPI surface: sendrecv, waitsome/testall, scan.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+using namespace smpi;
+
+namespace {
+ClusterConfig cfg(int n) {
+  ClusterConfig c;
+  c.nranks = n;
+  c.deadline = sim::Time::from_sec(60);
+  return c;
+}
+}  // namespace
+
+TEST(Sendrecv, RingShiftIsDeadlockFree) {
+  Cluster c(cfg(5));
+  c.run([&](RankCtx& rc) {
+    const int me = rc.rank(), np = rc.nranks();
+    // Everyone sends right, receives from left — simultaneously, with a
+    // rendezvous-sized payload (blocking send/recv pairs would deadlock).
+    const std::size_t n = 300000;
+    std::vector<int> out(n / 4, me), in(n / 4, -1);
+    Status st;
+    rc.sendrecv(out.data(), n / 4, (me + 1) % np, 7, in.data(), n / 4,
+                (me + np - 1) % np, 7, Datatype::kInt, kCommWorld, &st);
+    EXPECT_EQ(in[0], (me + np - 1) % np);
+    EXPECT_EQ(st.source, (me + np - 1) % np);
+  });
+}
+
+TEST(Waitsome, ReturnsCompletedSubset) {
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    if (rc.rank() == 0) {
+      int a = -1, b = -1;
+      std::vector<Request> rs{irecv(&a, 1, Datatype::kInt, 1, 1),
+                              irecv(&b, 1, Datatype::kInt, 1, 2)};
+      // Peer sends tag 1 at 10us and tag 2 at 500us: the first waitsome
+      // should return only index 0.
+      std::vector<int> done = rc.waitsome(rs);
+      ASSERT_EQ(done.size(), 1u);
+      EXPECT_EQ(done[0], 0);
+      EXPECT_EQ(a, 11);
+      EXPECT_TRUE(rs[0].is_null());
+      done = rc.waitsome(rs);
+      ASSERT_EQ(done.size(), 1u);
+      EXPECT_EQ(done[0], 1);
+      EXPECT_EQ(b, 22);
+      // All null now: empty result, no blocking.
+      EXPECT_TRUE(rc.waitsome(rs).empty());
+    } else {
+      compute(sim::Time::from_us(10));
+      int v = 11;
+      send(&v, 1, Datatype::kInt, 0, 1);
+      compute(sim::Time::from_us(500));
+      v = 22;
+      send(&v, 1, Datatype::kInt, 0, 2);
+    }
+  });
+}
+
+TEST(Testall, AllOrNothing) {
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    if (rc.rank() == 0) {
+      int a = -1, b = -1;
+      std::vector<Request> rs{irecv(&a, 1, Datatype::kInt, 1, 1),
+                              irecv(&b, 1, Datatype::kInt, 1, 2)};
+      EXPECT_FALSE(rc.testall(rs));   // nothing arrived yet
+      EXPECT_FALSE(rs[0].is_null());  // not released on failure
+      while (!rc.testall(rs)) compute(sim::Time::from_us(5));
+      EXPECT_TRUE(rs[0].is_null());
+      EXPECT_TRUE(rs[1].is_null());
+      EXPECT_EQ(a + b, 3);
+    } else {
+      compute(sim::Time::from_us(20));
+      int v = 1;
+      send(&v, 1, Datatype::kInt, 0, 1);
+      v = 2;
+      send(&v, 1, Datatype::kInt, 0, 2);
+    }
+  });
+}
+
+class ScanRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanRanks, InclusivePrefixSum) {
+  Cluster c(cfg(GetParam()));
+  c.run([&](RankCtx& rc) {
+    const int me = rank();
+    std::vector<long> in(8), out(8, -1);
+    for (int i = 0; i < 8; ++i) in[static_cast<std::size_t>(i)] = me * 8 + i;
+    rc.scan(in.data(), out.data(), 8, Datatype::kLong, Op::kSum, kCommWorld);
+    for (int i = 0; i < 8; ++i) {
+      long want = 0;
+      for (int r = 0; r <= me; ++r) want += r * 8 + i;
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], want) << "elem " << i;
+    }
+  });
+}
+
+TEST_P(ScanRanks, PrefixMax) {
+  Cluster c(cfg(GetParam()));
+  c.run([&](RankCtx& rc) {
+    const int me = rank();
+    const int v = (me * 37) % 13;
+    int out = -1;
+    rc.scan(&v, &out, 1, Datatype::kInt, Op::kMax, kCommWorld);
+    int want = 0;
+    for (int r = 0; r <= me; ++r) want = std::max(want, (r * 37) % 13);
+    EXPECT_EQ(out, want);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ScanRanks, ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(Scan, NonblockingOverlaps) {
+  Cluster c(cfg(4));
+  c.run([&](RankCtx& rc) {
+    double v = rank() + 1.0, out = 0;
+    Request r = rc.iscan(&v, &out, 1, Datatype::kDouble, Op::kSum, kCommWorld);
+    compute(sim::Time::from_us(10));
+    wait(r);
+    double want = 0;
+    for (int i = 0; i <= rank(); ++i) want += i + 1.0;
+    EXPECT_DOUBLE_EQ(out, want);
+  });
+}

@@ -1,0 +1,125 @@
+// Cluster runner semantics: determinism, deadlock/deadline diagnostics,
+// exception propagation, fiber-context binding.
+#include <gtest/gtest.h>
+
+#include "mpi/cluster.hpp"
+
+using namespace smpi;
+
+TEST(Cluster, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    ClusterConfig cfg;
+    cfg.nranks = 4;
+    Cluster c(cfg);
+    c.run([](RankCtx& rc) {
+      double v = rc.rank() + 1.0, s = 0;
+      for (int i = 0; i < 5; ++i) {
+        allreduce(&v, &s, 1, Datatype::kDouble, Op::kSum);
+        compute(sim::Time::from_us(static_cast<double>(rc.rank() * 3 + 1)));
+        barrier();
+      }
+    });
+    return std::pair(c.engine().now().ns(), c.engine().stats().events_fired);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Cluster, DeadlockIsDetectedAndNamed) {
+  ClusterConfig cfg;
+  cfg.nranks = 2;
+  Cluster c(cfg);
+  try {
+    c.run([](RankCtx& rc) {
+      if (rc.rank() == 0) {
+        int v;
+        recv(&v, 1, Datatype::kInt, 1, 0);  // never sent
+      }
+    });
+    FAIL() << "expected deadlock";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("rank0.main"), std::string::npos);
+  }
+}
+
+TEST(Cluster, DeadlineExceededReported) {
+  ClusterConfig cfg;
+  cfg.nranks = 1;
+  cfg.deadline = sim::Time::from_us(10);
+  Cluster c(cfg);
+  try {
+    c.run([](RankCtx&) {
+      for (int i = 0; i < 100; ++i) compute(sim::Time::from_us(1));
+    });
+    FAIL() << "expected deadline error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+}
+
+TEST(Cluster, ApplicationExceptionPropagates) {
+  ClusterConfig cfg;
+  cfg.nranks = 2;
+  Cluster c(cfg);
+  EXPECT_THROW(c.run([](RankCtx& rc) {
+                 if (rc.rank() == 1) throw std::invalid_argument("app bug");
+                 barrier();
+               }),
+               std::invalid_argument);
+}
+
+TEST(Cluster, SpawnOnBindsRankContext) {
+  ClusterConfig cfg;
+  cfg.nranks = 3;
+  Cluster c(cfg);
+  c.run([](RankCtx& rc) {
+    if (rc.rank() != 2) return;
+    int seen = -1;
+    bool done = false;
+    rc.cluster().spawn_on(2, "helper", [&] {
+      seen = rank();  // resolves through the fiber's bound context
+      done = true;
+    });
+    while (!done) compute(sim::Time::from_us(1));
+    EXPECT_EQ(seen, 2);
+  });
+}
+
+TEST(Cluster, HereOutsideFiberThrows) {
+  EXPECT_THROW(Cluster::here(), std::logic_error);
+}
+
+TEST(Cluster, SingleRankWorldIsUsable) {
+  ClusterConfig cfg;
+  cfg.nranks = 1;
+  Cluster c(cfg);
+  c.run([](RankCtx&) {
+    EXPECT_EQ(rank(), 0);
+    EXPECT_EQ(size(), 1);
+    barrier();
+    int v = 7, s = 0;
+    allreduce(&v, &s, 1, Datatype::kInt, Op::kSum);
+    EXPECT_EQ(s, 7);
+  });
+}
+
+TEST(Cluster, TimeInMpiAccounted) {
+  ClusterConfig cfg;
+  cfg.nranks = 2;
+  Cluster c(cfg);
+  c.run([](RankCtx& rc) {
+    const std::size_t big = 1 << 20;
+    std::vector<char> b(big);
+    if (rc.rank() == 0) {
+      send(b.data(), big, Datatype::kByte, 1, 0);
+    } else {
+      recv(b.data(), big, Datatype::kByte, 0, 0);
+    }
+    EXPECT_GT(rc.stats().time_in_mpi.ns(), 0);
+    EXPECT_GT(rc.stats().calls, 0u);
+    EXPECT_GT(rc.stats().progress_passes, 0u);
+  });
+}

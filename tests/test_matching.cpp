@@ -1,0 +1,130 @@
+// Unit tests for the tag-matching engine (wildcards, FIFO order).
+#include <gtest/gtest.h>
+
+#include "mpi/matching.hpp"
+#include "mpi/request.hpp"
+
+using namespace smpi;
+
+namespace {
+
+UnexpectedMsg um(std::uint32_t ctx, int src, int tag, std::size_t bytes = 4) {
+  UnexpectedMsg m;
+  m.env = {ctx, src, tag};
+  m.bytes = bytes;
+  m.payload.resize(bytes);
+  return m;
+}
+
+RequestImpl recv_req(std::uint32_t ctx, int src, int tag) {
+  RequestImpl r;
+  r.kind = ReqKind::kRecv;
+  r.ctx = ctx;
+  r.src_global = src;
+  r.tag = tag;
+  return r;
+}
+
+}  // namespace
+
+TEST(Matching, ExactTriple) {
+  EXPECT_TRUE(MatchingEngine::matches(5, 2, 9, {5, 2, 9}));
+  EXPECT_FALSE(MatchingEngine::matches(5, 2, 9, {6, 2, 9}));
+  EXPECT_FALSE(MatchingEngine::matches(5, 2, 9, {5, 3, 9}));
+  EXPECT_FALSE(MatchingEngine::matches(5, 2, 9, {5, 2, 8}));
+}
+
+TEST(Matching, Wildcards) {
+  EXPECT_TRUE(MatchingEngine::matches(5, kAnySource, 9, {5, 7, 9}));
+  EXPECT_TRUE(MatchingEngine::matches(5, 7, kAnyTag, {5, 7, 1234}));
+  EXPECT_TRUE(MatchingEngine::matches(5, kAnySource, kAnyTag, {5, 0, 0}));
+  // Context never wildcards.
+  EXPECT_FALSE(MatchingEngine::matches(5, kAnySource, kAnyTag, {6, 0, 0}));
+}
+
+TEST(Matching, PostedQueueFifoPerMatch) {
+  MatchingEngine m;
+  RequestImpl r1 = recv_req(1, kAnySource, kAnyTag);
+  RequestImpl r2 = recv_req(1, kAnySource, kAnyTag);
+  m.post_recv(&r1);
+  m.post_recv(&r2);
+  EXPECT_EQ(m.match_posted({1, 0, 0}), &r1);
+  EXPECT_EQ(m.match_posted({1, 0, 0}), &r2);
+  EXPECT_EQ(m.match_posted({1, 0, 0}), nullptr);
+}
+
+TEST(Matching, PostedSkipsNonMatching) {
+  MatchingEngine m;
+  RequestImpl specific = recv_req(1, 3, 7);
+  RequestImpl any = recv_req(1, kAnySource, kAnyTag);
+  m.post_recv(&specific);
+  m.post_recv(&any);
+  // Envelope from src 9 skips the specific receive, takes the wildcard.
+  EXPECT_EQ(m.match_posted({1, 9, 7}), &any);
+  EXPECT_EQ(m.match_posted({1, 3, 7}), &specific);
+}
+
+TEST(Matching, RemovePosted) {
+  MatchingEngine m;
+  RequestImpl r = recv_req(1, 0, 0);
+  m.post_recv(&r);
+  EXPECT_TRUE(m.remove_posted(&r));
+  EXPECT_FALSE(m.remove_posted(&r));
+  EXPECT_EQ(m.match_posted({1, 0, 0}), nullptr);
+}
+
+TEST(Matching, UnexpectedFifoAndByteAccounting) {
+  MatchingEngine m;
+  m.add_unexpected(um(1, 0, 5, 16));
+  m.add_unexpected(um(1, 0, 5, 32));
+  EXPECT_EQ(m.unexpected_count(), 2u);
+  EXPECT_EQ(m.unexpected_bytes(), 48u);
+  auto first = m.match_unexpected(1, 0, 5);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->bytes, 16u);
+  EXPECT_EQ(m.unexpected_bytes(), 32u);
+  auto second = m.match_unexpected(1, kAnySource, kAnyTag);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->bytes, 32u);
+  EXPECT_FALSE(m.match_unexpected(1, 0, 5).has_value());
+}
+
+TEST(Matching, PeekDoesNotRemove) {
+  MatchingEngine m;
+  m.add_unexpected(um(2, 4, 8));
+  const UnexpectedMsg* p = m.peek_unexpected(2, kAnySource, 8);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->env.src_global, 4);
+  EXPECT_EQ(m.unexpected_count(), 1u);
+  EXPECT_EQ(m.peek_unexpected(2, 5, 8), nullptr);
+}
+
+TEST(RequestTable, AllocRecyclesSlots) {
+  RequestTable t;
+  RequestImpl& a = t.alloc();
+  RequestImpl& b = t.alloc();
+  EXPECT_NE(a.idx, b.idx);
+  EXPECT_NE(a.idx, 0);
+  const int old_idx = a.idx;
+  t.release(a);
+  RequestImpl& c = t.alloc();
+  EXPECT_EQ(c.idx, old_idx);  // LIFO recycling
+  EXPECT_TRUE(c.active);
+  EXPECT_FALSE(c.complete);
+  EXPECT_EQ(t.active_count(), 2u);
+}
+
+TEST(RequestTable, ResetClearsAllFields) {
+  RequestTable t;
+  RequestImpl& a = t.alloc();
+  a.kind = ReqKind::kSendRndv;
+  a.complete = true;
+  a.sbytes = 99;
+  a.cts_received = true;
+  t.release(a);
+  RequestImpl& b = t.alloc();
+  EXPECT_EQ(b.kind, ReqKind::kNull);
+  EXPECT_FALSE(b.complete);
+  EXPECT_EQ(b.sbytes, 0u);
+  EXPECT_FALSE(b.cts_received);
+}

@@ -1,0 +1,216 @@
+// Offload engine semantics: command round-trips, done-flag protocol,
+// blocking->nonblocking conversion, asynchronous progress, stats.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/proxy.hpp"
+#include "mpi/cluster.hpp"
+
+using namespace smpi;
+using namespace core;
+
+namespace {
+
+ClusterConfig cfg(int n) {
+  ClusterConfig c;
+  c.nranks = n;
+  c.thread_level = ThreadLevel::kFunneled;
+  c.deadline = sim::Time::from_sec(30);
+  return c;
+}
+
+}  // namespace
+
+TEST(OffloadEngine, RoundTripAllOffloadableOps) {
+  Cluster c(cfg(4));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc);
+    p.start();
+    const int me = rc.rank();
+    // p2p
+    int v = me, got = -1;
+    PReq r1 = p.irecv(&got, 1, Datatype::kInt, me ^ 1, 0);
+    PReq r2 = p.isend(&v, 1, Datatype::kInt, me ^ 1, 0);
+    p.wait(r1);
+    p.wait(r2);
+    EXPECT_EQ(got, me ^ 1);
+    // every collective kind
+    int bc = me == 0 ? 55 : -1;
+    p.bcast(&bc, 1, Datatype::kInt, 0);
+    EXPECT_EQ(bc, 55);
+    int sum = 0;
+    p.reduce(&v, &sum, 1, Datatype::kInt, Op::kSum, 0);
+    if (me == 0) EXPECT_EQ(sum, 6);
+    int asum = 0;
+    p.allreduce(&v, &asum, 1, Datatype::kInt, Op::kSum);
+    EXPECT_EQ(asum, 6);
+    std::vector<int> a2a_s(4), a2a_r(4);
+    for (int i = 0; i < 4; ++i) a2a_s[static_cast<std::size_t>(i)] = me * 10 + i;
+    p.alltoall(a2a_s.data(), a2a_r.data(), 1, Datatype::kInt);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(a2a_r[static_cast<std::size_t>(i)], i * 10 + me);
+    std::vector<int> ag(4);
+    p.allgather(&v, ag.data(), 1, Datatype::kInt);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(ag[static_cast<std::size_t>(i)], i);
+    p.barrier();
+    p.stop();
+    EXPECT_GT(p.channel().stats().commands, 0u);
+    EXPECT_EQ(p.channel().stats().completions, p.channel().stats().commands);
+  });
+}
+
+TEST(OffloadEngine, PostReturnsBeforeCompletion) {
+  // The defining property (paper Fig. 4): posting is O(100ns) regardless of
+  // message size, because the application thread only touches the ring.
+  Cluster c(cfg(2));
+  std::int64_t post_small = 0, post_big = 0;
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc);
+    p.start();
+    const std::size_t big = 4 << 20;
+    std::vector<char> sb(big, 'x'), rb(big);
+    const int peer = 1 - rc.rank();
+    PReq rr = p.irecv(rb.data(), big, Datatype::kByte, peer, 1);
+    sim::Time t0 = sim::now();
+    PReq rs = p.isend(sb.data(), 64, Datatype::kByte, peer, 2);
+    if (rc.rank() == 0) post_small = (sim::now() - t0).ns();
+    char tiny[64];
+    PReq rt = p.irecv(tiny, 64, Datatype::kByte, peer, 2);
+    t0 = sim::now();
+    PReq rbg = p.isend(sb.data(), big, Datatype::kByte, peer, 1);
+    if (rc.rank() == 0) post_big = (sim::now() - t0).ns();
+    PReq all[] = {rr, rs, rt, rbg};
+    p.waitall(all);
+    EXPECT_EQ(rb[big - 1], 'x');
+    p.stop();
+  });
+  // Post cost is flat: the 4MB post costs the same as the 64B post (within
+  // noise), and both are well under a microsecond.
+  EXPECT_LT(post_small, 1000);
+  EXPECT_LT(post_big, 1000);
+  EXPECT_NEAR(static_cast<double>(post_big), static_cast<double>(post_small), 200.0);
+}
+
+TEST(OffloadEngine, AsynchronousProgressOverlapsRendezvous) {
+  // Same scenario as P2P.NoProgressOutsideMpiForRendezvous, but with the
+  // offload engine the transfer completes DURING compute: wait is ~free.
+  const std::size_t big = 6 << 20;  // ~1ms wire time
+  Cluster c(cfg(2));
+  std::int64_t wait_ns = -1;
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc);
+    p.start();
+    std::vector<char> sbuf(big, 's'), rbuf(big);
+    const int peer = 1 - rc.rank();
+    PReq rr = p.irecv(rbuf.data(), big, Datatype::kByte, peer, 0);
+    PReq rs = p.isend(sbuf.data(), big, Datatype::kByte, peer, 0);
+    compute(sim::Time::from_ms(5));
+    const sim::Time t0 = sim::now();
+    p.wait(rr);
+    p.wait(rs);
+    if (rc.rank() == 0) wait_ns = (sim::now() - t0).ns();
+    EXPECT_EQ(rbuf[0], 's');
+    p.stop();
+  });
+  EXPECT_GE(wait_ns, 0);
+  EXPECT_LT(wait_ns, 50000);  // <5% of the 1ms transfer: fully overlapped
+}
+
+TEST(OffloadEngine, ManyOutstandingRequests) {
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc, /*ring_capacity=*/64, /*pool_capacity=*/4096);
+    p.start();
+    const int peer = 1 - rc.rank();
+    constexpr int kN = 500;  // forces ring wrap and pool recycling
+    std::vector<int> rvals(kN), svals(kN);
+    for (int i = 0; i < kN; ++i) svals[static_cast<std::size_t>(i)] = rc.rank() * 10000 + i;
+    std::vector<PReq> rs;
+    for (int i = 0; i < kN; ++i) {
+      rs.push_back(p.irecv(&rvals[static_cast<std::size_t>(i)], 1, Datatype::kInt, peer, i));
+      rs.push_back(p.isend(&svals[static_cast<std::size_t>(i)], 1, Datatype::kInt, peer, i));
+    }
+    p.waitall(rs);
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(rvals[static_cast<std::size_t>(i)], peer * 10000 + i);
+    }
+    EXPECT_GE(p.channel().stats().max_inflight, 1u);
+    p.stop();
+  });
+}
+
+TEST(OffloadEngine, TestDoneNonBlocking) {
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc);
+    p.start();
+    if (rc.rank() == 0) {
+      int got = -1;
+      PReq r = p.irecv(&got, 1, Datatype::kInt, 1, 0);
+      EXPECT_FALSE(p.test(r));  // peer sends at 50us
+      while (!p.test(r)) compute(sim::Time::from_us(5));
+      EXPECT_EQ(got, 99);
+    } else {
+      compute(sim::Time::from_us(50));
+      const int v = 99;
+      p.send(&v, 1, Datatype::kInt, 0, 0);
+    }
+    p.barrier();
+    p.stop();
+  });
+}
+
+TEST(OffloadEngine, StatusPropagatesThroughProxy) {
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc);
+    p.start();
+    if (rc.rank() == 0) {
+      double data[8];
+      Status st;
+      PReq r = p.irecv(data, 8, Datatype::kDouble, kAnySource, kAnyTag);
+      p.wait(r, &st);
+      EXPECT_EQ(st.source, 1);
+      EXPECT_EQ(st.tag, 17);
+      EXPECT_EQ(st.count(Datatype::kDouble), 8);
+    } else {
+      double data[8] = {0};
+      p.send(data, 8, Datatype::kDouble, 0, 17);
+    }
+    p.barrier();
+    p.stop();
+  });
+}
+
+TEST(OffloadEngine, OnlyOffloadThreadEntersMpi) {
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    const std::uint64_t calls_before = rc.stats().calls;
+    OffloadProxy p(rc);
+    p.start();
+    int v = 1, s = 0;
+    p.allreduce(&v, &s, 1, Datatype::kInt, Op::kSum);
+    p.stop();
+    // All MPI library entries were made by the engine fiber; the application
+    // fiber performed none itself — but stats are per-rank, so just verify
+    // the engine made a sane number and the app-side wait made zero beyond
+    // what the engine accounts for (engine calls == library entries).
+    EXPECT_GT(rc.stats().calls, calls_before);
+  });
+}
+
+TEST(OffloadEngine, ShutdownDrainsInflight) {
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc);
+    p.start();
+    const int peer = 1 - rc.rank();
+    int got = -1, v = rc.rank();
+    PReq rr = p.irecv(&got, 1, Datatype::kInt, peer, 0);
+    PReq rs = p.isend(&v, 1, Datatype::kInt, peer, 0);
+    p.wait(rr);
+    p.wait(rs);
+    p.stop();  // engine must exit despite having processed everything
+    EXPECT_EQ(got, peer);
+  });
+}

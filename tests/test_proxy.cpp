@@ -1,0 +1,137 @@
+// Semantic equivalence across the four approaches: identical application
+// code must produce identical data under every proxy (only timing differs).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/proxy.hpp"
+#include "mpi/cluster.hpp"
+
+using namespace smpi;
+using namespace core;
+
+namespace {
+
+ClusterConfig cfg_for(Approach a, int n) {
+  ClusterConfig c;
+  c.nranks = n;
+  c.thread_level = required_thread_level(a);
+  c.deadline = sim::Time::from_sec(30);
+  return c;
+}
+
+}  // namespace
+
+class ProxyMatrix : public ::testing::TestWithParam<Approach> {};
+
+TEST_P(ProxyMatrix, HaloExchangePattern) {
+  // The Listing-1 pattern: pack, post nonblocking halo exchange, compute,
+  // wait, unpack — the core loop of the QCD/stencil application.
+  const Approach a = GetParam();
+  Cluster c(cfg_for(a, 4));
+  c.run([&](RankCtx& rc) {
+    auto p = make_proxy(a, rc);
+    p->start();
+    const int me = rc.rank(), np = 4;
+    const int left = (me + np - 1) % np, right = (me + 1) % np;
+    const std::size_t n = 4096;
+    std::vector<double> send_l(n, me * 10 + 1), send_r(n, me * 10 + 2);
+    std::vector<double> recv_l(n), recv_r(n);
+    for (int iter = 0; iter < 3; ++iter) {
+      PReq reqs[4];
+      reqs[0] = p->irecv(recv_l.data(), n, Datatype::kDouble, left, 0);
+      reqs[1] = p->irecv(recv_r.data(), n, Datatype::kDouble, right, 1);
+      reqs[2] = p->isend(send_r.data(), n, Datatype::kDouble, right, 0);
+      reqs[3] = p->isend(send_l.data(), n, Datatype::kDouble, left, 1);
+      compute(sim::Time::from_us(30));
+      p->progress_hint();
+      compute(sim::Time::from_us(30));
+      p->waitall(reqs);
+      EXPECT_DOUBLE_EQ(recv_l[0], left * 10 + 2);
+      EXPECT_DOUBLE_EQ(recv_r[n - 1], right * 10 + 1);
+      p->barrier();
+    }
+    p->stop();
+  });
+}
+
+TEST_P(ProxyMatrix, CollectiveSuiteProducesIdenticalData) {
+  const Approach a = GetParam();
+  Cluster c(cfg_for(a, 4));
+  c.run([&](RankCtx& rc) {
+    auto p = make_proxy(a, rc);
+    p->start();
+    const int me = rc.rank();
+    double v = me + 1.0, s = 0;
+    p->allreduce(&v, &s, 1, Datatype::kDouble, Op::kSum);
+    EXPECT_DOUBLE_EQ(s, 10.0);
+    std::vector<float> blocks(4, static_cast<float>(me)), out(4);
+    p->alltoall(blocks.data(), out.data(), 1, Datatype::kFloat);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], static_cast<float>(i));
+    int root_val = me == 2 ? 1234 : 0;
+    p->bcast(&root_val, 1, Datatype::kInt, 2);
+    EXPECT_EQ(root_val, 1234);
+    p->stop();
+  });
+}
+
+TEST_P(ProxyMatrix, RendezvousMessagesThroughProxy) {
+  const Approach a = GetParam();
+  Cluster c(cfg_for(a, 2));
+  c.run([&](RankCtx& rc) {
+    auto p = make_proxy(a, rc);
+    p->start();
+    const std::size_t big = 1 << 20;
+    std::vector<char> sb(big, static_cast<char>('A' + rc.rank())), rb(big);
+    const int peer = 1 - rc.rank();
+    PReq rr = p->irecv(rb.data(), big, Datatype::kByte, peer, 0);
+    PReq rs = p->isend(sb.data(), big, Datatype::kByte, peer, 0);
+    compute(sim::Time::from_us(200));
+    p->wait(rr);
+    p->wait(rs);
+    EXPECT_EQ(rb[0], static_cast<char>('A' + peer));
+    EXPECT_EQ(rb[big - 1], static_cast<char>('A' + peer));
+    p->stop();
+  });
+}
+
+TEST_P(ProxyMatrix, ComputeThreadAccounting) {
+  const Approach a = GetParam();
+  Cluster c(cfg_for(a, 2));
+  c.run([&](RankCtx& rc) {
+    auto p = make_proxy(a, rc);
+    const int cores = 14;
+    const int expect = (a == Approach::kOffload || a == Approach::kCommSelf)
+                           ? cores - 1
+                           : cores;
+    EXPECT_EQ(p->compute_threads(cores), expect);
+    (void)rc;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Approaches, ProxyMatrix,
+                         ::testing::Values(Approach::kBaseline, Approach::kIprobe,
+                                           Approach::kCommSelf, Approach::kOffload),
+                         [](const ::testing::TestParamInfo<Approach>& info) {
+                           std::string n = approach_name(info.param);
+                           for (auto& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(ProxyFactory, NamesRoundTrip) {
+  for (Approach a : {Approach::kBaseline, Approach::kIprobe, Approach::kCommSelf,
+                     Approach::kOffload}) {
+    EXPECT_EQ(approach_from_string(approach_name(a)), a);
+  }
+  EXPECT_EQ(approach_from_string("commself"), Approach::kCommSelf);
+  EXPECT_THROW(approach_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(ProxyFactory, RequiredThreadLevels) {
+  EXPECT_EQ(required_thread_level(Approach::kBaseline), ThreadLevel::kFunneled);
+  EXPECT_EQ(required_thread_level(Approach::kIprobe), ThreadLevel::kFunneled);
+  EXPECT_EQ(required_thread_level(Approach::kCommSelf), ThreadLevel::kMultiple);
+  EXPECT_EQ(required_thread_level(Approach::kOffload), ThreadLevel::kFunneled);
+}

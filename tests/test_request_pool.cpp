@@ -1,0 +1,92 @@
+// Tests for the lock-free proxy-request pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/request_pool.hpp"
+
+using core::RequestPool;
+
+TEST(RequestPool, AllocAllThenExhaust) {
+  RequestPool pool(8);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint32_t idx = pool.alloc();
+    ASSERT_NE(idx, RequestPool::kNil);
+    EXPECT_TRUE(seen.insert(idx).second) << "duplicate slot";
+  }
+  EXPECT_EQ(pool.alloc(), RequestPool::kNil);
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(RequestPool, FreeMakesSlotReusable) {
+  RequestPool pool(2);
+  const std::uint32_t a = pool.alloc();
+  const std::uint32_t b = pool.alloc();
+  EXPECT_EQ(pool.alloc(), RequestPool::kNil);
+  pool.free(a);
+  EXPECT_EQ(pool.alloc(), a);  // LIFO
+  pool.free(b);
+  pool.free(a);
+  EXPECT_EQ(pool.free_count(), 2u);
+}
+
+TEST(RequestPool, CompletionProtocol) {
+  RequestPool pool(4);
+  const std::uint32_t idx = pool.alloc();
+  EXPECT_FALSE(pool.done(idx));
+  smpi::Status st;
+  st.source = 3;
+  st.tag = 9;
+  st.bytes = 128;
+  pool.complete(idx, st);
+  EXPECT_TRUE(pool.done(idx));
+  EXPECT_EQ(pool.status(idx).source, 3);
+  EXPECT_EQ(pool.status(idx).tag, 9);
+  EXPECT_EQ(pool.status(idx).bytes, 128u);
+  pool.free(idx);
+  // Recycled slot starts not-done.
+  const std::uint32_t again = pool.alloc();
+  EXPECT_EQ(again, idx);
+  EXPECT_FALSE(pool.done(again));
+}
+
+TEST(RequestPool, FreeOutOfRangeThrows) {
+  RequestPool pool(4);
+  EXPECT_THROW(pool.free(4), std::out_of_range);
+}
+
+// Real-thread stress: N threads repeatedly alloc/free; every handed-out slot
+// must be exclusively owned (no double allocation of a live slot).
+TEST(RequestPool, ConcurrentAllocFreeStress) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  RequestPool pool(64);
+  std::vector<std::atomic<int>> owner(64);
+  for (auto& o : owner) o.store(-1);
+  std::atomic<bool> start{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint32_t idx = pool.alloc();
+        if (idx == RequestPool::kNil) continue;
+        int expected = -1;
+        if (!owner[idx].compare_exchange_strong(expected, t)) {
+          violations.fetch_add(1);
+        }
+        owner[idx].store(-1);
+        pool.free(idx);
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(pool.free_count(), 64u);
+}

@@ -1,0 +1,113 @@
+// Team (OpenMP-style fork/join) tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/team.hpp"
+#include "mpi/cluster.hpp"
+
+using namespace smpi;
+using core::Team;
+
+namespace {
+ClusterConfig cfg1() {
+  ClusterConfig c;
+  c.nranks = 1;
+  c.deadline = sim::Time::from_sec(10);
+  return c;
+}
+}  // namespace
+
+TEST(Team, AllThreadsRunRegion) {
+  Cluster c(cfg1());
+  c.run([&](RankCtx& rc) {
+    Team team(rc, 8);
+    std::vector<int> hits(8, 0);
+    team.parallel([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+    team.shutdown();
+  });
+}
+
+TEST(Team, RegionsRunBackToBack) {
+  Cluster c(cfg1());
+  c.run([&](RankCtx& rc) {
+    Team team(rc, 4);
+    int total = 0;
+    for (int r = 0; r < 10; ++r) {
+      team.parallel([&](int tid) {
+        if (tid == 0) ++total;  // master-only side effect per region
+      });
+    }
+    EXPECT_EQ(total, 10);
+    team.shutdown();
+  });
+}
+
+TEST(Team, JoinWaitsForSlowestWorker) {
+  Cluster c(cfg1());
+  c.run([&](RankCtx& rc) {
+    Team team(rc, 4);
+    team.parallel([&](int tid) {
+      compute(sim::Time::from_us(static_cast<double>(tid) * 100.0));
+    });
+    EXPECT_GE(sim::now().ns(), 300000);  // slowest worker: 300us
+    team.shutdown();
+  });
+}
+
+TEST(Team, BarrierInsideRegionSynchronizes) {
+  Cluster c(cfg1());
+  c.run([&](RankCtx& rc) {
+    Team team(rc, 4);
+    std::vector<std::int64_t> after(4);
+    team.parallel([&](int tid) {
+      compute(sim::Time::from_us(static_cast<double>(tid) * 50.0));
+      team.barrier();
+      after[static_cast<std::size_t>(tid)] = sim::now().ns();
+    });
+    for (auto t : after) EXPECT_GE(t, 150000);
+    team.shutdown();
+  });
+}
+
+TEST(Team, WorkSplitsAcrossThreads) {
+  // The load-balance model: total work W split over T threads takes ~W/T.
+  Cluster c(cfg1());
+  c.run([&](RankCtx& rc) {
+    const sim::Time t0 = sim::now();
+    Team team(rc, 10);
+    team.parallel([&](int) {
+      compute(sim::Time::from_us(100));  // each thread: W/T
+    });
+    const std::int64_t elapsed = (sim::now() - t0).ns();
+    EXPECT_GE(elapsed, 100000);
+    EXPECT_LT(elapsed, 115000);  // near-perfect scaling plus small overheads
+    team.shutdown();
+  });
+}
+
+TEST(Team, SingleThreadTeamDegenerates) {
+  Cluster c(cfg1());
+  c.run([&](RankCtx& rc) {
+    Team team(rc, 1);
+    int ran = 0;
+    team.parallel([&](int tid) {
+      EXPECT_EQ(tid, 0);
+      ++ran;
+    });
+    EXPECT_EQ(ran, 1);
+    team.shutdown();
+  });
+}
+
+TEST(Team, DestructorShutsDown) {
+  Cluster c(cfg1());
+  c.run([&](RankCtx& rc) {
+    {
+      Team team(rc, 4);
+      team.parallel([](int) {});
+    }  // destructor must join workers so the cluster can drain
+  });
+  SUCCEED();
+}
