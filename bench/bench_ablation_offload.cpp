@@ -11,6 +11,7 @@
 #include "apps/qcd/dslash_perf.hpp"
 #include "benchlib/osu.hpp"
 #include "benchlib/overlap.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 #include "mpi/cluster.hpp"
 
@@ -28,7 +29,7 @@ void a1_eager_threshold() {
     const OverlapResult r = overlap_p2p(Approach::kBaseline, prof, 192 << 10);
     t.row({fmt_bytes(thr), fmt_us(r.comm_us), fmt_pct(r.overlap_frac)});
   }
-  t.print();
+  benchlib::finish_table(t);
 }
 
 void a2_pipeline_depth() {
@@ -40,7 +41,7 @@ void a2_pipeline_depth() {
     const OverlapResult r = overlap_p2p(Approach::kBaseline, prof, 2 << 20);
     t.row({fmt_int(depth), fmt_pct(r.overlap_frac), fmt_pct(r.wait_frac)});
   }
-  t.print();
+  benchlib::finish_table(t);
 }
 
 void a3_detect_latency() {
@@ -53,7 +54,7 @@ void a3_detect_latency() {
     const OsuResult r = osu_latency(Approach::kOffload, prof, 8);
     t.row({fmt_int(ns), fmt_us(r.latency_us)});
   }
-  t.print();
+  benchlib::finish_table(t);
 }
 
 void a4_dedicated_core() {
@@ -74,7 +75,7 @@ void a4_dedicated_core() {
     t.row({fmt_int(cores), fmt_us(base, 0), fmt_us(off, 0),
            fmt_pct((off - base) / base)});
   }
-  t.print();
+  benchlib::finish_table(t);
 }
 
 void a5_ring_capacity() {
@@ -106,12 +107,13 @@ void a5_ring_capacity() {
     t.row({fmt_int(static_cast<long long>(cap)),
            fmt_int(static_cast<long long>(stalls)), fmt_us(us, 1)});
   }
-  t.print();
+  benchlib::finish_table(t);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   a1_eager_threshold();
   a2_pipeline_depth();
   a3_detect_latency();

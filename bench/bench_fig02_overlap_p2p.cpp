@@ -9,12 +9,14 @@
 #include <vector>
 
 #include "benchlib/overlap.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
 using core::Approach;
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   const auto prof = machine::xeon_fdr();
   const std::vector<std::size_t> sizes = {8,    64,    512,    4096,   16384,
                                           65536, 131072, 262144, 524288,
@@ -32,6 +34,6 @@ int main() {
              fmt_pct(r.post_frac), fmt_pct(r.wait_frac), fmt_pct(r.overlap_frac)});
     }
   }
-  t.print();
+  benchlib::finish_table(t);
   return 0;
 }

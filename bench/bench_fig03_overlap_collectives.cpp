@@ -7,12 +7,14 @@
 #include <cstdio>
 
 #include "benchlib/overlap.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
 using core::Approach;
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   const auto prof = machine::xeon_fdr();
   const int nranks = 16;
   const CollKind kinds[] = {CollKind::kIbcast,    CollKind::kIreduce,
@@ -33,7 +35,7 @@ int main() {
                fmt_pct(r.overlap_frac)});
       }
     }
-    t.print();
+    benchlib::finish_table(t);
     std::printf("\n");
   }
   return 0;

@@ -9,12 +9,14 @@
 #include <vector>
 
 #include "benchlib/osu.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
 using core::Approach;
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   const auto prof = machine::xeon_fdr();
   const std::vector<std::size_t> sizes = {8, 64, 512, 4096, 16384, 65536};
   const Approach approaches[] = {Approach::kBaseline, Approach::kCommSelf,
@@ -33,7 +35,7 @@ int main() {
       }
       t.row(row);
     }
-    t.print();
+    benchlib::finish_table(t);
     std::printf("\n");
   }
   return 0;

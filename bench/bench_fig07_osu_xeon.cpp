@@ -8,12 +8,14 @@
 #include <vector>
 
 #include "benchlib/osu.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
 using core::Approach;
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   const auto prof = machine::xeon_fdr();
   const std::vector<std::size_t> sizes = {8,      64,     512,    4096,
                                           16384,  65536,  262144, 1u << 20,
@@ -30,7 +32,7 @@ int main() {
     }
     lat.row(row);
   }
-  lat.print();
+  benchlib::finish_table(lat);
 
   std::printf("\nFigure 7(b): OSU uni-directional bandwidth (2 ranks, %s)\n",
               prof.name.c_str());
@@ -42,6 +44,6 @@ int main() {
     }
     bw.row(row);
   }
-  bw.print();
+  benchlib::finish_table(bw);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "apps/qcd/dslash_perf.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
@@ -51,13 +52,14 @@ void run_platform(const char* title, const machine::Profile& prof,
     }
     t.row(row);
   }
-  t.print();
+  benchlib::finish_table(t);
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   const auto xeon = machine::xeon_fdr();
   const auto edison = machine::aries();
   const auto corespec = machine::aries_corespec();

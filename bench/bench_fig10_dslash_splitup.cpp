@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "apps/qcd/dslash_perf.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
@@ -13,7 +14,8 @@ using core::Approach;
 using qcd::QcdPerfConfig;
 using qcd::QcdPerfResult;
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   for (const auto& prof : {machine::xeon_fdr(), machine::xeon_phi()}) {
     std::printf("Figure 10: Dslash timing split, 32^3x256, %s\n",
                 prof.name.c_str());
@@ -34,7 +36,7 @@ int main() {
                fmt_pct((r.misc_us + r.post_us) / tot)});
       }
     }
-    t.print();
+    benchlib::finish_table(t);
     std::printf("\n");
   }
   return 0;

@@ -7,13 +7,15 @@
 #include <cstdio>
 
 #include "apps/qcd/dslash_perf.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
 using core::Approach;
 using qcd::QcdPerfConfig;
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   std::printf("Figure 11: QCD solver (Dslash + BLAS1 + Allreduce), "
               "48^3x512, Endeavor Xeon (TFLOPS)\n");
   Table t({"nodes", "baseline", "iprobe", "comm-self", "offload"});
@@ -31,6 +33,6 @@ int main() {
     }
     t.row(row);
   }
-  t.print();
+  benchlib::finish_table(t);
   return 0;
 }

@@ -8,13 +8,15 @@
 #include <cstdio>
 
 #include "apps/qcd/dslash_perf.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
 using core::Approach;
 using qcd::QcdPerfConfig;
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   std::printf("Figure 12: Dslash with thread-groups (4 groups) vs funneled, "
               "32^3x256, Endeavor Xeon (relative speedup)\n");
   Table t({"nodes", "baseline", "iprobe", "comm-self", "offload"});
@@ -34,6 +36,6 @@ int main() {
     }
     t.row(row);
   }
-  t.print();
+  benchlib::finish_table(t);
   return 0;
 }

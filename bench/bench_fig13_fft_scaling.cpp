@@ -10,13 +10,15 @@
 #include <vector>
 
 #include "apps/fft/distributed_fft.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
 using core::Approach;
 using fft::FftPerfConfig;
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   // Node counts capped at 64 (paper: 256): the 2^29-point all-to-alls at
   // 128+ simulated ranks generate O(10^8) wire events — beyond what a
   // single-host run of the simulator can turn around. The paper's trend
@@ -40,7 +42,7 @@ int main() {
     }
     a.row(row);
   }
-  a.print();
+  benchlib::finish_table(a);
 
   std::printf("\nFigure 13(b): FFT weak scaling, 2^25 points/node, Endeavor "
               "Xeon Phi (GFLOPS); comm-self unsupported on this platform\n");
@@ -60,6 +62,6 @@ int main() {
     }
     b.row(row);
   }
-  b.print();
+  benchlib::finish_table(b);
   return 0;
 }

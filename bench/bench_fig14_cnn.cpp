@@ -9,13 +9,15 @@
 #include <vector>
 
 #include "apps/cnn/trainer.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
 using cnn::CnnPerfConfig;
 using core::Approach;
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   std::printf("Figure 14: CNN hybrid-parallel training, batch 256, Endeavor "
               "Xeon (images/s)\n");
   Table t({"nodes", "baseline", "iprobe", "comm-self", "offload"});
@@ -31,6 +33,6 @@ int main() {
     }
     t.row(row);
   }
-  t.print();
+  benchlib::finish_table(t);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "apps/qcd/dslash_perf.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
@@ -16,7 +17,8 @@ using core::Approach;
 using qcd::QcdPerfConfig;
 using qcd::QcdPerfResult;
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   std::printf("Table 1: QCD Dslash time per iteration, 32^3x256 lattice, "
               "Endeavor Xeon (us)\n");
   Table t({"nodes", "approach", "internal", "post", "wait", "misc", "total",
@@ -43,6 +45,6 @@ int main() {
                    (base.internal_us > 0 ? base.internal_us : 1)),
            red(base.post_us, off.post_us), red(base.wait_us, off.wait_us)});
   }
-  t.print();
+  benchlib::finish_table(t);
   return 0;
 }

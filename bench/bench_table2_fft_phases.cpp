@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "apps/fft/distributed_fft.hpp"
+#include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 
 using namespace benchlib;
@@ -14,7 +15,8 @@ using core::Approach;
 using fft::FftPerfConfig;
 using fft::FftPerfResult;
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::Runner runner(argc, argv);
   std::printf("Table 2: 1-D FFT (SOI) per transform, 2^25 points/node, "
               "Endeavor Xeon Phi cluster (ms)\n");
   Table t({"nodes", "approach", "internal", "post", "wait", "misc", "total",
@@ -43,6 +45,6 @@ int main() {
                    (base.internal_ms > 0 ? base.internal_ms : 1)),
            red(base.post_ms, off.post_ms), red(base.wait_ms, off.wait_ms)});
   }
-  t.print();
+  benchlib::finish_table(t);
   return 0;
 }

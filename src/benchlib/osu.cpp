@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "benchlib/runner.hpp"
 #include "mpi/cluster.hpp"
 #include "sim/stats.hpp"
 
@@ -61,8 +62,10 @@ OsuResult osu_latency(Approach a, const machine::Profile& prof,
       res.latency_us = total_us / (2.0 * iters);
       res.post_us = post_acc.us() / iters;
     }
+    report_proxy_stats(*p);
     p->stop();
   });
+  report_cluster_stats(c);
   return res;
 }
 
@@ -101,8 +104,10 @@ OsuResult osu_bandwidth(Approach a, const machine::Profile& prof,
       const double secs = (sim::now() - t0).sec();
       res.bandwidth_mbps = static_cast<double>(bytes) * window * iters / secs / 1e6;
     }
+    report_proxy_stats(*p);
     p->stop();
   });
+  report_cluster_stats(c);
   return res;
 }
 
@@ -146,8 +151,10 @@ OsuResult osu_latency_mt(Approach a, const machine::Profile& prof, int threads,
     run_pair(0);
     while (*done_count < threads) sim::advance(sim::Time::from_us(1));
     p->barrier();
+    report_proxy_stats(*p);
     p->stop();
   });
+  report_cluster_stats(c);
   res.latency_us = lat_us.mean();
   return res;
 }

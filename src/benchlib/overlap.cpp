@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "benchlib/runner.hpp"
 #include "mpi/cluster.hpp"
 
 namespace benchlib {
@@ -89,8 +90,10 @@ OverlapResult overlap_p2p(Approach a, const machine::Profile& prof,
       res.overlap_frac =
           std::max(0.0, (wait1.us() - wait2.us()) / iters / comm_us);
     }
+    report_proxy_stats(*p);
     p->stop();
   });
+  report_cluster_stats(c);
   return res;
 }
 
@@ -182,8 +185,10 @@ OverlapResult overlap_collective(Approach a, const machine::Profile& prof,
       res.wait_frac = wait_ovl.us() / iters / pure_us;
       res.overlap_frac = std::max(0.0, 1.0 - res.wait_frac - res.post_frac);
     }
+    report_proxy_stats(*p);
     p->stop();
   });
+  report_cluster_stats(c);
   return res;
 }
 
@@ -208,8 +213,10 @@ double icollective_post_us(Approach a, const machine::Profile& prof,
       if (i >= warmup) post += t1 - t0;
     }
     if (rc.rank() == 0) post_us = post.us() / iters;
+    report_proxy_stats(*p);
     p->stop();
   });
+  report_cluster_stats(c);
   return post_us;
 }
 

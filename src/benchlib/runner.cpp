@@ -1,0 +1,152 @@
+#include "benchlib/runner.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "core/proxy.hpp"
+#include "mpi/cluster.hpp"
+#include "trace/scope.hpp"
+#include "trace/tracer.hpp"
+
+namespace benchlib {
+
+namespace {
+
+bool g_stats_enabled = false;
+Runner* g_active_runner = nullptr;
+
+[[noreturn]] void usage_and_exit(const char* argv0, const char* bad) {
+  std::fprintf(stderr, "unknown/incomplete option: %s\n", bad);
+  std::fprintf(stderr,
+               "usage: %s [--trace <file>] [--csv <file>] [--stats]\n"
+               "  env: MPIOFF_TRACE=<file>  MPIOFF_STATS=1\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+Runner::Runner(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--trace") == 0) {
+      if (i + 1 >= argc) usage_and_exit(argv[0], a);
+      trace_path_ = argv[++i];
+    } else if (std::strcmp(a, "--csv") == 0) {
+      if (i + 1 >= argc) usage_and_exit(argv[0], a);
+      csv_path_ = argv[++i];
+    } else if (std::strcmp(a, "--stats") == 0) {
+      g_stats_enabled = true;
+    } else {
+      usage_and_exit(argv[0], a);
+    }
+  }
+  if (trace_path_.empty()) {
+    if (const char* e = std::getenv("MPIOFF_TRACE"); e != nullptr && *e != '\0') {
+      trace_path_ = e;
+    }
+  }
+  if (!g_stats_enabled) {
+    if (const char* e = std::getenv("MPIOFF_STATS");
+        e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0) {
+      g_stats_enabled = true;
+    }
+  }
+  if (!trace_path_.empty()) trace::Tracer::set_enabled(true);
+  g_active_runner = this;
+}
+
+Runner::~Runner() {
+  if (g_active_runner == this) g_active_runner = nullptr;
+  if (trace_path_.empty()) return;
+  trace::Tracer& tr = trace::Tracer::instance();
+  trace::Tracer::set_enabled(false);
+  if (tr.write_file(trace_path_)) {
+    std::fprintf(stderr, "[trace] wrote %zu events (%zu dropped) to %s\n",
+                 tr.events().size(), tr.dropped(), trace_path_.c_str());
+  } else {
+    std::fprintf(stderr, "[trace] FAILED to write %s\n", trace_path_.c_str());
+  }
+}
+
+void Runner::finish(const Table& t) {
+  t.print();
+  if (csv_path_.empty()) return;
+  std::ofstream f(csv_path_, csv_started_ ? (std::ios::out | std::ios::app)
+                                          : (std::ios::out | std::ios::trunc));
+  if (!f) {
+    std::fprintf(stderr, "[csv] cannot open %s\n", csv_path_.c_str());
+    return;
+  }
+  if (csv_started_) f << '\n';  // blank line between successive tables
+  t.print_csv(f);
+  csv_started_ = true;
+}
+
+bool Runner::stats_enabled() { return g_stats_enabled; }
+void Runner::set_stats_enabled(bool on) { g_stats_enabled = on; }
+Runner* Runner::active() { return g_active_runner; }
+
+void finish_table(const Table& t) {
+  if (g_active_runner != nullptr) {
+    g_active_runner->finish(t);
+  } else {
+    t.print();
+  }
+}
+
+void report_proxy_stats(core::Proxy& p) {
+  if (!g_stats_enabled) return;
+  auto* op = dynamic_cast<core::OffloadProxy*>(&p);
+  if (op == nullptr) return;
+  const core::OffloadStats& s = op->channel().stats();
+  const int rank = p.rank_ctx().rank();
+  if (trace::Tracer::on()) {
+    const std::int64_t ts = trace::ambient_ts();
+    trace::Tracer& tr = trace::Tracer::instance();
+    tr.counter(ts, rank, "offload.commands", static_cast<double>(s.commands));
+    tr.counter(ts, rank, "offload.testany_calls",
+               static_cast<double>(s.testany_calls));
+    tr.counter(ts, rank, "offload.completions",
+               static_cast<double>(s.completions));
+    tr.counter(ts, rank, "offload.ring_full_stalls",
+               static_cast<double>(s.ring_full_stalls));
+  }
+  if (rank == 0) {
+    std::printf(
+        "[stats] offload rank0: commands=%llu testany=%llu completions=%llu "
+        "max_inflight=%llu ring_full_stalls=%llu\n",
+        static_cast<unsigned long long>(s.commands),
+        static_cast<unsigned long long>(s.testany_calls),
+        static_cast<unsigned long long>(s.completions),
+        static_cast<unsigned long long>(s.max_inflight),
+        static_cast<unsigned long long>(s.ring_full_stalls));
+  }
+}
+
+void report_cluster_stats(smpi::Cluster& c) {
+  if (!g_stats_enabled) return;
+  const sim::EngineStats& s = c.engine().stats();
+  if (trace::Tracer::on()) {
+    const std::int64_t ts = c.engine().now().ns();
+    trace::Tracer& tr = trace::Tracer::instance();
+    tr.counter(ts, 0, "engine.events_fired",
+               static_cast<double>(s.events_fired));
+    tr.counter(ts, 0, "engine.fibers_spawned",
+               static_cast<double>(s.fibers_spawned));
+    tr.counter(ts, 0, "engine.context_switches",
+               static_cast<double>(s.context_switches));
+  }
+  std::printf(
+      "[stats] engine: events=%llu fibers=%llu ctx_switches=%llu "
+      "end=%.3fus\n",
+      static_cast<unsigned long long>(s.events_fired),
+      static_cast<unsigned long long>(s.fibers_spawned),
+      static_cast<unsigned long long>(s.context_switches),
+      c.engine().now().us());
+}
+
+}  // namespace benchlib

@@ -26,6 +26,29 @@ enum class CmdOp : std::uint8_t {
   kIfence,
 };
 
+/// Stable display name for a command opcode (trace span labels, logs).
+constexpr const char* cmd_op_name(CmdOp op) {
+  switch (op) {
+    case CmdOp::kShutdown:   return "cmd:shutdown";
+    case CmdOp::kIsend:      return "cmd:isend";
+    case CmdOp::kIrecv:      return "cmd:irecv";
+    case CmdOp::kIbarrier:   return "cmd:ibarrier";
+    case CmdOp::kIbcast:     return "cmd:ibcast";
+    case CmdOp::kIreduce:    return "cmd:ireduce";
+    case CmdOp::kIallreduce: return "cmd:iallreduce";
+    case CmdOp::kIalltoall:  return "cmd:ialltoall";
+    case CmdOp::kIallgather: return "cmd:iallgather";
+    case CmdOp::kIgather:    return "cmd:igather";
+    case CmdOp::kIscatter:   return "cmd:iscatter";
+    case CmdOp::kWinCreate:  return "cmd:win-create";
+    case CmdOp::kWinFree:    return "cmd:win-free";
+    case CmdOp::kPut:        return "cmd:put";
+    case CmdOp::kGet:        return "cmd:get";
+    case CmdOp::kIfence:     return "cmd:ifence";
+  }
+  return "cmd:?";
+}
+
 /// One offloaded MPI call, parameters serialized into a flat struct (the
 /// paper's "call-specific structure"). `proxy` is the RequestPool slot whose
 /// done flag signals completion back to the application thread.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "trace/scope.hpp"
+
 namespace core {
 
 OffloadChannel::OffloadChannel(smpi::RankCtx& rc, std::size_t ring_capacity,
@@ -10,11 +12,14 @@ OffloadChannel::OffloadChannel(smpi::RankCtx& rc, std::size_t ring_capacity,
     : rc_(rc),
       ring_(ring_capacity),
       pool_(pool_capacity),
-      completions_(rc.profile().done_flag_detect) {}
+      completions_(rc.profile().done_flag_detect),
+      g_ring_(rc.rank(), "ring_occupancy"),
+      g_inflight_(rc.rank(), "inflight") {}
 
 // ------------------------------------------------------ application side ----
 
 std::uint32_t OffloadChannel::submit(Command cmd) {
+  trace::Scope tsc("cmd:enqueue", "offload");
   const auto& p = rc_.profile();
   // Allocate the proxy request (lock-free pool op).
   sim::advance(p.request_pool_op);
@@ -30,6 +35,7 @@ std::uint32_t OffloadChannel::submit(Command cmd) {
           "(increase pool_capacity or wait on requests sooner)");
     }
     ++stats_.ring_full_stalls;
+    trace::instant("stall:pool-full", "offload");
     const std::uint64_t seen = completions_.count();
     completions_.wait_beyond_timeout(seen, sim::Time::from_us(200));
     proxy = pool_.alloc();
@@ -39,15 +45,19 @@ std::uint32_t OffloadChannel::submit(Command cmd) {
   sim::advance(p.cmd_enqueue);
   while (!ring_.try_push(cmd)) {
     ++stats_.ring_full_stalls;
+    trace::instant("stall:ring-full", "offload");
     sim::advance(p.cmd_enqueue);  // retry cost
   }
+  g_ring_.set(static_cast<double>(ring_.size_approx()));
   // Ring the doorbell: the offload thread's poll loop notices new work after
   // its detection latency.
+  trace::instant("doorbell", "offload");
   rc_.arrivals().signal();
   return proxy;
 }
 
 void OffloadChannel::wait_done(std::uint32_t proxy, smpi::Status* st) {
+  trace::Scope tsc("wait:flag", "offload");
   const auto& p = rc_.profile();
   for (;;) {
     sim::advance(p.done_flag_check);
@@ -92,29 +102,34 @@ void OffloadChannel::issue(const Command& cmd) {
       *cmd.win_out = rc_.win_create(cmd.rbuf, cmd.count, cmd.comm);
       pool_.complete(cmd.proxy, smpi::Status{});
       ++stats_.completions;
+      trace::instant("done:publish", "offload");
       completions_.signal();
       return;
     case CmdOp::kWinFree:
       rc_.win_free(cmd.win);
       pool_.complete(cmd.proxy, smpi::Status{});
       ++stats_.completions;
+      trace::instant("done:publish", "offload");
       completions_.signal();
       return;
     case CmdOp::kPut:
       rc_.put(cmd.sbuf, cmd.count, cmd.peer, cmd.offset, cmd.win);
       pool_.complete(cmd.proxy, smpi::Status{});
       ++stats_.completions;
+      trace::instant("done:publish", "offload");
       completions_.signal();
       return;
     case CmdOp::kGet:
       rc_.get(cmd.rbuf, cmd.count, cmd.peer, cmd.offset, cmd.win);
       pool_.complete(cmd.proxy, smpi::Status{});
       ++stats_.completions;
+      trace::instant("done:publish", "offload");
       completions_.signal();
       return;
     case CmdOp::kIfence:
       real = rc_.ifence(cmd.win);
       inflight_.push_back({real, cmd.proxy});
+      g_inflight_.set(static_cast<double>(inflight_.size()));
       return;
     default:
       break;
@@ -160,10 +175,12 @@ void OffloadChannel::issue(const Command& cmd) {
   inflight_.push_back({real, cmd.proxy});
   stats_.max_inflight = std::max<std::uint64_t>(stats_.max_inflight,
                                                 inflight_.size());
+  g_inflight_.set(static_cast<double>(inflight_.size()));
 }
 
 void OffloadChannel::drive_progress() {
   if (inflight_.empty()) return;
+  trace::Scope tsc("testany:sweep", "offload");
   // MPI_Testany over the in-flight set; publish done flags for completions.
   // Loop until a pass makes no progress (a real offload thread would call
   // Testany repeatedly while its queue is empty).
@@ -179,6 +196,8 @@ void OffloadChannel::drive_progress() {
     pool_.complete(inflight_[i].proxy, st);
     ++stats_.completions;
     inflight_.erase(inflight_.begin() + static_cast<std::ptrdiff_t>(idx));
+    trace::instant("done:publish", "offload");
+    g_inflight_.set(static_cast<double>(inflight_.size()));
     completions_.signal();
     if (inflight_.empty()) return;
   }
@@ -191,6 +210,9 @@ void OffloadChannel::engine_main() {
     Command cmd;
     bool worked = false;
     while (ring_.try_pop(cmd)) {
+      // One span per command covering dequeue + issue, named after the op.
+      trace::Scope tsc(cmd_op_name(cmd.op), "offload");
+      g_ring_.set(static_cast<double>(ring_.size_approx()));
       sim::advance(p.cmd_dequeue);
       worked = true;
       if (cmd.op == CmdOp::kShutdown) {

@@ -24,6 +24,7 @@
 #include "core/request_pool.hpp"
 #include "mpi/rank_ctx.hpp"
 #include "sim/sync.hpp"
+#include "trace/counters.hpp"
 
 namespace core {
 
@@ -87,6 +88,8 @@ class OffloadChannel {
   std::vector<Inflight> inflight_;
   std::vector<smpi::Request> scratch_reqs_;
   OffloadStats stats_;
+  trace::Gauge g_ring_;
+  trace::Gauge g_inflight_;
 };
 
 }  // namespace core

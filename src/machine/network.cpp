@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
 #include <utility>
+
+#include "trace/tracer.hpp"
 
 namespace machine {
 
@@ -19,7 +22,14 @@ Network::Network(sim::Engine& engine, const Profile& profile, int nranks)
       nranks_(nranks),
       egress_free_(static_cast<std::size_t>(nranks), sim::Time::zero()),
       ingress_free_(static_cast<std::size_t>(nranks), sim::Time::zero()),
-      handlers_(static_cast<std::size_t>(nranks)) {}
+      handlers_(static_cast<std::size_t>(nranks)) {
+  auto& tr = trace::Tracer::instance();
+  for (int r = 0; r < nranks; ++r) {
+    tr.name_thread(r, trace::kHwTid, "hw");
+    tr.name_thread(r, trace::kNicTxTid, "nic.tx");
+    tr.name_thread(r, trace::kNicRxTid, "nic.rx");
+  }
+}
 
 void Network::set_delivery_handler(int rank, DeliveryHandler handler) {
   handlers_.at(static_cast<std::size_t>(rank)) = std::move(handler);
@@ -53,6 +63,22 @@ void Network::send(NetMessage&& msg) {
   auto& in = ingress_free_[static_cast<std::size_t>(msg.dst)];
   const sim::Time deliver = std::max(reach, in + ser);
   in = deliver;
+
+  if (trace::Tracer::on()) {
+    auto& tr = trace::Tracer::instance();
+    char label[48];
+    std::snprintf(label, sizeof label, "wire %zuB >%d", wire, msg.dst);
+    // Egress: head-of-line queueing (if the NIC was busy) then serialization.
+    if (depart > now) {
+      tr.complete(now.ns(), (depart - now).ns(), msg.src, trace::kNicTxTid,
+                  "queue", "net");
+    }
+    tr.complete(depart.ns(), ser.ns(), msg.src, trace::kNicTxTid, label, "net");
+    // Ingress occupancy ending at delivery.
+    std::snprintf(label, sizeof label, "wire %zuB <%d", wire, msg.src);
+    tr.complete((deliver - ser).ns(), ser.ns(), msg.dst, trace::kNicRxTid,
+                label, "net");
+  }
 
   // The handler lookup is deferred to delivery time so handlers can be
   // (re)registered while traffic is in flight.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "trace/tracer.hpp"
+
 namespace smpi {
 
 Cluster::Cluster(ClusterConfig cfg)
@@ -14,6 +16,7 @@ Cluster::Cluster(ClusterConfig cfg)
     net_.set_delivery_handler(r, [rc](machine::NetMessage&& m) {
       rc->deliver(std::move(m));
     });
+    trace::Tracer::instance().name_process(r, "rank " + std::to_string(r));
   }
 }
 
@@ -24,6 +27,8 @@ sim::Fiber& Cluster::spawn_on(int rank, std::string name,
   RankCtx* rc = ranks_.at(static_cast<std::size_t>(rank)).get();
   sim::Fiber& f = engine_.spawn(std::move(name), std::move(body));
   f.set_user_data(rc);
+  f.set_trace_pid(rank);
+  trace::Tracer::instance().name_thread(rank, f.id() + 1, f.name());
   return f;
 }
 

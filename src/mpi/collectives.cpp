@@ -104,7 +104,7 @@ void build_reduce_stages(CollOp& op, const CommInfo& ci, std::byte* accum,
 // --------------------------------------------------------------- barrier ----
 
 Request RankCtx::ibarrier(Comm comm) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Ibarrier");
   CommInfo& ci = comms_.get(comm);
   auto op = new_op(ci, comm);
   const int p = ci.size();
@@ -131,7 +131,7 @@ void RankCtx::barrier(Comm comm) {
 
 Request RankCtx::ibcast(void* buf, std::size_t count, Datatype dt, int root,
                         Comm comm) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Ibcast");
   CommInfo& ci = comms_.get(comm);
   auto op = new_op(ci, comm);
   build_bcast_stages(*op, ci, buf, count * datatype_size(dt), root);
@@ -148,7 +148,7 @@ void RankCtx::bcast(void* buf, std::size_t count, Datatype dt, int root,
 
 Request RankCtx::ireduce(const void* sbuf, void* rbuf, std::size_t count,
                          Datatype dt, Op rop, int root, Comm comm) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Ireduce");
   CommInfo& ci = comms_.get(comm);
   const std::size_t bytes = count * datatype_size(dt);
   // Phantom (timing-only) reductions carry no data, so the schedule's
@@ -180,7 +180,7 @@ void RankCtx::reduce(const void* sbuf, void* rbuf, std::size_t count,
 
 Request RankCtx::iallreduce(const void* sbuf, void* rbuf, std::size_t count,
                             Datatype dt, Op rop, Comm comm) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Iallreduce");
   CommInfo& ci = comms_.get(comm);
   const std::size_t bytes = count * datatype_size(dt);
   const bool phantom = sbuf == nullptr;
@@ -313,7 +313,7 @@ void RankCtx::allreduce(const void* sbuf, void* rbuf, std::size_t count,
 
 Request RankCtx::ialltoall(const void* sbuf, void* rbuf,
                            std::size_t count_per_rank, Datatype dt, Comm comm) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Ialltoall");
   CommInfo& ci = comms_.get(comm);
   const std::size_t blk = count_per_rank * datatype_size(dt);
   const int p = ci.size();
@@ -371,7 +371,7 @@ void RankCtx::alltoall(const void* sbuf, void* rbuf, std::size_t count_per_rank,
 
 Request RankCtx::iallgather(const void* sbuf, void* rbuf,
                             std::size_t count_per_rank, Datatype dt, Comm comm) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Iallgather");
   CommInfo& ci = comms_.get(comm);
   const std::size_t blk = count_per_rank * datatype_size(dt);
   const int p = ci.size();
@@ -406,7 +406,7 @@ void RankCtx::allgather(const void* sbuf, void* rbuf, std::size_t count_per_rank
 Request RankCtx::igather(const void* sbuf, void* rbuf,
                          std::size_t count_per_rank, Datatype dt, int root,
                          Comm comm) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Igather");
   CommInfo& ci = comms_.get(comm);
   const std::size_t blk = count_per_rank * datatype_size(dt);
   const int p = ci.size();
@@ -439,7 +439,7 @@ void RankCtx::gather(const void* sbuf, void* rbuf, std::size_t count_per_rank,
 Request RankCtx::iscatter(const void* sbuf, void* rbuf,
                           std::size_t count_per_rank, Datatype dt, int root,
                           Comm comm) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Iscatter");
   CommInfo& ci = comms_.get(comm);
   const std::size_t blk = count_per_rank * datatype_size(dt);
   const int p = ci.size();
@@ -473,7 +473,7 @@ void RankCtx::scatter(const void* sbuf, void* rbuf, std::size_t count_per_rank,
 
 Request RankCtx::iscan(const void* sbuf, void* rbuf, std::size_t count,
                        Datatype dt, Op rop, Comm comm) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Iscan");
   CommInfo& ci = comms_.get(comm);
   const std::size_t bytes = count * datatype_size(dt);
   const bool phantom = sbuf == nullptr;

@@ -15,6 +15,7 @@
 #include "mpi/entry.hpp"
 #include "mpi/rank_ctx.hpp"
 #include "mpi/wire.hpp"
+#include "trace/scope.hpp"
 
 namespace smpi {
 
@@ -39,6 +40,7 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
   if (dst_global == rank_) {
     // Loopback: one shared-memory copy, delivered straight to our own inbox
     // (always "eager" — no NIC involved).
+    trace::Scope tsc("send:loopback", "mpi");
     sim::advance(p.copy_cost(bytes));
     machine::NetMessage m;
     m.src = m.dst = rank_;
@@ -62,6 +64,7 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
 
   if (bytes <= p.eager_threshold) {
     // Eager: internal copy + doorbell; complete at once.
+    trace::Scope tsc("send:eager", "mpi");
     sim::advance(p.copy_cost(bytes));
     sim::advance(p.nic_doorbell);
     machine::NetMessage m;
@@ -84,6 +87,7 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
   }
 
   // Rendezvous: control message only; the payload stays in the user buffer.
+  trace::Scope tsc("send:rts", "mpi");
   sim::advance(p.nic_doorbell);
   r.kind = ReqKind::kSendRndv;
   r.sbuf = buf;
@@ -117,6 +121,7 @@ Request RankCtx::irecv_internal(void* buf, std::size_t bytes, int src_global,
 
   // First look in the unexpected queue (MPI ordering requires it).
   if (auto um = match_.match_unexpected(ctx, src_global, tag)) {
+    trace::Scope tsc("recv:unexpected", "mpi");
     ++stats_.unexpected_hits;
     sim::advance(p.mpi_match_cost);
     if (um->is_rndv) {
@@ -219,7 +224,7 @@ void RankCtx::release_if_complete(Request& r, Status* st) {
 
 Request RankCtx::isend(const void* buf, std::size_t count, Datatype dt, int dst,
                        int tag, Comm comm) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Isend");
   const CommInfo& ci = comms_.get(comm);
   if (dst == kProcNull) {
     RequestImpl& r = reqs_.alloc();
@@ -235,7 +240,7 @@ Request RankCtx::isend(const void* buf, std::size_t count, Datatype dt, int dst,
 
 Request RankCtx::irecv(void* buf, std::size_t count, Datatype dt, int src,
                        int tag, Comm comm) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Irecv");
   const CommInfo& ci = comms_.get(comm);
   if (src == kProcNull) {
     RequestImpl& r = reqs_.alloc();
@@ -264,7 +269,7 @@ void RankCtx::recv(void* buf, std::size_t count, Datatype dt, int src, int tag,
 }
 
 bool RankCtx::test(Request& r, Status* st) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Test");
   if (r.is_null()) {
     if (st != nullptr) *st = Status{};
     return true;
@@ -277,7 +282,7 @@ bool RankCtx::test(Request& r, Status* st) {
 }
 
 void RankCtx::wait(Request& r, Status* st) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Wait");
   if (r.is_null()) return;
   RequestImpl& impl = reqs_.get(r);
   wait_until(entry, [&] { return impl.complete; });
@@ -285,7 +290,7 @@ void RankCtx::wait(Request& r, Status* st) {
 }
 
 void RankCtx::waitall(std::span<Request> rs) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Waitall");
   wait_until(entry, [&] {
     for (Request& r : rs) {
       if (!r.is_null() && !reqs_.get(r).complete) return false;
@@ -298,7 +303,7 @@ void RankCtx::waitall(std::span<Request> rs) {
 }
 
 int RankCtx::waitany(std::span<Request> rs, Status* st) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Waitany");
   int found = -1;
   wait_until(entry, [&] {
     bool any_active = false;
@@ -317,7 +322,7 @@ int RankCtx::waitany(std::span<Request> rs, Status* st) {
 }
 
 bool RankCtx::testany(std::span<Request> rs, int* index, Status* st) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Testany");
   progress_poll();
   bool any_active = false;
   for (std::size_t i = 0; i < rs.size(); ++i) {
@@ -334,7 +339,7 @@ bool RankCtx::testany(std::span<Request> rs, int* index, Status* st) {
 }
 
 bool RankCtx::testall(std::span<Request> rs) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Testall");
   progress_poll();
   for (Request& r : rs) {
     if (!r.is_null() && !reqs_.get(r).complete) return false;
@@ -346,7 +351,7 @@ bool RankCtx::testall(std::span<Request> rs) {
 }
 
 std::vector<int> RankCtx::waitsome(std::span<Request> rs) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Waitsome");
   bool any_active = false;
   for (Request& r : rs) any_active = any_active || !r.is_null();
   if (!any_active) return {};
@@ -376,7 +381,7 @@ void RankCtx::sendrecv(const void* sbuf, std::size_t scount, int dst, int stag,
 }
 
 bool RankCtx::iprobe(int src, int tag, Comm comm, Status* st) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Iprobe");
   progress_poll();
   const CommInfo& ci = comms_.get(comm);
   const int src_global = (src == kAnySource) ? kAnySource : ci.to_global(src);
@@ -391,7 +396,7 @@ bool RankCtx::iprobe(int src, int tag, Comm comm, Status* st) {
 }
 
 void RankCtx::probe(int src, int tag, Comm comm, Status* st) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Probe");
   const CommInfo& ci = comms_.get(comm);
   const int src_global = (src == kAnySource) ? kAnySource : ci.to_global(src);
   const UnexpectedMsg* found = nullptr;
@@ -407,7 +412,7 @@ void RankCtx::probe(int src, int tag, Comm comm, Status* st) {
 }
 
 void RankCtx::progress() {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Progress");
   progress_poll();
 }
 
@@ -415,7 +420,7 @@ Comm RankCtx::comm_dup(Comm parent) {
   // Collective by MPI rules; synchronize like a barrier so no rank races
   // ahead and sends on the new context before everyone constructed it.
   barrier(parent);
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Comm_dup");
   return comms_.dup(parent);
 }
 
@@ -427,12 +432,12 @@ Comm RankCtx::comm_split(Comm parent, int color, int key) {
   std::pair<int, int> mine{color, key};
   static_assert(sizeof(std::pair<int, int>) == 2 * sizeof(int));
   allgather(&mine, color_key.data(), 2, Datatype::kInt, parent);
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Comm_split");
   return comms_.split(parent, color_key);
 }
 
 void RankCtx::comm_free(Comm c) {
-  MpiEntry entry(*this, false);
+  MpiEntry entry(*this, false, "Comm_free");
   comms_.free(c);
 }
 

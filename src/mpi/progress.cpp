@@ -8,12 +8,38 @@
 #include "mpi/cluster.hpp"
 #include "mpi/rank_ctx.hpp"
 #include "mpi/wire.hpp"
+#include "trace/scope.hpp"
 
 namespace smpi {
+
+namespace {
+const char* wire_kind_name(std::uint32_t kind) {
+  switch (kind) {
+    case kWireEager:
+      return "rx:eager";
+    case kWireRts:
+      return "rx:rts";
+    case kWireCts:
+      return "rx:cts";
+    case kWireData:
+      return "rx:dma";
+    case kWireRmaPut:
+      return "rx:rma-put";
+    case kWireRmaGetReq:
+      return "rx:rma-get";
+    case kWireRmaGetResp:
+      return "rx:rma-resp";
+  }
+  return "rx:?";
+}
+}  // namespace
 
 // ------------------------------------------------------------- hardware ----
 
 void RankCtx::deliver(machine::NetMessage&& m) {
+  // Hardware-side arrival (scheduler context, no simulated CPU): mark it on
+  // the rank's "hw" track so software reaction latency is visible.
+  trace::instant(rank_, trace::kHwTid, wire_kind_name(m.kind), "net");
   if (m.kind == kWireRmaPut || m.kind == kWireRmaGetReq ||
       m.kind == kWireRmaGetResp) {
     rma_deliver(m);
@@ -58,6 +84,7 @@ void RankCtx::progress_poll() {
   }
   in_progress_ = true;
   ++stats_.progress_passes;
+  trace::Scope tsc("progress", "mpi");
   const auto& p = profile();
   sim::advance(p.mpi_progress_poll_cost);
 
@@ -119,6 +146,7 @@ void RankCtx::process_inbox_message(machine::NetMessage&& m) {
 }
 
 void RankCtx::handle_eager(machine::NetMessage&& m) {
+  trace::Scope tsc("match:eager", "mpi");
   const auto& p = profile();
   sim::advance(p.mpi_match_cost);
   Envelope env{static_cast<std::uint32_t>(m.h0), m.src,
@@ -146,6 +174,7 @@ void RankCtx::handle_eager(machine::NetMessage&& m) {
 }
 
 void RankCtx::handle_rts(machine::NetMessage&& m) {
+  trace::Scope tsc("match:rts", "mpi");
   const auto& p = profile();
   sim::advance(p.mpi_match_cost);
   Envelope env{static_cast<std::uint32_t>(m.h0), m.src,
@@ -171,6 +200,7 @@ void RankCtx::handle_rts(machine::NetMessage&& m) {
 
 void RankCtx::send_cts(std::uint64_t sender_req, int sender_global,
                        RequestImpl& rreq) {
+  trace::Scope tsc("rndv:cts-send", "mpi");
   const auto& p = profile();
   sim::advance(p.rndv_handshake_cpu);
   sim::advance(p.nic_doorbell);
@@ -184,6 +214,7 @@ void RankCtx::send_cts(std::uint64_t sender_req, int sender_global,
 }
 
 void RankCtx::handle_cts(machine::NetMessage&& m) {
+  trace::Scope tsc("rndv:cts", "mpi");
   const auto& p = profile();
   sim::advance(p.rndv_handshake_cpu);
   RequestImpl& sreq = reqs_.get(Request{static_cast<int>(m.h0)});
@@ -200,6 +231,7 @@ void RankCtx::handle_cts(machine::NetMessage&& m) {
 }
 
 void RankCtx::start_rndv_chunk(RequestImpl& sreq) {
+  trace::Scope tsc("rndv:chunk", "mpi");
   const auto& p = profile();
   const std::size_t chunk =
       std::min(p.rndv_chunk_bytes, sreq.sbytes - sreq.dma_sent);
@@ -224,6 +256,9 @@ void RankCtx::start_rndv_chunk(RequestImpl& sreq) {
 
 void RankCtx::post_coll_stage(RequestImpl& creq) {
   CollOp& op = *creq.coll;
+  trace::Scope tsc(
+      trace::Tracer::on() ? "coll:stage" + std::to_string(op.cur) : std::string(),
+      "mpi");
   const CommInfo& ci = comms_.get(op.comm);
   const std::uint32_t ictx = ci.context | 0x40000000u;
   const CollStage& st = op.stages[op.cur];
@@ -279,6 +314,7 @@ void RankCtx::advance_collectives() {
         }
       }
       if (op.cur >= op.stages.size() && !op.stage_posted) {
+        trace::instant(rank_, trace::ambient_tid(), "coll:done", "mpi");
         if (op.on_finish) op.on_finish(*this);
         creq->complete = true;
         active_colls_[i] = active_colls_.back();

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "trace/tracer.hpp"
+
 namespace sim {
 
 namespace {
@@ -118,6 +120,12 @@ void Engine::advance(Time dt) {
   Fiber* f = current_fiber_;
   assert(f != nullptr && "advance() called outside a fiber");
   assert(dt >= Time::zero() && "negative advance");
+  if (trace::Tracer::on() && dt > Time::zero()) {
+    // The fiber occupies its simulated core for [now, now+dt): one complete
+    // slice on the fiber's track ("where does the CPU time go").
+    trace::Tracer::instance().complete(now_.ns(), dt.ns(), f->trace_pid(),
+                                       f->id() + 1, "cpu", "sim");
+  }
   schedule_fiber(*f, now_ + dt);
   f->switch_out(&scheduler_ctx_);
 }
@@ -148,6 +156,10 @@ void Engine::dispatch(Event& ev) {
     }
     current_fiber_ = ev.fiber;
     ++stats_.context_switches;
+    if (trace::Tracer::on()) {
+      trace::Tracer::instance().instant(now_.ns(), ev.fiber->trace_pid(),
+                                        ev.fiber->id() + 1, "ctx", "sim");
+    }
     ev.fiber->switch_in(&scheduler_ctx_);
     current_fiber_ = nullptr;
   } else {

@@ -56,6 +56,11 @@ class Fiber {
   void set_user_data(void* p) { user_data_ = p; }
   [[nodiscard]] void* user_data() const { return user_data_; }
 
+  /// Trace process id this fiber's events are attributed to (the simulated
+  /// rank; set by whoever spawns the fiber, defaults to 0).
+  void set_trace_pid(int pid) { trace_pid_ = pid; }
+  [[nodiscard]] int trace_pid() const { return trace_pid_; }
+
  private:
   friend class Engine;
 
@@ -75,6 +80,7 @@ class Fiber {
   Body body_;
   FiberState state_ = FiberState::kCreated;
   void* user_data_ = nullptr;
+  int trace_pid_ = 0;
 
   std::unique_ptr<char[]> stack_;
   std::size_t stack_bytes_;

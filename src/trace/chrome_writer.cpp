@@ -1,0 +1,138 @@
+#include "trace/chrome_writer.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "trace/tracer.hpp"
+
+namespace trace {
+
+namespace {
+
+/// Nanoseconds → microseconds with exactly three decimals, integer math.
+std::string us_str(std::int64_t ns) {
+  char buf[40];
+  const char* sign = ns < 0 ? "-" : "";
+  const std::int64_t a = ns < 0 ? -ns : ns;
+  std::snprintf(buf, sizeof buf, "%s%" PRId64 ".%03" PRId64, sign, a / 1000,
+                a % 1000);
+  return buf;
+}
+
+std::string value_str(double v) {
+  char buf[40];
+  // %.17g round-trips any double; trim the common integer case for
+  // readability (counters are almost always whole numbers).
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    std::snprintf(buf, sizeof buf, "%" PRId64,
+                  static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+void write_common(std::ostream& os, char ph, int pid, std::uint64_t tid,
+                  std::int64_t ts_ns) {
+  os << "{\"ph\":\"" << ph << "\",\"ts\":" << us_str(ts_ns)
+     << ",\"pid\":" << pid << ",\"tid\":" << tid;
+}
+
+}  // namespace
+
+std::string ChromeWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void ChromeWriter::write(const Tracer& t, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Track metadata first (maps are ordered → deterministic emission order).
+  for (const auto& [pid, name] : t.process_names()) {
+    sep();
+    write_common(os, 'M', pid, 0, 0);
+    os << ",\"name\":\"process_name\",\"args\":{\"name\":\"" << escape(name)
+       << "\"}}";
+  }
+  for (const auto& [key, name] : t.thread_names()) {
+    sep();
+    write_common(os, 'M', key.first, key.second, 0);
+    os << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << escape(name)
+       << "\"}}";
+  }
+
+  for (const Event& e : t.events()) {
+    sep();
+    write_common(os, e.ph, e.pid, e.tid, e.ts_ns);
+    switch (e.ph) {
+      case 'X':
+        os << ",\"dur\":" << us_str(e.dur_ns) << ",\"name\":\""
+           << escape(e.name) << "\",\"cat\":\"" << escape(e.cat) << "\"}";
+        break;
+      case 'C':
+        os << ",\"name\":\"" << escape(e.name) << "\",\"args\":{\""
+           << escape(e.name) << "\":" << value_str(e.value) << "}}";
+        break;
+      case 'i':
+        os << ",\"s\":\"t\",\"name\":\"" << escape(e.name) << "\",\"cat\":\""
+           << escape(e.cat) << "\"}";
+        break;
+      case 'E':
+        os << '}';
+        break;
+      default:  // 'B'
+        os << ",\"name\":\"" << escape(e.name) << "\",\"cat\":\""
+           << escape(e.cat) << "\"}";
+    }
+  }
+  if (t.dropped() > 0) {
+    sep();
+    write_common(os, 'i', -1, 0, 0);
+    os << ",\"s\":\"g\",\"name\":\"dropped " << t.dropped()
+       << " events (MPIOFF_TRACE_LIMIT)\",\"cat\":\"trace\"}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace trace

@@ -1,0 +1,31 @@
+// Chrome trace-event JSON serialization (the format Perfetto and
+// chrome://tracing load). We emit the subset we record:
+//   M  process_name / thread_name metadata (first, sorted by track),
+//   X  complete spans with ts + dur,
+//   B/E duration begin/end pairs,
+//   i  thread-scoped instants,
+//   C  counters ({"args":{"<name>":value}}).
+// Timestamps are virtual nanoseconds rendered as microseconds with fixed
+// 3-digit sub-µs precision via integer math, so identical event streams
+// always serialize to byte-identical JSON (the determinism tests rely on
+// this; no double formatting is involved in `ts`).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace trace {
+
+class Tracer;
+
+class ChromeWriter {
+ public:
+  /// Write everything `t` recorded as one {"traceEvents":[...]} document.
+  static void write(const Tracer& t, std::ostream& os);
+
+  /// JSON string escaping (quotes, backslashes, control characters).
+  static std::string escape(std::string_view s);
+};
+
+}  // namespace trace

@@ -1,0 +1,55 @@
+// Typed counter handles bound to one (pid, series-name) pair.
+//
+//   Counter — monotonic accumulator (events processed, stalls, bytes);
+//   Gauge   — instantaneous level (ring occupancy, in-flight operations).
+//
+// Both keep their live value even while tracing is disabled (reads are free
+// and tests/stat trailers use them); they only *emit* a counter sample when
+// the tracer is enabled, so the disabled cost is an add/store plus the usual
+// one-branch check.
+#pragma once
+
+#include "trace/scope.hpp"
+#include "trace/tracer.hpp"
+
+namespace trace {
+
+class Counter {
+ public:
+  Counter(int pid, const char* name) : pid_(pid), name_(name) {}
+
+  void add(double d = 1) {
+    value_ += d;
+    if (!Tracer::on()) return;
+    Tracer::instance().counter(ambient_ts(), pid_, name_, value_);
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  int pid_;
+  const char* name_;
+  double value_ = 0;
+};
+
+class Gauge {
+ public:
+  Gauge(int pid, const char* name) : pid_(pid), name_(name) {}
+
+  void set(double v) {
+    value_ = v;
+    if (!Tracer::on()) return;
+    Tracer::instance().counter(ambient_ts(), pid_, name_, value_);
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  int pid_;
+  const char* name_;
+  double value_ = 0;
+};
+
+}  // namespace trace

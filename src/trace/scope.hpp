@@ -1,0 +1,93 @@
+// Sim-aware tracing conveniences: ambient timestamp/track helpers and the
+// RAII Scope used to instrument layers above sim. Everything here resolves
+// the virtual clock and the current fiber from the ambient sim::Engine, so
+// call sites just name the span:
+//
+//   void RankCtx::handle_rts(...) {
+//     trace::Scope s("match:rts", "mpi");
+//     ...
+//   }
+//
+// Outside a running engine (or from scheduler context) the timestamp is the
+// engine's current time and the track falls back to kHwTid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "trace/tracer.hpp"
+
+namespace trace {
+
+inline std::int64_t ambient_ts() {
+  sim::Engine* e = sim::Engine::current();
+  return e == nullptr ? 0 : e->now().ns();
+}
+
+inline std::uint64_t ambient_tid() {
+  sim::Engine* e = sim::Engine::current();
+  sim::Fiber* f = e == nullptr ? nullptr : e->current_fiber();
+  return f == nullptr ? kHwTid : f->id() + 1;
+}
+
+inline int ambient_pid() {
+  sim::Engine* e = sim::Engine::current();
+  sim::Fiber* f = e == nullptr ? nullptr : e->current_fiber();
+  return f == nullptr ? 0 : f->trace_pid();
+}
+
+/// RAII span on the current fiber's track (or an explicit track).
+class Scope {
+ public:
+  Scope(const char* name, const char* cat) {
+    if (!Tracer::on()) return;
+    open(ambient_pid(), ambient_tid(), name, cat);
+  }
+  Scope(std::string name, const char* cat) {
+    if (!Tracer::on()) return;
+    open(ambient_pid(), ambient_tid(), std::move(name), cat);
+  }
+  Scope(int pid, std::uint64_t tid, const char* name, const char* cat) {
+    if (!Tracer::on()) return;
+    open(pid, tid, name, cat);
+  }
+  ~Scope() {
+    if (live_) Tracer::instance().end(ambient_ts(), pid_, tid_);
+  }
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  void open(int pid, std::uint64_t tid, std::string name, const char* cat) {
+    live_ = true;
+    pid_ = pid;
+    tid_ = tid;
+    Tracer::instance().begin(ambient_ts(), pid_, tid_, std::move(name), cat);
+  }
+
+  bool live_ = false;
+  int pid_ = 0;
+  std::uint64_t tid_ = 0;
+};
+
+/// Thread-scoped instant on the current fiber's track.
+inline void instant(const char* name, const char* cat) {
+  if (!Tracer::on()) return;
+  Tracer::instance().instant(ambient_ts(), ambient_pid(), ambient_tid(), name,
+                             cat);
+}
+inline void instant(int pid, std::uint64_t tid, const char* name,
+                    const char* cat) {
+  if (!Tracer::on()) return;
+  Tracer::instance().instant(ambient_ts(), pid, tid, name, cat);
+}
+
+/// One counter sample at the current virtual time.
+inline void counter(int pid, const char* name, double value) {
+  if (!Tracer::on()) return;
+  Tracer::instance().counter(ambient_ts(), pid, name, value);
+}
+
+}  // namespace trace

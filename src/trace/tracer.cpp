@@ -1,0 +1,56 @@
+#include "trace/tracer.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "trace/chrome_writer.hpp"
+
+namespace trace {
+
+namespace {
+std::size_t env_limit() {
+  // In-memory cap; a full-length bench with tracing on stays well under it,
+  // but a runaway loop must not eat the machine.
+  constexpr std::size_t kDefault = 2'000'000;
+  const char* s = std::getenv("MPIOFF_TRACE_LIMIT");
+  if (s == nullptr || *s == '\0') return kDefault;
+  const long long v = std::atoll(s);
+  return v > 0 ? static_cast<std::size_t>(v) : kDefault;
+}
+}  // namespace
+
+Tracer::Tracer() : limit_(env_limit()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::name_process(int pid, std::string name) {
+  process_names_[pid] = std::move(name);
+}
+
+void Tracer::name_thread(int pid, std::uint64_t tid, std::string name) {
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  ChromeWriter::write(*this, os);
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  write_json(f);
+  f.flush();
+  return f.good();
+}
+
+void Tracer::clear() {
+  events_.clear();
+  process_names_.clear();
+  thread_names_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace trace
