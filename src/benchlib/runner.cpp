@@ -45,11 +45,13 @@ Runner::Runner(int argc, char** argv) {
     }
   }
   if (trace_path_.empty()) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before any threads
     if (const char* e = std::getenv("MPIOFF_TRACE"); e != nullptr && *e != '\0') {
       trace_path_ = e;
     }
   }
   if (!g_stats_enabled) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before any threads
     if (const char* e = std::getenv("MPIOFF_STATS");
         e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0) {
       g_stats_enabled = true;

@@ -1,0 +1,19 @@
+// Umbrella header for the model-checking harness.
+//
+//   #include "check/check.hpp"
+//
+//   chk::Options opt;                       // exhaustive DFS by default
+//   auto r = chk::explore(opt, [](chk::Sim& sim) {
+//     core::MpscRing<int, chk::ModelAtomics> ring(2);
+//     sim.threads({ [&]{ while (!ring.try_push(1)) chk::Sim::yield(); },
+//                   [&]{ int v; while (!ring.try_pop(v)) chk::Sim::yield(); } });
+//   });
+//   // r.failed => r.message, r.trace, r.failing_trail / r.failing_seed
+//
+// See specs.hpp for the ready-made MpscRing / RequestPool / handshake specs
+// and the mutation matrix that proves each memory order is load-bearing.
+#pragma once
+
+#include "check/atomic.hpp"    // IWYU pragma: export
+#include "check/checker.hpp"   // IWYU pragma: export
+#include "check/clock.hpp"     // IWYU pragma: export

@@ -1,0 +1,193 @@
+#include "check/specs.hpp"
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+
+#include "core/mpsc_ring.hpp"
+#include "core/request_pool.hpp"
+#include "mpi/types.hpp"
+
+namespace chk::specs {
+
+namespace {
+
+struct RingCmd {
+  int producer = -1;
+  int seqno = -1;
+};
+
+using ModelPool = core::RequestPoolT<ModelAtomics>;
+
+}  // namespace
+
+Result check_ring(const Options& opt, const RingCfg& cfg) {
+  return explore(opt, [&cfg](Sim& sim) {
+    core::MpscRing<RingCmd, ModelAtomics> ring(cfg.capacity);
+    const int total = cfg.producers * cfg.items_per_producer;
+    // Consumer-local tallies: plain memory is fine, only one thread touches
+    // them (the payload itself goes through the race-checked ring.val vars).
+    std::vector<int> next_seq(static_cast<std::size_t>(cfg.producers), 0);
+    std::vector<int> got(static_cast<std::size_t>(cfg.producers), 0);
+    int popped = 0;
+
+    std::vector<std::function<void()>> bodies;
+    bodies.reserve(static_cast<std::size_t>(cfg.producers) + 1);
+    for (int p = 0; p < cfg.producers; ++p) {
+      bodies.emplace_back([&ring, &cfg, p] {
+        for (int s = 0; s < cfg.items_per_producer; ++s) {
+          while (!ring.try_push(RingCmd{p, s})) Sim::yield();
+        }
+      });
+    }
+    bodies.emplace_back([&] {
+      RingCmd c;
+      while (popped < total) {
+        if (!ring.try_pop(c)) {
+          Sim::yield();
+          continue;
+        }
+        check(c.producer >= 0 && c.producer < cfg.producers,
+              "popped command has a valid producer id");
+        const auto p = static_cast<std::size_t>(c.producer);
+        check(c.seqno == next_seq[p], "commands are FIFO per producer");
+        ++next_seq[p];
+        ++got[p];
+        ++popped;
+      }
+    });
+    sim.threads(std::move(bodies));
+
+    for (int p = 0; p < cfg.producers; ++p) {
+      check(got[static_cast<std::size_t>(p)] == cfg.items_per_producer,
+            "no command lost or duplicated");
+    }
+    check(ring.empty_approx(), "ring drained");
+  });
+}
+
+Result check_pool(const Options& opt, const PoolCfg& cfg) {
+  return explore(opt, [&cfg](Sim& sim) {
+    ModelPool pool(cfg.capacity);
+    // One ownership cell per slot. Slot handoff (free -> alloc) must carry a
+    // happens-before edge, or two owners' writes race here. alloc() itself
+    // also writes the slot's Status var, so corruption inside the pool is
+    // usually caught before these cells even trip.
+    std::vector<var<int>> owner(cfg.capacity);
+    for (std::uint32_t i = 0; i < cfg.capacity; ++i) {
+      ModelAtomics::set_name(owner[i], "spec.owner", i);
+    }
+
+    std::vector<std::function<void()>> bodies;
+    bodies.reserve(static_cast<std::size_t>(cfg.threads));
+    for (int t = 0; t < cfg.threads; ++t) {
+      bodies.emplace_back([&pool, &owner, &cfg, t] {
+        for (int r = 0; r < cfg.rounds; ++r) {
+          std::uint32_t idx = ModelPool::kNil;
+          while ((idx = pool.alloc()) == ModelPool::kNil) Sim::yield();
+          check(idx < cfg.capacity, "alloc returned an in-range slot");
+          owner[idx].ref_w() = t;
+          Sim::yield();  // widen the window for a second owner to collide
+          check(owner[idx].ref_r() == t, "slot ownership is exclusive");
+          pool.free(idx);
+        }
+      });
+    }
+    sim.threads(std::move(bodies));
+
+    check(pool.free_count() == cfg.capacity,
+          "every slot returned to the free list exactly once");
+  });
+}
+
+Result check_handshake(const Options& opt) {
+  return explore(opt, [](Sim& sim) {
+    struct HsCmd {
+      int op = 0;
+      std::uint32_t req = ModelPool::kNil;
+    };
+    core::MpscRing<HsCmd, ModelAtomics> ring(2);
+    ModelPool pool(2);
+    atomic<int> doorbell{0};
+    ModelAtomics::set_name(doorbell, "doorbell");
+    // Published ONLY by the doorbell's release/acquire pair: the engine reads
+    // it before popping the ring, so the ring's seq protocol cannot mask a
+    // weakened doorbell.
+    var<int> arg;
+    ModelAtomics::set_name(arg, "hs.arg");
+
+    sim.threads({
+        // Application thread: alloc -> publish arg -> enqueue -> doorbell ->
+        // wait for completion -> validate Status -> free.
+        [&] {
+          std::uint32_t idx = ModelPool::kNil;
+          while ((idx = pool.alloc()) == ModelPool::kNil) Sim::yield();
+          arg.ref_w() = 41;
+          while (!ring.try_push(HsCmd{1, idx})) Sim::yield();
+          doorbell.store(1, std::memory_order_release);
+          while (!pool.done(idx)) Sim::yield();
+          check(pool.status(idx).bytes == 42,
+                "status payload round-tripped through the handshake");
+          pool.free(idx);
+        },
+        // Engine thread: doorbell -> arg -> pop -> complete.
+        [&] {
+          while (doorbell.load(std::memory_order_acquire) == 0) Sim::yield();
+          const int a = arg.ref_r();
+          HsCmd c;
+          while (!ring.try_pop(c)) Sim::yield();
+          check(c.op == 1, "engine popped the issued command");
+          smpi::Status st;
+          st.bytes = static_cast<std::uint64_t>(a) + 1;
+          pool.complete(c.req, st);
+        },
+    });
+
+    check(pool.free_count() == 2, "request slot returned to the pool");
+  });
+}
+
+Result run_spec(const std::string& spec, const Options& opt) {
+  if (spec == "ring") return check_ring(opt);
+  if (spec == "pool") return check_pool(opt);
+  if (spec == "handshake") return check_handshake(opt);
+  throw std::invalid_argument("unknown spec: " + spec);
+}
+
+std::vector<MutationCase> mutation_matrix() {
+  return {
+      // MpscRing seq protocol (both producer and consumer sides share the
+      // ring.seq base location; the ring spec catches either side).
+      {{"ring.seq", OpKind::kLoad, Side::kAcquire}, "ring"},
+      {{"ring.seq", OpKind::kStore, Side::kRelease}, "ring"},
+      // RequestPool free-list handoff.
+      {{"pool.head", OpKind::kLoad, Side::kAcquire}, "pool"},
+      {{"pool.head", OpKind::kRmw, Side::kAcquire}, "pool"},
+      {{"pool.head", OpKind::kRmw, Side::kRelease}, "pool"},
+      // Completion publish and the doorbell edge: cross-thread only in the
+      // handshake spec.
+      {{"pool.done", OpKind::kLoad, Side::kAcquire}, "handshake"},
+      {{"pool.done", OpKind::kStore, Side::kRelease}, "handshake"},
+      {{"doorbell", OpKind::kLoad, Side::kAcquire}, "handshake"},
+      {{"doorbell", OpKind::kStore, Side::kRelease}, "handshake"},
+  };
+}
+
+std::vector<Site> collect_sites() {
+  Options opt;
+  opt.mode = Mode::kRandom;
+  opt.iterations = 8;
+  opt.seed = 12345;
+  std::set<Site> all;
+  for (const char* spec : {"ring", "pool", "handshake"}) {
+    const Result r = run_spec(spec, opt);
+    if (r.failed) {
+      throw std::logic_error(std::string("collect_sites: spec '") + spec +
+                             "' failed unmutated: " + r.message);
+    }
+    all.insert(r.sites.begin(), r.sites.end());
+  }
+  return {all.begin(), all.end()};
+}
+
+}  // namespace chk::specs

@@ -1,0 +1,70 @@
+// Checker specs for the lock-free offload protocols.
+//
+// Each spec constructs the *production* structure (instantiated with
+// chk::ModelAtomics), runs a small number of model threads against it, and
+// asserts the protocol invariants. They are used three ways:
+//
+//  * unmodified, they must pass — exhaustively for small bounds, and under
+//    long fixed-seed random sweeps (tests/test_check_*.cpp);
+//  * under a Mutation (one acquire/release side weakened to relaxed) they
+//    must FAIL with a replayable trace — the mutation suite
+//    (tests/test_check_mutations.cpp) runs every entry of mutation_matrix();
+//  * from the examples/model_check CLI for interactive exploration/replay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+
+namespace chk::specs {
+
+/// MpscRing: N producers push FIFO streams, 1 consumer drains. Asserts
+/// per-producer FIFO order, no lost or duplicated commands, and exercises
+/// the full/empty edges (capacity < total items).
+struct RingCfg {
+  int producers = 2;
+  int items_per_producer = 2;
+  std::size_t capacity = 2;  ///< power of two
+};
+Result check_ring(const Options& opt, const RingCfg& cfg = {});
+
+/// RequestPool: N threads repeatedly alloc -> mark ownership -> free.
+/// Asserts slot exclusivity (via a chk::var ownership cell per slot; the
+/// pool's own Status var is also race-checked inside alloc) and that no
+/// slot is lost or duplicated (final free-list length == capacity).
+struct PoolCfg {
+  int threads = 2;
+  int rounds = 2;
+  std::uint32_t capacity = 2;
+};
+Result check_pool(const Options& opt, const PoolCfg& cfg = {});
+
+/// The engine handshake: app thread allocs a request, writes a plain
+/// argument cell, pushes the command, rings a doorbell (release); the
+/// engine thread waits on the doorbell (acquire), reads the argument
+/// *before* popping the ring (so only the doorbell edge orders it),
+/// completes the request through the pool. App spins on done() and checks
+/// the Status payload round-tripped.
+Result check_handshake(const Options& opt);
+
+/// Run a spec by name ("ring" | "pool" | "handshake") with its default cfg.
+Result run_spec(const std::string& spec, const Options& opt);
+
+/// One row of the mutation suite: weakening `site` must be caught by `spec`.
+struct MutationCase {
+  Site site;
+  const char* spec;  ///< spec name for run_spec()
+};
+
+/// The curated site -> detecting-spec table. Covers every acquire/release
+/// site the three specs observe (test_check_mutations asserts this against
+/// collect_sites(), so a new fence added to the production code cannot
+/// silently dodge the suite).
+std::vector<MutationCase> mutation_matrix();
+
+/// Union of synchronization sites observed while running all three specs
+/// briefly (random mode, few iterations).
+std::vector<Site> collect_sites();
+
+}  // namespace chk::specs

@@ -1,0 +1,45 @@
+// Atomics policy for the lock-free core structures.
+//
+// MpscRing and RequestPool are templated over a policy that supplies the
+// atomic type, a wrapper for *plain* shared payloads, and a no-op naming
+// hook. Production code uses the default StdAtomics policy below, which is
+// a zero-overhead passthrough to std::atomic (identical codegen to using
+// std::atomic directly). The model checker in src/check/ supplies an
+// alternative policy (chk::ModelAtomics) whose atomics trap every access,
+// letting a Loom/relacy-style scheduler explore thread interleavings and a
+// vector-clock detector flag unsynchronized plain accesses.
+//
+// Policy requirements:
+//   * `template <class T> atomic` — std::atomic-compatible: load/store/
+//     compare_exchange_weak with std::memory_order arguments.
+//   * `template <class T> var`    — wrapper for plain (non-atomic) shared
+//     data whose safety relies on the surrounding acquire/release protocol;
+//     `ref_w()` returns a mutable reference (write access), `ref_r()` a
+//     const reference (read access). StdAtomics compiles both to a direct
+//     member access; the checker records a happens-before-checked event.
+//   * `set_name(obj, base, index)` — diagnostic label, no-op in production.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace core {
+
+struct StdAtomics {
+  template <class T>
+  using atomic = std::atomic<T>;
+
+  template <class T>
+  struct var {
+    T value{};
+    T& ref_w() noexcept { return value; }
+    const T& ref_r() const noexcept { return value; }
+  };
+
+  template <class T>
+  static void set_name(const std::atomic<T>&, const char*, std::size_t = 0) {}
+  template <class T>
+  static void set_name(const var<T>&, const char*, std::size_t = 0) {}
+};
+
+}  // namespace core

@@ -3,26 +3,45 @@
 // This is the paper's "lightweight lock-free command queue" (Section 3.1):
 // application threads enqueue serialized MPI calls concurrently; the single
 // offload thread dequeues. The implementation is Dmitry Vyukov's bounded
-// MPMC queue specialized to one consumer (the head index needs no atomicity
-// beyond the per-cell sequence protocol).
+// MPMC queue specialized to one consumer (the head index needs no CAS
+// beyond the per-cell sequence protocol, but it is still an atomic with
+// relaxed ordering: producers read it cross-thread through size_approx()).
 //
-// The same class is used in two ways:
+// The same class is used in three ways:
 //  * inside the simulator (single host thread, virtual-time costs charged
-//    around push/pop), and
+//    around push/pop),
 //  * under real std::thread stress tests and google-benchmark microbenches,
-//    which validate the lock-free protocol itself.
+//  * instantiated with chk::ModelAtomics under the src/check/ model checker,
+//    which exhaustively explores bounded interleavings of this exact code
+//    and verifies the seq acquire/release protocol protects `Cell::val`.
+//
+// Memory-order inventory (each one is load-bearing; the checker's mutation
+// suite proves that weakening any of them to relaxed yields a detectable
+// race or protocol violation):
+//  * seq load (acquire), producer side: synchronizes with the consumer's
+//    seq release store so the producer may safely overwrite `val`.
+//  * seq store (release), producer side: publishes `val` to the consumer.
+//  * seq load (acquire), consumer side: synchronizes with the producer's
+//    release so the consumer may safely read `val`.
+//  * seq store (release), consumer side: publishes the moved-from cell back
+//    to the producers (next lap).
+// tail_ and head_ themselves only carry values, never payload visibility,
+// so all their accesses are relaxed.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "core/atomics_policy.hpp"
+
 namespace core {
 
-template <typename T>
+template <typename T, typename Atomics = StdAtomics>
 class MpscRing {
  public:
   /// `capacity` must be a power of two.
@@ -32,8 +51,12 @@ class MpscRing {
       throw std::invalid_argument("MpscRing capacity must be a power of two");
     }
     for (std::size_t i = 0; i < capacity; ++i) {
+      Atomics::set_name(cells_[i].seq, "ring.seq", i);
+      Atomics::set_name(cells_[i].val, "ring.val", i);
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
+    Atomics::set_name(tail_, "ring.tail");
+    Atomics::set_name(head_, "ring.head");
   }
 
   MpscRing(const MpscRing&) = delete;
@@ -47,8 +70,9 @@ class MpscRing {
       const std::size_t seq = c.seq.load(std::memory_order_acquire);
       const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
       if (dif == 0) {
-        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
-          c.val = std::move(v);
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+          c.val.ref_w() = std::move(v);
           c.seq.store(pos + 1, std::memory_order_release);
           return true;
         }
@@ -62,35 +86,38 @@ class MpscRing {
 
   /// Single-consumer pop; returns false when empty.
   bool try_pop(T& out) {
-    Cell& c = cells_[head_ & mask_];
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    Cell& c = cells_[head & mask_];
     const std::size_t seq = c.seq.load(std::memory_order_acquire);
-    if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(head_ + 1) < 0) {
+    if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(head + 1) < 0) {
       return false;  // empty
     }
-    out = std::move(c.val);
-    c.seq.store(head_ + mask_ + 1, std::memory_order_release);
-    ++head_;
+    out = std::move(c.val.ref_w());
+    c.seq.store(head + mask_ + 1, std::memory_order_release);
+    head_.store(head + 1, std::memory_order_relaxed);
     return true;
   }
 
-  /// Approximate occupancy (exact when quiescent).
+  /// Approximate occupancy (exact when quiescent). Safe to call from any
+  /// thread: both indices are atomics read with relaxed ordering.
   [[nodiscard]] std::size_t size_approx() const {
-    return tail_.load(std::memory_order_relaxed) - head_;
+    return tail_.load(std::memory_order_relaxed) -
+           head_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
   [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
 
  private:
   struct Cell {
-    std::atomic<std::size_t> seq;
-    T val;
+    typename Atomics::template atomic<std::size_t> seq{0};
+    typename Atomics::template var<T> val{};
   };
   static constexpr std::size_t kCacheLine = 64;
 
   std::size_t mask_;
   std::vector<Cell> cells_;
-  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // producers
-  alignas(kCacheLine) std::size_t head_{0};               // the one consumer
+  alignas(kCacheLine) typename Atomics::template atomic<std::size_t> tail_{0};  // producers
+  alignas(kCacheLine) typename Atomics::template atomic<std::size_t> head_{0};  // the one consumer
 };
 
 }  // namespace core

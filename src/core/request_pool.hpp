@@ -9,6 +9,26 @@
 //
 // Completion protocol: the offload thread writes the Status, then stores
 // `done` with release; application threads spin on `done` with acquire.
+//
+// Memory-order inventory (minimal; the src/check/ mutation suite proves each
+// remaining acquire/release is load-bearing — weakening any one of them to
+// relaxed produces a detectable race or pool corruption):
+//  * alloc: initial head load (acquire) — alloc dereferences
+//    slots_[idx].next *before* its CAS, so the head value must come with the
+//    freeing thread's writes (including `next`) already visible; an acquire
+//    at the CAS cannot retroactively order the earlier deref.
+//  * alloc: CAS (acquire success / acquire failure) — the failure load feeds
+//    the retry's next-deref exactly like the initial load. No release side:
+//    alloc publishes nothing through `head_`; the slot's contents are
+//    published later via the done-flag protocol (C++20 release sequences
+//    keep the chain intact through this relaxed-release RMW).
+//  * free: CAS (release success / relaxed failure) — the release is the
+//    ownership handoff: it publishes the `next` link and everything the
+//    owner did with the slot to the next allocator. The initial head load
+//    and the failure load only feed the packed *value*, which the CAS
+//    itself validates, so they are relaxed.
+//  * complete: done store (release) publishes the Status payload.
+//  * done: done load (acquire) makes the Status safe to read.
 #pragma once
 
 #include <atomic>
@@ -16,24 +36,30 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/atomics_policy.hpp"
 #include "mpi/types.hpp"
 
 namespace core {
 
-class RequestPool {
+template <typename Atomics = StdAtomics>
+class RequestPoolT {
  public:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 
-  explicit RequestPool(std::uint32_t capacity) : slots_(capacity) {
+  explicit RequestPoolT(std::uint32_t capacity) : slots_(capacity) {
     for (std::uint32_t i = 0; i < capacity; ++i) {
+      Atomics::set_name(slots_[i].done, "pool.done", i);
+      Atomics::set_name(slots_[i].status, "pool.status", i);
+      Atomics::set_name(slots_[i].next, "pool.next", i);
       slots_[i].next.store(i + 1 < capacity ? i + 1 : kNil,
                            std::memory_order_relaxed);
     }
+    Atomics::set_name(head_, "pool.head");
     head_.store(pack(0, 0), std::memory_order_relaxed);
   }
 
-  RequestPool(const RequestPool&) = delete;
-  RequestPool& operator=(const RequestPool&) = delete;
+  RequestPoolT(const RequestPoolT&) = delete;
+  RequestPoolT& operator=(const RequestPoolT&) = delete;
 
   /// Pop a free slot; returns kNil when exhausted.
   std::uint32_t alloc() {
@@ -43,10 +69,10 @@ class RequestPool {
       if (idx == kNil) return kNil;
       const std::uint32_t next = slots_[idx].next.load(std::memory_order_relaxed);
       const std::uint64_t nh = pack(next, tag_of(h) + 1);
-      if (head_.compare_exchange_weak(h, nh, std::memory_order_acq_rel,
+      if (head_.compare_exchange_weak(h, nh, std::memory_order_acquire,
                                       std::memory_order_acquire)) {
         slots_[idx].done.store(0, std::memory_order_relaxed);
-        slots_[idx].status = smpi::Status{};
+        slots_[idx].status.ref_w() = smpi::Status{};
         return idx;
       }
     }
@@ -55,12 +81,12 @@ class RequestPool {
   /// Return a slot to the pool. The caller must own it (completed request).
   void free(std::uint32_t idx) {
     if (idx >= slots_.size()) throw std::out_of_range("RequestPool::free");
-    std::uint64_t h = head_.load(std::memory_order_acquire);
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
     for (;;) {
       slots_[idx].next.store(index_of(h), std::memory_order_relaxed);
       const std::uint64_t nh = pack(idx, tag_of(h) + 1);
-      if (head_.compare_exchange_weak(h, nh, std::memory_order_acq_rel,
-                                      std::memory_order_acquire)) {
+      if (head_.compare_exchange_weak(h, nh, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
         return;
       }
     }
@@ -68,7 +94,7 @@ class RequestPool {
 
   /// Offload-thread side: publish completion.
   void complete(std::uint32_t idx, const smpi::Status& st) {
-    slots_[idx].status = st;
+    slots_[idx].status.ref_w() = st;
     slots_[idx].done.store(1, std::memory_order_release);
   }
 
@@ -77,7 +103,7 @@ class RequestPool {
     return slots_[idx].done.load(std::memory_order_acquire) != 0;
   }
   [[nodiscard]] const smpi::Status& status(std::uint32_t idx) const {
-    return slots_[idx].status;
+    return slots_[idx].status.ref_r();
   }
 
   [[nodiscard]] std::uint32_t capacity() const {
@@ -97,9 +123,9 @@ class RequestPool {
 
  private:
   struct Slot {
-    std::atomic<std::uint32_t> done{0};
-    smpi::Status status;
-    std::atomic<std::uint32_t> next{kNil};
+    typename Atomics::template atomic<std::uint32_t> done{0};
+    typename Atomics::template var<smpi::Status> status{};
+    typename Atomics::template atomic<std::uint32_t> next{kNil};
   };
 
   static std::uint64_t pack(std::uint32_t idx, std::uint32_t tag) {
@@ -113,7 +139,10 @@ class RequestPool {
   }
 
   std::vector<Slot> slots_;
-  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) typename Atomics::template atomic<std::uint64_t> head_{0};
 };
+
+/// Production request pool: std::atomic, zero instrumentation.
+using RequestPool = RequestPoolT<>;
 
 }  // namespace core

@@ -1,0 +1,196 @@
+// Self-tests for the model checker itself: classic litmus shapes must
+// behave per the C++ memory model (races found iff the synchronization is
+// missing), and failure reports must replay deterministically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "check/check.hpp"
+
+namespace {
+
+using chk::Mode;
+using chk::Options;
+using chk::Result;
+using chk::Sim;
+
+Options exhaustive() {
+  Options o;
+  o.mode = Mode::kExhaustive;
+  return o;
+}
+
+// --- message passing: data published under a flag ---------------------------
+
+Result message_passing(const Options& opt, std::memory_order store_mo,
+                       std::memory_order load_mo) {
+  return chk::explore(opt, [=](Sim& sim) {
+    auto flag = std::make_unique<chk::atomic<int>>(0);
+    auto data = std::make_unique<chk::var<int>>();
+    sim.threads({
+        [&] {
+          data->ref_w() = 42;
+          flag->store(1, store_mo);
+        },
+        [&] {
+          if (flag->load(load_mo) == 1) {
+            chk::check(data->ref_r() == 42, "published value visible");
+          }
+        },
+    });
+  });
+}
+
+TEST(CheckLitmus, MessagePassingRelaxedIsRacy) {
+  const Result r = message_passing(exhaustive(), std::memory_order_relaxed,
+                                   std::memory_order_relaxed);
+  ASSERT_TRUE(r.failed) << r.str();
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+  EXPECT_FALSE(r.trace.empty());
+  EXPECT_FALSE(r.failing_trail.empty());
+}
+
+TEST(CheckLitmus, MessagePassingReleaseAcquireIsClean) {
+  const Result r = message_passing(exhaustive(), std::memory_order_release,
+                                   std::memory_order_acquire);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(CheckLitmus, MessagePassingHalfFencedIsStillRacy) {
+  // Release store alone does not help if the load is relaxed, and vice versa.
+  EXPECT_TRUE(message_passing(exhaustive(), std::memory_order_release,
+                              std::memory_order_relaxed)
+                  .failed);
+  EXPECT_TRUE(message_passing(exhaustive(), std::memory_order_relaxed,
+                              std::memory_order_acquire)
+                  .failed);
+}
+
+// --- store buffering: the weak-memory signature x86 cannot show --------------
+
+Result store_buffering(const Options& opt, std::memory_order store_mo,
+                       std::memory_order load_mo) {
+  return chk::explore(opt, [=](Sim& sim) {
+    auto x = std::make_unique<chk::atomic<int>>(0);
+    auto y = std::make_unique<chk::atomic<int>>(0);
+    int r1 = -1;
+    int r2 = -1;
+    sim.threads({
+        [&] {
+          x->store(1, store_mo);
+          r1 = y->load(load_mo);
+        },
+        [&] {
+          y->store(1, store_mo);
+          r2 = x->load(load_mo);
+        },
+    });
+    chk::check(!(r1 == 0 && r2 == 0), "store buffering: both loads zero");
+  });
+}
+
+TEST(CheckLitmus, StoreBufferingRelaxedAllowsBothZero) {
+  // The model must be able to produce the stale outcome TSO hardware hides.
+  const Result r =
+      store_buffering(exhaustive(), std::memory_order_relaxed,
+                      std::memory_order_relaxed);
+  ASSERT_TRUE(r.failed) << r.str();
+  EXPECT_NE(r.message.find("store buffering"), std::string::npos);
+}
+
+TEST(CheckLitmus, StoreBufferingSeqCstForbidsBothZero) {
+  const Result r =
+      store_buffering(exhaustive(), std::memory_order_seq_cst,
+                      std::memory_order_seq_cst);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(CheckLitmus, ReleaseAcquireAllowsBothZero) {
+  // Unlike seq_cst, release/acquire still permits the store-buffering
+  // outcome; the checker must not over-synchronize.
+  EXPECT_TRUE(store_buffering(exhaustive(), std::memory_order_release,
+                              std::memory_order_acquire)
+                  .failed);
+}
+
+// --- progress: spin loops, stale bounds, livelock ---------------------------
+
+TEST(CheckProgress, BoundedStaleReadsLetSpinLoopsFinish) {
+  // Reader spins on a relaxed flag: stale reads are bounded, so the newest
+  // value must eventually be returned and the execution terminates.
+  const Result r = chk::explore(exhaustive(), [](Sim& sim) {
+    auto flag = std::make_unique<chk::atomic<int>>(0);
+    sim.threads({
+        [&] { flag->store(1, std::memory_order_relaxed); },
+        [&] {
+          while (flag->load(std::memory_order_relaxed) == 0) Sim::yield();
+        },
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(CheckProgress, LivelockIsDetected) {
+  const Result r = chk::explore(exhaustive(), [](Sim& sim) {
+    auto flag = std::make_unique<chk::atomic<int>>(0);
+    sim.threads({
+        [&] {
+          while (flag->load(std::memory_order_acquire) == 0) Sim::yield();
+        },
+    });
+  });
+  ASSERT_TRUE(r.failed);
+  EXPECT_NE(r.message.find("livelock"), std::string::npos) << r.message;
+}
+
+TEST(CheckProgress, FailedAssertionAbortsExecution) {
+  const Result r = chk::explore(exhaustive(), [](Sim& sim) {
+    sim.threads({[] { chk::check(false, "boom"); }});
+  });
+  ASSERT_TRUE(r.failed);
+  EXPECT_NE(r.message.find("boom"), std::string::npos);
+}
+
+// --- replay -----------------------------------------------------------------
+
+TEST(CheckReplay, ExhaustiveTrailReplaysSameFailure) {
+  const Result first = message_passing(
+      exhaustive(), std::memory_order_relaxed, std::memory_order_relaxed);
+  ASSERT_TRUE(first.failed);
+  Options replay = exhaustive();
+  replay.replay_trail = first.failing_trail;
+  const Result again = message_passing(replay, std::memory_order_relaxed,
+                                       std::memory_order_relaxed);
+  ASSERT_TRUE(again.failed);
+  EXPECT_EQ(again.executions, 1u);
+  EXPECT_EQ(again.message, first.message);
+  EXPECT_EQ(again.trace, first.trace);
+}
+
+TEST(CheckReplay, RandomSeedReplaysSameFailure) {
+  Options rnd;
+  rnd.mode = Mode::kRandom;
+  rnd.iterations = 500;
+  rnd.seed = 99;
+  const Result first = message_passing(rnd, std::memory_order_relaxed,
+                                       std::memory_order_relaxed);
+  ASSERT_TRUE(first.failed);
+  ASSERT_NE(first.failing_seed, 0u);
+
+  Options replay;
+  replay.mode = Mode::kRandom;
+  replay.iterations = 1;
+  replay.seed = first.failing_seed;
+  const Result again = message_passing(replay, std::memory_order_relaxed,
+                                       std::memory_order_relaxed);
+  ASSERT_TRUE(again.failed);
+  EXPECT_EQ(again.executions, 1u);
+  EXPECT_EQ(again.message, first.message);
+  EXPECT_EQ(again.trace, first.trace);
+}
+
+}  // namespace

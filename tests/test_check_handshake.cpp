@@ -1,0 +1,63 @@
+// Model-checking the engine handshake: doorbell (release/acquire) publishes
+// a plain argument cell, the command flows through the ring, completion
+// flows back through the pool's done-flag protocol.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/specs.hpp"
+
+namespace {
+
+using chk::Mode;
+using chk::Options;
+using chk::Result;
+using chk::specs::check_handshake;
+
+TEST(CheckHandshake, Exhaustive) {
+  Options opt;
+  opt.mode = Mode::kExhaustive;
+  const Result r = check_handshake(opt);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_TRUE(r.complete) << "state space not exhausted in " << r.executions;
+}
+
+TEST(CheckHandshake, ExhaustiveDeeperPreemptionBound) {
+  Options opt;
+  opt.mode = Mode::kExhaustive;
+  opt.preemption_bound = 3;
+  const Result r = check_handshake(opt);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(CheckHandshake, RandomSweep) {
+  Options opt;
+  opt.mode = Mode::kRandom;
+  opt.iterations = 2000;
+  opt.seed = 4;
+  const Result r = check_handshake(opt);
+  EXPECT_FALSE(r.failed) << r.str() << "\n" << r.trace;
+  EXPECT_EQ(r.executions, 2000u);
+}
+
+TEST(CheckHandshake, ObservesDoorbellAndDoneSites) {
+  Options opt;
+  opt.mode = Mode::kRandom;
+  opt.iterations = 50;
+  const Result r = check_handshake(opt);
+  ASSERT_FALSE(r.failed) << r.message;
+  auto has = [&](const char* loc, chk::OpKind op, chk::Side side) {
+    return std::find(r.sites.begin(), r.sites.end(),
+                     chk::Site{loc, op, side}) != r.sites.end();
+  };
+  // The handshake composes all three protocols, so its site set includes
+  // the doorbell edge and the completion publish on top of ring + pool.
+  EXPECT_TRUE(has("doorbell", chk::OpKind::kStore, chk::Side::kRelease));
+  EXPECT_TRUE(has("doorbell", chk::OpKind::kLoad, chk::Side::kAcquire));
+  EXPECT_TRUE(has("pool.done", chk::OpKind::kStore, chk::Side::kRelease));
+  EXPECT_TRUE(has("pool.done", chk::OpKind::kLoad, chk::Side::kAcquire));
+  EXPECT_TRUE(has("ring.seq", chk::OpKind::kStore, chk::Side::kRelease));
+}
+
+}  // namespace

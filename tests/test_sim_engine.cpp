@@ -1,11 +1,14 @@
 // Unit tests for the discrete-event engine and fibers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "sim/sync.hpp"
 
 using namespace sim;
 using namespace sim::literals;
@@ -125,6 +128,66 @@ TEST(Engine, RunUntilStopsAtDeadline) {
   EXPECT_LE(end.ns(), Time::from_ms(11).ns());
   EXPECT_FALSE(e.all_fibers_done());
   EXPECT_EQ(e.unfinished_fibers().size(), 1u);
+}
+
+TEST(Engine, DeadlockedFibersAreNamedInDiagnostics) {
+  // Classic AB-BA deadlock: run() returns once no event can fire, and
+  // unfinished_fibers() must name exactly the stuck fibers so the user can
+  // see who is blocked (and not the fiber that completed).
+  Engine e;
+  Mutex a;
+  Mutex b;
+  e.spawn("lock-a-then-b", [&] {
+    a.lock();
+    advance(1_us);  // guarantee both fibers hold their first mutex
+    b.lock();
+    b.unlock();
+    a.unlock();
+  });
+  e.spawn("lock-b-then-a", [&] {
+    b.lock();
+    advance(1_us);
+    a.lock();
+    a.unlock();
+    b.unlock();
+  });
+  e.spawn("bystander", [&] { advance(5_us); });
+  e.run();
+
+  EXPECT_FALSE(e.all_fibers_done());
+  const std::vector<std::string> stuck = e.unfinished_fibers();
+  ASSERT_EQ(stuck.size(), 2u);
+  EXPECT_NE(std::find(stuck.begin(), stuck.end(), "lock-a-then-b"),
+            stuck.end());
+  EXPECT_NE(std::find(stuck.begin(), stuck.end(), "lock-b-then-a"),
+            stuck.end());
+  EXPECT_EQ(std::find(stuck.begin(), stuck.end(), "bystander"), stuck.end());
+}
+
+TEST(Engine, FiberStuckOnForeverHeldMutexIsReported) {
+  Engine e;
+  Mutex m;
+  Mutex cv_m;
+  CondVar never_signaled;
+  e.spawn("holder", [&] {
+    m.lock();  // held across the wait: progress hostage
+    cv_m.lock();
+    never_signaled.wait(cv_m);  // parks forever (releases only cv_m)
+    cv_m.unlock();
+    m.unlock();
+  });
+  e.spawn("blocked-on-mutex", [&] {
+    advance(1_us);
+    m.lock();
+    m.unlock();
+  });
+  e.run();
+
+  const std::vector<std::string> stuck = e.unfinished_fibers();
+  ASSERT_EQ(stuck.size(), 2u);
+  EXPECT_NE(std::find(stuck.begin(), stuck.end(), "holder"), stuck.end());
+  EXPECT_NE(std::find(stuck.begin(), stuck.end(), "blocked-on-mutex"),
+            stuck.end());
 }
 
 TEST(Engine, DeterministicAcrossRuns) {
