@@ -1,0 +1,129 @@
+// Ping-pong over a lossy wire: the same exchange run on a perfect fabric and
+// on one that drops, duplicates, and corrupts frames, showing the software
+// reliability sublayer repairing everything without changing a single
+// received byte.
+//
+//   $ ./examples/faulty_pingpong
+//   # or pick your own fault mix (same spec format as the profile field):
+//   $ MPIOFF_FAULTS="drop=0.05,dup=0.02,corrupt=0.01,seed=9" ./examples/faulty_pingpong
+//
+// Two things to notice in the output:
+//   * the payload digest is identical with and without faults — go-back-N
+//     retransmission, duplicate suppression, and frame checksums preserve
+//     MPI semantics bit for bit;
+//   * the faulty run is slower, and the offload proxy loses less time than
+//     the baseline: retransmission is *software* progress, and the offload
+//     thread is always inside MPI to drive it, while the baseline only
+//     repairs loss when the application happens to call into the library.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/proxy.hpp"
+#include "mpi/cluster.hpp"
+
+using core::Approach;
+
+namespace {
+
+std::uint64_t fnv1a(const std::vector<char>& v, std::uint64_t h) {
+  for (char c : v) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct RunResult {
+  double total_us = 0;
+  std::uint64_t digest = 14695981039346656037ull;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_drops = 0;
+  std::uint64_t corrupt_drops = 0;
+};
+
+RunResult pingpong(Approach a, const machine::FaultSpec& faults) {
+  constexpr std::size_t kBytes = 32 << 10;
+  constexpr int kIters = 16;
+  smpi::ClusterConfig cfg;
+  cfg.nranks = 2;
+  cfg.profile.eager_threshold = 8 << 10;  // make the exchange use rendezvous
+  cfg.profile.rndv_chunk_bytes = 8 << 10;
+  cfg.profile.faults = faults;
+  cfg.thread_level = core::required_thread_level(a);
+  smpi::Cluster cluster(cfg);
+  RunResult res;
+  cluster.run([&](smpi::RankCtx& rc) {
+    auto p = core::make_proxy(a, rc);
+    p->start();
+    const int peer = 1 - rc.rank();
+    std::vector<char> buf(kBytes);
+    const sim::Time t0 = sim::now();
+    for (int i = 0; i < kIters; ++i) {
+      if (rc.rank() == 0) {
+        std::memset(buf.data(), 'a' + i % 26, kBytes);
+        p->send(buf.data(), kBytes, smpi::Datatype::kByte, peer, i);
+        p->recv(buf.data(), kBytes, smpi::Datatype::kByte, peer, i);
+        res.digest = fnv1a(buf, res.digest);
+      } else {
+        p->recv(buf.data(), kBytes, smpi::Datatype::kByte, peer, i);
+        // Echo back exactly what arrived: any wire corruption that slipped
+        // through would show up in rank 0's digest.
+        p->send(buf.data(), kBytes, smpi::Datatype::kByte, peer, i);
+      }
+    }
+    p->barrier();
+    if (rc.rank() == 0) res.total_us = (sim::now() - t0).us();
+    p->stop();
+  });
+  for (int r = 0; r < cluster.nranks(); ++r) {
+    const smpi::RelStats& s = cluster.rank(r).rel_stats();
+    res.retransmits += s.retransmits;
+    res.dup_drops += s.dup_drops;
+    res.corrupt_drops += s.corrupt_drops;
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  machine::FaultSpec faulty;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, single-threaded here
+  if (const char* env = std::getenv("MPIOFF_FAULTS"); env != nullptr && *env != '\0') {
+    faulty = machine::FaultSpec::parse(env);
+    // Consume the variable: Cluster would otherwise apply it to the "clean"
+    // reference runs too, and the comparison would be faulty vs faulty.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    ::unsetenv("MPIOFF_FAULTS");
+  } else {
+    faulty = machine::FaultSpec::parse("drop=0.05,dup=0.02,corrupt=0.01,seed=42");
+  }
+
+  std::printf("32K ping-pong x16, 2 ranks — perfect wire vs faulty wire\n\n");
+  std::printf("%-10s %-8s %12s %10s %10s %10s  %s\n", "approach", "wire",
+              "time(us)", "retrans", "dup-drop", "crc-drop", "digest");
+  for (Approach a : {Approach::kBaseline, Approach::kOffload}) {
+    const RunResult clean = pingpong(a, machine::FaultSpec{});
+    const RunResult lossy = pingpong(a, faulty);
+    std::printf("%-10s %-8s %12.2f %10llu %10llu %10llu  %016llx\n",
+                core::approach_name(a), "clean", clean.total_us,
+                static_cast<unsigned long long>(clean.retransmits),
+                static_cast<unsigned long long>(clean.dup_drops),
+                static_cast<unsigned long long>(clean.corrupt_drops),
+                static_cast<unsigned long long>(clean.digest));
+    std::printf("%-10s %-8s %12.2f %10llu %10llu %10llu  %016llx\n",
+                core::approach_name(a), "faulty", lossy.total_us,
+                static_cast<unsigned long long>(lossy.retransmits),
+                static_cast<unsigned long long>(lossy.dup_drops),
+                static_cast<unsigned long long>(lossy.corrupt_drops),
+                static_cast<unsigned long long>(lossy.digest));
+    if (clean.digest != lossy.digest) {
+      std::printf("ERROR: faulty-wire digest differs from clean-wire digest\n");
+      return 1;
+    }
+  }
+  std::printf("\nDigests match: the reliability sublayer hid every fault.\n");
+  return 0;
+}

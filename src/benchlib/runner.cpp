@@ -116,16 +116,23 @@ void report_proxy_stats(core::Proxy& p) {
                static_cast<double>(s.completions));
     tr.counter(ts, rank, "offload.ring_full_stalls",
                static_cast<double>(s.ring_full_stalls));
+    tr.counter(ts, rank, "offload.pool_full_stalls",
+               static_cast<double>(s.pool_full_stalls));
+    tr.counter(ts, rank, "offload.watchdog_flags",
+               static_cast<double>(s.watchdog_flags));
   }
   if (rank == 0) {
     std::printf(
         "[stats] offload rank0: commands=%llu testany=%llu completions=%llu "
-        "max_inflight=%llu ring_full_stalls=%llu\n",
+        "max_inflight=%llu ring_full_stalls=%llu pool_full_stalls=%llu "
+        "watchdog_flags=%llu\n",
         static_cast<unsigned long long>(s.commands),
         static_cast<unsigned long long>(s.testany_calls),
         static_cast<unsigned long long>(s.completions),
         static_cast<unsigned long long>(s.max_inflight),
-        static_cast<unsigned long long>(s.ring_full_stalls));
+        static_cast<unsigned long long>(s.ring_full_stalls),
+        static_cast<unsigned long long>(s.pool_full_stalls),
+        static_cast<unsigned long long>(s.watchdog_flags));
   }
 }
 
@@ -149,6 +156,40 @@ void report_cluster_stats(smpi::Cluster& c) {
       static_cast<unsigned long long>(s.fibers_spawned),
       static_cast<unsigned long long>(s.context_switches),
       c.engine().now().us());
+  // Fault-injection + wire-reliability summary (only when a plan is active,
+  // so fault-free output stays byte-identical to a fault-free build).
+  if (const machine::FaultPlan* fp = c.network().faults()) {
+    const machine::FaultPlan::Stats& f = fp->stats();
+    smpi::RelStats rel;
+    for (int r = 0; r < c.nranks(); ++r) {
+      const smpi::RelStats& rs = c.rank(r).rel_stats();
+      rel.frames_sent += rs.frames_sent;
+      rel.retransmits += rs.retransmits;
+      rel.acks_sent += rs.acks_sent;
+      rel.dup_drops += rs.dup_drops;
+      rel.ooo_drops += rs.ooo_drops;
+      rel.corrupt_drops += rs.corrupt_drops;
+    }
+    std::printf(
+        "[stats] faults: injected drop=%llu dup=%llu corrupt=%llu "
+        "delay=%llu reorder=%llu stalls=%llu stall_ns=%lld\n",
+        static_cast<unsigned long long>(f.dropped),
+        static_cast<unsigned long long>(f.duplicated),
+        static_cast<unsigned long long>(f.corrupted),
+        static_cast<unsigned long long>(f.delayed),
+        static_cast<unsigned long long>(f.reordered),
+        static_cast<unsigned long long>(f.egress_stalls + f.ingress_stalls),
+        static_cast<long long>(f.stall_time.ns()));
+    std::printf(
+        "[stats] wire: frames=%llu retransmits=%llu acks=%llu "
+        "dup_drops=%llu ooo_drops=%llu corrupt_drops=%llu\n",
+        static_cast<unsigned long long>(rel.frames_sent),
+        static_cast<unsigned long long>(rel.retransmits),
+        static_cast<unsigned long long>(rel.acks_sent),
+        static_cast<unsigned long long>(rel.dup_drops),
+        static_cast<unsigned long long>(rel.ooo_drops),
+        static_cast<unsigned long long>(rel.corrupt_drops));
+  }
 }
 
 }  // namespace benchlib

@@ -34,7 +34,7 @@ std::uint32_t OffloadChannel::submit(Command cmd) {
           "offload request pool exhausted: too many outstanding requests "
           "(increase pool_capacity or wait on requests sooner)");
     }
-    ++stats_.ring_full_stalls;
+    ++stats_.pool_full_stalls;
     trace::instant("stall:pool-full", "offload");
     const std::uint64_t seen = completions_.count();
     completions_.wait_beyond_timeout(seen, sim::Time::from_us(200));
@@ -43,9 +43,19 @@ std::uint32_t OffloadChannel::submit(Command cmd) {
   cmd.proxy = proxy;
   // Serialize parameters + lock-free enqueue.
   sim::advance(p.cmd_enqueue);
-  while (!ring_.try_push(cmd)) {
+  for (int spins = 0; !ring_.try_push(cmd); ++spins) {
+    // A full ring means the engine is behind, not gone — but if it never
+    // drains (engine fiber stuck or dead) an unbounded spin here would look
+    // like a silent hang. Bound it, and re-ring the doorbell each retry in
+    // case the engine's sleep cursor predates the push that filled the ring.
+    if (spins > (1 << 16)) {
+      throw std::runtime_error(
+          "offload command ring stuck full: engine is not draining "
+          "(increase ring_capacity or check the offload fiber is running)");
+    }
     ++stats_.ring_full_stalls;
     trace::instant("stall:ring-full", "offload");
+    rc_.arrivals().signal();
     sim::advance(p.cmd_enqueue);  // retry cost
   }
   g_ring_.set(static_cast<double>(ring_.size_approx()));
@@ -127,9 +137,7 @@ void OffloadChannel::issue(const Command& cmd) {
       completions_.signal();
       return;
     case CmdOp::kIfence:
-      real = rc_.ifence(cmd.win);
-      inflight_.push_back({real, cmd.proxy});
-      g_inflight_.set(static_cast<double>(inflight_.size()));
+      track_inflight(rc_.ifence(cmd.win), cmd.proxy);
       return;
     default:
       break;
@@ -172,39 +180,82 @@ void OffloadChannel::issue(const Command& cmd) {
     case CmdOp::kShutdown:
       throw std::logic_error("shutdown reached issue()");
   }
-  inflight_.push_back({real, cmd.proxy});
-  stats_.max_inflight = std::max<std::uint64_t>(stats_.max_inflight,
-                                                inflight_.size());
-  g_inflight_.set(static_cast<double>(inflight_.size()));
+  track_inflight(real, cmd.proxy);
+}
+
+void OffloadChannel::track_inflight(smpi::Request real, std::uint32_t proxy) {
+  inflight_.push_back({real, proxy, sim::now(), false});
+  scratch_reqs_.push_back(real);
+  ++live_inflight_;
+  stats_.max_inflight =
+      std::max<std::uint64_t>(stats_.max_inflight, live_inflight_);
+  g_inflight_.set(static_cast<double>(live_inflight_));
 }
 
 void OffloadChannel::drive_progress() {
-  if (inflight_.empty()) return;
+  watchdog_scan();
+  if (live_inflight_ == 0) return;
   trace::Scope tsc("testany:sweep", "offload");
-  // MPI_Testany over the in-flight set; publish done flags for completions.
+  // MPI_Testany over the in-flight set; publish done flags as they complete.
   // Loop until a pass makes no progress (a real offload thread would call
-  // Testany repeatedly while its queue is empty).
+  // Testany repeatedly while its queue is empty). Testany nulls the span
+  // entry of the request it completes — that null is the dead-slot marker,
+  // so no per-completion rebuild or erase is needed and the remaining
+  // entries keep their FIFO positions.
   for (;;) {
-    scratch_reqs_.clear();
-    for (const Inflight& f : inflight_) scratch_reqs_.push_back(f.real);
     int idx = -1;
     smpi::Status st;
     ++stats_.testany_calls;
     const bool flag = rc_.testany(scratch_reqs_, &idx, &st);
-    if (!flag || idx < 0) return;
+    if (!flag || idx < 0) break;
     const auto i = static_cast<std::size_t>(idx);
     pool_.complete(inflight_[i].proxy, st);
     ++stats_.completions;
-    inflight_.erase(inflight_.begin() + static_cast<std::ptrdiff_t>(idx));
+    --live_inflight_;
     trace::instant("done:publish", "offload");
-    g_inflight_.set(static_cast<double>(inflight_.size()));
+    g_inflight_.set(static_cast<double>(live_inflight_));
     completions_.signal();
-    if (inflight_.empty()) return;
+    if (live_inflight_ == 0) break;
+  }
+  compact_inflight();
+}
+
+void OffloadChannel::compact_inflight() {
+  // Skipping dead slots during the Testany scan is cheap; reclaim them only
+  // once they dominate so a steady stream of completions stays O(1) each.
+  if (scratch_reqs_.size() <= 32 || live_inflight_ * 2 > scratch_reqs_.size()) {
+    return;
+  }
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < scratch_reqs_.size(); ++r) {
+    if (scratch_reqs_[r].is_null()) continue;
+    scratch_reqs_[w] = scratch_reqs_[r];
+    inflight_[w] = inflight_[r];
+    ++w;
+  }
+  scratch_reqs_.resize(w);
+  inflight_.resize(w);
+}
+
+void OffloadChannel::watchdog_scan() {
+  const sim::Time budget = rc_.profile().offload_watchdog_budget;
+  if (budget.ns() <= 0 || live_inflight_ == 0) return;
+  const sim::Time now = sim::now();
+  if (now < next_watchdog_scan_) return;
+  next_watchdog_scan_ = now + sim::Time(budget.ns() / 8 + 1);
+  for (std::size_t i = 0; i < inflight_.size(); ++i) {
+    if (scratch_reqs_[i].is_null() || inflight_[i].flagged) continue;
+    if (now - inflight_[i].issued_at > budget) {
+      inflight_[i].flagged = true;
+      ++stats_.watchdog_flags;
+      trace::instant("watchdog:stuck", "offload");
+    }
   }
 }
 
 void OffloadChannel::engine_main() {
   const auto& p = rc_.profile();
+  const bool faults_on = p.faults.enabled();
   std::uint64_t seen = rc_.arrivals().count();
   for (;;) {
     Command cmd;
@@ -223,7 +274,7 @@ void OffloadChannel::engine_main() {
       issue(cmd);
     }
     drive_progress();
-    if (shutdown_requested_ && inflight_.empty() && ring_.empty_approx()) {
+    if (shutdown_requested_ && live_inflight_ == 0 && ring_.empty_approx()) {
       return;
     }
     if (worked) {
@@ -238,7 +289,19 @@ void OffloadChannel::engine_main() {
       seen = cur;
       continue;  // something happened while we were working
     }
-    seen = rc_.arrivals().wait_beyond(seen);
+    if (faults_on) {
+      // Under faults the wake we are waiting for may have been lost with the
+      // frame that carried it. Sleep with a bound and run a progress pass so
+      // the reliability layer's retransmit timers keep firing — the offload
+      // thread is exactly the "always inside MPI" context the paper's
+      // software-progress model promises.
+      if (!rc_.arrivals().wait_beyond_timeout(seen, p.faults.rto_base)) {
+        rc_.progress();
+      }
+      seen = rc_.arrivals().count();
+    } else {
+      seen = rc_.arrivals().wait_beyond(seen);
+    }
   }
 }
 

@@ -33,7 +33,11 @@ struct OffloadStats {
   std::uint64_t testany_calls = 0;
   std::uint64_t completions = 0;
   std::uint64_t max_inflight = 0;
-  std::uint64_t ring_full_stalls = 0;
+  std::uint64_t ring_full_stalls = 0;  ///< submit spun on a full command ring
+  std::uint64_t pool_full_stalls = 0;  ///< submit waited on an exhausted pool
+  /// In-flight requests seen exceeding Profile::offload_watchdog_budget
+  /// (counted once per request; diagnostic only, never alters timing).
+  std::uint64_t watchdog_flags = 0;
 };
 
 /// Shared state between application threads and the offload engine of one
@@ -71,7 +75,10 @@ class OffloadChannel {
 
  private:
   void issue(const Command& cmd);
+  void track_inflight(smpi::Request real, std::uint32_t proxy);
   void drive_progress();
+  void compact_inflight();
+  void watchdog_scan();
 
   smpi::RankCtx& rc_;
   MpscRing<Command> ring_;
@@ -84,9 +91,19 @@ class OffloadChannel {
   struct Inflight {
     smpi::Request real;
     std::uint32_t proxy;
+    sim::Time issued_at;   ///< for the stuck-request watchdog
+    bool flagged = false;  ///< already reported by the watchdog
   };
+  /// In-flight tracking, kept incrementally: inflight_ and scratch_reqs_ are
+  /// parallel arrays appended by issue(). A completion nulls its
+  /// scratch_reqs_ entry in place (testany does this as a side effect), so
+  /// the Testany span never has to be rebuilt and FIFO scan order — hence
+  /// completion fairness — is preserved. Dead slots are reclaimed lazily by
+  /// compact_inflight() once they outnumber live ones.
   std::vector<Inflight> inflight_;
   std::vector<smpi::Request> scratch_reqs_;
+  std::size_t live_inflight_ = 0;
+  sim::Time next_watchdog_scan_{0};
   OffloadStats stats_;
   trace::Gauge g_ring_;
   trace::Gauge g_inflight_;

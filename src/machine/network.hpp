@@ -22,6 +22,9 @@
 #include <functional>
 #include <vector>
 
+#include <memory>
+
+#include "machine/fault.hpp"
 #include "machine/profile.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
@@ -29,7 +32,9 @@
 namespace machine {
 
 /// A wire-level message. The MPI layer defines the meaning of `kind` and the
-/// header words; the network treats them opaquely.
+/// header words; the network treats them opaquely. The reliability fields
+/// (seq/ack/checksum) belong to the software sublayer in src/mpi/ — the
+/// network never reads them, it only corrupts frames wholesale.
 struct NetMessage {
   int src = -1;
   int dst = -1;
@@ -37,6 +42,9 @@ struct NetMessage {
   std::uint64_t h0 = 0, h1 = 0, h2 = 0, h3 = 0;  ///< protocol header words
   std::vector<std::byte> payload;                ///< inline (eager) data
   std::size_t wire_bytes = 0;                    ///< bytes charged on the wire
+  std::uint64_t seq = 0;       ///< per-(src,dst) sequence number; 0 = unsequenced
+  std::uint64_t ack = 0;       ///< cumulative ack: peer received all seq < ack
+  std::uint32_t checksum = 0;  ///< frame checksum (see smpi::wire_checksum)
 };
 
 struct NetworkStats {
@@ -62,8 +70,12 @@ class Network {
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] int nranks() const { return nranks_; }
   [[nodiscard]] const Profile& profile() const { return profile_; }
+  /// Active fault plan, or nullptr when the profile's FaultSpec is disabled.
+  [[nodiscard]] const FaultPlan* faults() const { return faults_.get(); }
 
  private:
+  void schedule_delivery(sim::Time when, NetMessage&& msg);
+
   sim::Engine& engine_;
   Profile profile_;
   int nranks_;
@@ -72,6 +84,9 @@ class Network {
   sim::Time fabric_free_;
   std::vector<DeliveryHandler> handlers_;
   NetworkStats stats_;
+  std::unique_ptr<FaultPlan> faults_;
+  /// Per-rank cumulative NIC pause, for the nic.stall_ns trace counter.
+  std::vector<sim::Time> stall_accum_;
 };
 
 }  // namespace machine

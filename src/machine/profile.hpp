@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "machine/fault.hpp"
 #include "sim/time.hpp"
 
 namespace machine {
@@ -74,9 +75,17 @@ struct Profile {
   /// node count (paper Sec. 5.2).
   double bisection_bytes_per_ns = 0.0;
   sim::Time nic_doorbell{200};          ///< CPU cost to hand a descriptor to the NIC
+  /// Wire-fault injection (off by default: the fabric is perfectly reliable
+  /// and the fault/reliability machinery is completely inert). Enable per
+  /// profile or via the MPIOFF_FAULTS environment spec (see machine/fault.hpp).
+  FaultSpec faults;
 
   // ---- offload infrastructure costs (Section 3) ----
   sim::Time cmd_enqueue{120};        ///< serialize call params + lock-free push
+  /// An in-flight offload request older than this is flagged by the engine's
+  /// watchdog (OffloadStats::watchdog_flags + a trace instant). Counting
+  /// only — it never alters timing. Zero disables the watchdog.
+  sim::Time offload_watchdog_budget{500'000'000};  // 500 ms virtual
   sim::Time cmd_dequeue{50};        ///< pop + deserialize on the offload thread
   sim::Time cmd_detect{40};         ///< offload thread's poll granularity
   sim::Time done_flag_check{20};    ///< app-side read of the done flag

@@ -1,13 +1,31 @@
 #include "mpi/cluster.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "trace/tracer.hpp"
 
 namespace smpi {
 
+namespace {
+/// If the config does not already enable faults, honor the MPIOFF_FAULTS
+/// environment spec (e.g. "drop=0.02,seed=7") so any benchmark or example
+/// can be run under faults without a rebuild.
+ClusterConfig with_env_faults(ClusterConfig cfg) {
+  if (!cfg.profile.faults.enabled()) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    if (const char* spec = std::getenv("MPIOFF_FAULTS")) {
+      if (*spec != '\0') cfg.profile.faults = machine::FaultSpec::parse(spec);
+    }
+  }
+  return cfg;
+}
+}  // namespace
+
 Cluster::Cluster(ClusterConfig cfg)
-    : cfg_(std::move(cfg)), engine_(), net_(engine_, cfg_.profile, cfg_.nranks) {
+    : cfg_(with_env_faults(std::move(cfg))),
+      engine_(),
+      net_(engine_, cfg_.profile, cfg_.nranks) {
   if (cfg_.nranks < 1) throw std::invalid_argument("nranks must be >= 1");
   ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {
@@ -22,6 +40,13 @@ Cluster::Cluster(ClusterConfig cfg)
 
 Cluster::~Cluster() = default;
 
+bool Cluster::all_rel_drained() const {
+  for (const auto& r : ranks_) {
+    if (!r->rel_drained()) return false;
+  }
+  return true;
+}
+
 sim::Fiber& Cluster::spawn_on(int rank, std::string name,
                               std::function<void()> body) {
   RankCtx* rc = ranks_.at(static_cast<std::size_t>(rank)).get();
@@ -35,8 +60,22 @@ sim::Fiber& Cluster::spawn_on(int rank, std::string name,
 sim::Time Cluster::run(std::function<void(RankCtx&)> rank_main) {
   for (int r = 0; r < cfg_.nranks; ++r) {
     RankCtx* rc = ranks_[static_cast<std::size_t>(r)].get();
-    spawn_on(r, "rank" + std::to_string(r) + ".main",
-             [rc, rank_main]() { rank_main(*rc); });
+    spawn_on(r, "rank" + std::to_string(r) + ".main", [this, rc, rank_main]() {
+      rank_main(*rc);
+      // Reliability teardown: retransmission is software, so a rank that
+      // stops entering MPI stops repairing its own lost frames. Stay in the
+      // library until EVERY rank's unacked queues are empty — the global sum
+      // of unacked frames is non-increasing once rank_mains have returned,
+      // so observing global drain once is a safe exit condition.
+      if (cfg_.profile.faults.enabled()) {
+        while (!all_rel_drained()) {
+          rc->progress();
+          const std::uint64_t seen = rc->arrivals().count();
+          rc->arrivals().wait_beyond_timeout(seen,
+                                             cfg_.profile.faults.rto_base);
+        }
+      }
+    });
   }
   const sim::Time end = engine_.run_until(cfg_.deadline);
   if (!engine_.all_fibers_done()) {

@@ -55,6 +55,9 @@ class Cluster {
   static RankCtx& here();
 
  private:
+  /// All ranks' reliability queues empty (end-of-run teardown condition).
+  [[nodiscard]] bool all_rel_drained() const;
+
   ClusterConfig cfg_;
   sim::Engine engine_;
   machine::Network net_;

@@ -20,8 +20,14 @@
 namespace smpi {
 
 RankCtx::RankCtx(Cluster& cluster, int rank, ThreadLevel level)
-    : cluster_(cluster), rank_(rank), level_(level) {
+    : cluster_(cluster),
+      rank_(rank),
+      level_(level),
+      c_retransmits_(rank, "rel.retransmits"),
+      c_dup_drops_(rank, "rel.dup_drops") {
   comms_.init(rank, cluster.nranks());
+  rel_on_ = cluster.profile().faults.enabled();
+  if (rel_on_) rel_.resize(static_cast<std::size_t>(cluster.nranks()));
 }
 
 int RankCtx::nranks() const { return cluster_.nranks(); }
@@ -79,7 +85,7 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
       std::memcpy(m.payload.data(), buf, bytes);
     }
     m.wire_bytes = bytes;
-    cluster_.network().send(std::move(m));
+    net_send(std::move(m));
     r.kind = ReqKind::kSendEager;
     r.complete = true;
     ++stats_.eager_sends;
@@ -101,7 +107,7 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
   m.h1 = static_cast<std::uint64_t>(static_cast<std::int64_t>(tag));
   m.h2 = static_cast<std::uint64_t>(r.idx);
   m.h3 = bytes;
-  cluster_.network().send(std::move(m));
+  net_send(std::move(m));
   pending_rndv_send_.push_back(&r);
   ++stats_.rndv_sends;
   return Request{r.idx};
@@ -189,7 +195,7 @@ void RankCtx::wait_until(MpiEntry& entry, const std::function<bool()>& done) {
       // transition is arrival-signalled).
       sim::advance(p.big_lock_slice);
       entry.unlock_for_sleep();
-      if (blocked_in_mpi_ > 1) {
+      if (blocked_in_mpi_ > 1 || rel_on_) {
         if (arrivals_.wait_beyond_timeout(seen, sim::Time(backoff))) {
           backoff = p.multiple_repoll.ns();  // traffic: spin hard again
         } else {
@@ -200,6 +206,17 @@ void RankCtx::wait_until(MpiEntry& entry, const std::function<bool()>& done) {
         arrivals_.wait_beyond(seen);
       }
       entry.relock();
+    } else if (rel_on_) {
+      // Under faults the wake we are waiting for may itself be lost (dropped
+      // ack, dropped data frame): sleep with a bound so the software
+      // retransmit timers in progress_poll get a chance to fire. Same
+      // exponential backoff as the MULTIPLE path to bound event counts.
+      if (arrivals_.wait_beyond_timeout(seen, sim::Time(backoff))) {
+        backoff = p.multiple_repoll.ns();
+      } else {
+        backoff =
+            std::min<std::int64_t>(backoff * 2, p.multiple_repoll.ns() * 128);
+      }
     } else {
       arrivals_.wait_beyond(seen);
     }

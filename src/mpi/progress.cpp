@@ -29,10 +29,132 @@ const char* wire_kind_name(std::uint32_t kind) {
       return "rx:rma-get";
     case kWireRmaGetResp:
       return "rx:rma-resp";
+    case kWireAck:
+      return "rx:ack";
   }
   return "rx:?";
 }
+
+std::size_t frame_wire_bytes(const machine::NetMessage& m) {
+  return std::max(std::max(m.wire_bytes, m.payload.size()),
+                  static_cast<std::size_t>(64));
+}
 }  // namespace
+
+// -------------------------------------------------- reliability sublayer ----
+
+void RankCtx::net_send(machine::NetMessage&& m) {
+  if (rel_on_) {
+    RelPeer& peer = rel_[static_cast<std::size_t>(m.dst)];
+    m.seq = peer.tx_next_seq++;
+    m.ack = peer.rx_expected;  // piggyback our cursor; no pure ack needed now
+    peer.ack_owed = false;
+    m.checksum = wire_checksum(m);
+    ++rel_stats_.frames_sent;
+    const std::size_t wire = frame_wire_bytes(m);
+    peer.tx_unacked_bytes += wire;
+    // RTO scales with the whole unacked backlog: a burst of pipeline chunks
+    // serializes behind one egress link, and a timer sized for a single
+    // frame would fire spuriously on every deep rendezvous pipeline.
+    peer.unacked.push_back(
+        {m, sim::now() + rel_rto(peer.tx_unacked_bytes, 0), 0});
+  }
+  cluster_.network().send(std::move(m));
+}
+
+sim::Time RankCtx::rel_rto(std::size_t backlog_bytes, int attempts) const {
+  const auto& p = profile();
+  const std::int64_t base = p.faults.rto_base.ns() + 2 * p.net_latency.ns() +
+                            4 * p.wire_cost(backlog_bytes).ns();
+  return sim::Time(base << std::min(attempts, 8));
+}
+
+/// Hardware receive filter (NIC CRC + reliable-connection logic): verify the
+/// checksum before trusting any header word, harvest the piggybacked ack,
+/// and accept only the next in-order sequence number per source. Runs in
+/// scheduler context — no simulated CPU, exactly like the rest of deliver().
+bool RankCtx::rel_admit(machine::NetMessage& m) {
+  if (m.checksum != wire_checksum(m)) {
+    // Garbage frame: even src/seq are untrustworthy, so nothing can be
+    // acked or re-acked — the sender's retransmit timer covers it.
+    ++rel_stats_.corrupt_drops;
+    trace::instant(rank_, trace::kHwTid, "rx:corrupt-drop", "net");
+    return false;
+  }
+  RelPeer& peer = rel_[static_cast<std::size_t>(m.src)];
+  // Cumulative ack: the peer has everything below m.ack, retire our copies.
+  while (!peer.unacked.empty() && peer.unacked.front().frame.seq < m.ack) {
+    peer.tx_unacked_bytes -= frame_wire_bytes(peer.unacked.front().frame);
+    peer.unacked.pop_front();
+  }
+  if (peer.unacked.empty()) peer.tx_unacked_bytes = 0;
+  if (m.kind == kWireAck) return false;  // pure ack: no data to deliver
+  if (m.seq != peer.rx_expected) {
+    // Duplicate (below the cursor) or a gap (go-back-N receivers take only
+    // in-order frames). Drop it, but owe the sender a fresh ack — its copy
+    // of our cursor may have been lost — and wake software to send one.
+    if (m.seq < peer.rx_expected) {
+      ++rel_stats_.dup_drops;
+      c_dup_drops_.add();
+      trace::instant(rank_, trace::kHwTid, "rx:dup-drop", "net");
+    } else {
+      ++rel_stats_.ooo_drops;
+      trace::instant(rank_, trace::kHwTid, "rx:ooo-drop", "net");
+    }
+    peer.ack_owed = true;
+    arrivals_.signal();
+    return false;
+  }
+  ++peer.rx_expected;
+  peer.ack_owed = true;
+  return true;
+}
+
+/// Software half of the protocol, called from progress_poll(): go-back-N
+/// retransmission with exponential backoff, and pure-ack flush for cursors
+/// no outgoing frame piggybacked in time. Only runs while a fiber is inside
+/// MPI — a rank that never enters the library recovers nothing.
+void RankCtx::rel_poll() {
+  const auto& p = profile();
+  const sim::Time now = sim::now();
+  // Note: the self entry is NOT skipped — RMA to the local rank still rides
+  // the network (and its fault plan), so self-directed frames need the same
+  // retransmit/ack machinery as any other pair.
+  for (std::size_t peer_rank = 0; peer_rank < rel_.size(); ++peer_rank) {
+    RelPeer& peer = rel_[peer_rank];
+    if (!peer.unacked.empty() && now >= peer.unacked.front().deadline) {
+      trace::Scope tsc("rel:retransmit", "mpi");
+      const int attempts = peer.unacked.front().attempts + 1;
+      const sim::Time deadline =
+          now + rel_rto(peer.tx_unacked_bytes, attempts);
+      for (RelPeer::Unacked& u : peer.unacked) {
+        sim::advance(p.nic_doorbell);
+        ++rel_stats_.retransmits;
+        c_retransmits_.add();
+        u.attempts = attempts;
+        u.deadline = deadline;
+        // Byte-identical re-injection (stale piggybacked ack and all): the
+        // checksum still matches and cumulative acks are monotone-safe.
+        machine::NetMessage copy = u.frame;
+        cluster_.network().send(std::move(copy));
+      }
+    }
+    if (peer.ack_owed) {
+      sim::advance(p.nic_doorbell);
+      machine::NetMessage ack;
+      ack.src = rank_;
+      ack.dst = static_cast<int>(peer_rank);
+      ack.kind = kWireAck;
+      ack.ack = peer.rx_expected;
+      ack.checksum = wire_checksum(ack);
+      ++rel_stats_.acks_sent;
+      peer.ack_owed = false;
+      // Unsequenced on purpose: acking acks would regress infinitely. Loss
+      // is repaired by the next dup-triggered re-ack.
+      cluster_.network().send(std::move(ack));
+    }
+  }
+}
 
 // ------------------------------------------------------------- hardware ----
 
@@ -40,6 +162,7 @@ void RankCtx::deliver(machine::NetMessage&& m) {
   // Hardware-side arrival (scheduler context, no simulated CPU): mark it on
   // the rank's "hw" track so software reaction latency is visible.
   trace::instant(rank_, trace::kHwTid, wire_kind_name(m.kind), "net");
+  if (rel_on_ && !rel_admit(m)) return;
   if (m.kind == kWireRmaPut || m.kind == kWireRmaGetReq ||
       m.kind == kWireRmaGetResp) {
     rma_deliver(m);
@@ -126,6 +249,7 @@ void RankCtx::progress_poll() {
   }
 
   advance_collectives();
+  if (rel_on_) rel_poll();
   in_progress_ = false;
 }
 
@@ -210,7 +334,7 @@ void RankCtx::send_cts(std::uint64_t sender_req, int sender_global,
   cts.kind = kWireCts;
   cts.h0 = sender_req;
   cts.h1 = static_cast<std::uint64_t>(rreq.idx);
-  cluster_.network().send(std::move(cts));
+  net_send(std::move(cts));
 }
 
 void RankCtx::handle_cts(machine::NetMessage&& m) {
@@ -249,7 +373,7 @@ void RankCtx::start_rndv_chunk(RequestImpl& sreq) {
   data.h3 = chunk;
   data.wire_bytes = chunk;
   sreq.dma_sent += chunk;
-  cluster_.network().send(std::move(data));
+  net_send(std::move(data));
 }
 
 // ----------------------------------------------------------- collectives ----

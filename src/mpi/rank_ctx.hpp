@@ -30,6 +30,7 @@
 #include "mpi/types.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
+#include "trace/counters.hpp"
 
 namespace smpi {
 
@@ -43,6 +44,16 @@ struct RankStats {
   std::uint64_t rndv_sends = 0;
   std::uint64_t unexpected_hits = 0;  ///< receives satisfied from unexpected q
   sim::Time time_in_mpi;              ///< virtual time spent inside the library
+};
+
+/// Reliability-sublayer counters (all zero while faults are disabled).
+struct RelStats {
+  std::uint64_t frames_sent = 0;    ///< sequenced first transmissions
+  std::uint64_t retransmits = 0;    ///< go-back-N re-injections (software)
+  std::uint64_t acks_sent = 0;      ///< pure kWireAck frames (software)
+  std::uint64_t dup_drops = 0;      ///< duplicates suppressed at the NIC
+  std::uint64_t ooo_drops = 0;      ///< out-of-order frames dropped (go-back-N)
+  std::uint64_t corrupt_drops = 0;  ///< frames failing the checksum
 };
 
 class RankCtx {
@@ -159,6 +170,26 @@ class RankCtx {
   /// NIC delivery handler; runs in scheduler context.
   void deliver(machine::NetMessage&& m);
 
+  /// All library-internal wire injection funnels through here. With faults
+  /// enabled it stamps the reliability header (seq, piggybacked ack,
+  /// checksum) and queues a retransmit copy; otherwise it is a plain
+  /// Network::send. Safe from both fiber and scheduler context (never
+  /// advances the clock).
+  void net_send(machine::NetMessage&& m);
+
+  [[nodiscard]] const RelStats& rel_stats() const { return rel_stats_; }
+
+  /// True when no frame this rank sent is still awaiting an ack. Used by the
+  /// cluster's end-of-run teardown: a rank may only stop entering MPI once
+  /// every rank is drained, otherwise its software retransmit timers die
+  /// with frames still lost on the wire.
+  [[nodiscard]] bool rel_drained() const {
+    for (const RelPeer& p : rel_) {
+      if (!p.unacked.empty()) return false;
+    }
+    return true;
+  }
+
  private:
   friend class MpiEntry;
 
@@ -218,6 +249,35 @@ class RankCtx {
   bool rma_deliver(machine::NetMessage& m);
   bool in_progress_ = false;  ///< reentrancy guard (debug invariant)
   int blocked_in_mpi_ = 0;    ///< threads currently inside a blocking wait
+
+  // ------- reliability sublayer (active only when profile faults are on) ----
+  /// Receive side (rx_*) runs in hardware context at the NIC — checksum,
+  /// in-order filter, dedup — like a NIC's CRC/RC logic. Send-side recovery
+  /// (retransmit timers, pure-ack flush) is software: rel_poll() runs only
+  /// from progress_poll().
+  struct RelPeer {
+    std::uint64_t tx_next_seq = 1;
+    std::size_t tx_unacked_bytes = 0;  ///< wire bytes awaiting ack
+    struct Unacked {
+      machine::NetMessage frame;  ///< byte-identical retransmit copy
+      sim::Time deadline;
+      int attempts = 0;
+    };
+    std::deque<Unacked> unacked;
+    std::uint64_t rx_expected = 1;  ///< next in-order seq accepted from peer
+    bool ack_owed = false;          ///< peer needs our cursor (data or re-ack)
+  };
+  /// Hardware rx filter; false = frame consumed/dropped by reliability.
+  bool rel_admit(machine::NetMessage& m);
+  /// Software: fire expired retransmit timers, flush owed pure acks.
+  void rel_poll();
+  [[nodiscard]] sim::Time rel_rto(std::size_t backlog_bytes, int attempts) const;
+
+  bool rel_on_ = false;
+  std::vector<RelPeer> rel_;
+  RelStats rel_stats_;
+  trace::Counter c_retransmits_;
+  trace::Counter c_dup_drops_;
 
   RankStats stats_;
 };

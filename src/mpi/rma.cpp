@@ -62,7 +62,7 @@ void RankCtx::put(const void* origin, std::size_t bytes, int target_rank,
   m.h3 = bytes;
   m.wire_bytes = bytes;
   ++wi.outstanding;
-  cluster_.network().send(std::move(m));
+  net_send(std::move(m));
   progress_poll();
 }
 
@@ -85,7 +85,7 @@ void RankCtx::get(void* origin, std::size_t bytes, int target_rank,
   m.h2 = target_offset;
   m.h3 = bytes;
   ++wi.outstanding;
-  cluster_.network().send(std::move(m));
+  net_send(std::move(m));
   progress_poll();
 }
 
@@ -162,7 +162,9 @@ bool RankCtx::rma_deliver(machine::NetMessage& m) {
       resp.h2 = m.h1;  // origin buffer
       resp.h3 = m.h3;
       resp.wire_bytes = m.h3;
-      self.cluster_.network().send(std::move(resp));
+      // Scheduler context is fine: net_send stamps and queues but never
+      // advances the virtual clock (the NIC answers the RDMA read itself).
+      self.net_send(std::move(resp));
       return true;
     }
     case kWireRmaGetResp: {

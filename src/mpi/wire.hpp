@@ -1,7 +1,21 @@
-// Wire-message kinds and header layouts shared by p2p.cpp / progress.cpp.
+// Wire-message kinds and header layouts shared by p2p.cpp / progress.cpp,
+// plus the frame checksum of the reliability sublayer.
+//
+// Reliability (active only when the profile's FaultSpec is enabled): every
+// frame RankCtx::net_send injects carries a per-(src,dst) sequence number, a
+// piggybacked cumulative ack, and a checksum over ids + headers + payload.
+// The receiver's NIC (hardware context) verifies the checksum and accepts
+// only the next in-order sequence number — duplicates and gaps are dropped
+// and re-acked. Retransmission is *software*: the sender's go-back-N timers
+// are checked only inside progress_poll(), i.e. only while some fiber is
+// inside MPI, so recovering from loss is subject to the same asynchrony
+// problem the paper studies.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+
+#include "machine/network.hpp"
 
 namespace smpi {
 
@@ -13,6 +27,39 @@ enum WireKind : std::uint32_t {
   kWireRmaPut = 5,     ///< h0=win id, h1=src ptr, h2=target offset, h3=bytes
   kWireRmaGetReq = 6,  ///< h0=win id, h1=origin buf ptr, h2=target offset, h3=bytes (+origin win in src)
   kWireRmaGetResp = 7, ///< h0=origin win id, h1=src ptr(unused), h2=origin buf ptr, h3=bytes
+  kWireAck = 8,        ///< pure cumulative ack (unsequenced); only `ack` is meaningful
 };
+
+/// FNV-1a over everything the receiver will interpret: ids, kind, headers,
+/// sequence/ack numbers, and the inline payload. Computed before injection,
+/// verified at delivery *before* any header word is trusted — several kinds
+/// carry raw pointers in h1/h2, so a corrupted frame must never get that far.
+inline std::uint32_t wire_checksum(const machine::NetMessage& m) {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.src)) << 32) |
+      static_cast<std::uint32_t>(m.dst));
+  mix(m.kind);
+  mix(m.h0);
+  mix(m.h1);
+  mix(m.h2);
+  mix(m.h3);
+  mix(m.seq);
+  mix(m.ack);
+  mix(m.payload.size());
+  std::size_t i = 0;
+  for (; i + 8 <= m.payload.size(); i += 8) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, m.payload.data() + i, 8);
+    mix(w);
+  }
+  for (; i < m.payload.size(); ++i) {
+    mix(std::to_integer<std::uint8_t>(m.payload[i]));
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
 
 }  // namespace smpi

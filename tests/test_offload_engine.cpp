@@ -214,3 +214,124 @@ TEST(OffloadEngine, ShutdownDrainsInflight) {
     EXPECT_EQ(got, peer);
   });
 }
+
+TEST(OffloadEngine, PoolExhaustionCountsPoolFullStalls) {
+  // A full request pool and a full command ring are different bottlenecks
+  // and must be reported under different counters: here the ring is roomy
+  // (64) but the pool holds only 8 slots, so the 9th post stalls on the pool
+  // until another thread of the rank recycles a slot.
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc, /*ring_capacity=*/64, /*pool_capacity=*/8);
+    p.start();
+    if (rc.rank() == 0) {
+      int vals[9];
+      PReq reqs[9];
+      for (int i = 0; i < 8; ++i) {
+        vals[i] = i;
+        // Eager sends complete at the MPI level almost immediately, but the
+        // pool slot stays allocated until wait/test — exactly the situation
+        // where the 9th submit must stall on the POOL, not the ring.
+        reqs[i] = p.isend(&vals[i], 1, Datatype::kInt, 1, i);
+      }
+      // A second application thread recycles slot 0 a little later.
+      rc.cluster().spawn_on(0, "rank0.recycler", [&]() {
+        compute(sim::Time::from_us(30));
+        p.wait(reqs[0]);
+      });
+      vals[8] = 8;
+      reqs[8] = p.isend(&vals[8], 1, Datatype::kInt, 1, 8);  // stalls, then goes
+      for (int i = 1; i < 9; ++i) p.wait(reqs[i]);
+    } else {
+      // Receive one at a time: rank 1 shares the 8-slot pool size and must
+      // not trip its own exhaustion path.
+      for (int i = 0; i < 9; ++i) {
+        int got = -1;
+        p.recv(&got, 1, Datatype::kInt, 0, i);
+        EXPECT_EQ(got, i);
+      }
+    }
+    p.barrier();
+    p.stop();
+    if (rc.rank() == 0) {
+      EXPECT_GE(p.channel().stats().pool_full_stalls, 1u);
+      EXPECT_EQ(p.channel().stats().ring_full_stalls, 0u);
+    }
+  });
+}
+
+TEST(OffloadEngine, RingBackpressureCountsRingFullStalls) {
+  // The mirror image: a tiny ring (4) with an ample pool. A 64-deep post
+  // burst outruns the engine's drain rate, so submits spin on the ring and
+  // the stalls land in ring_full_stalls only.
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc, /*ring_capacity=*/4, /*pool_capacity=*/4096);
+    p.start();
+    const int peer = 1 - rc.rank();
+    constexpr int kN = 64;
+    std::vector<int> rvals(kN), svals(kN);
+    std::vector<PReq> rs;
+    for (int i = 0; i < kN; ++i) {
+      svals[static_cast<std::size_t>(i)] = rc.rank() * 1000 + i;
+      rs.push_back(p.irecv(&rvals[static_cast<std::size_t>(i)], 1, Datatype::kInt, peer, i));
+      rs.push_back(p.isend(&svals[static_cast<std::size_t>(i)], 1, Datatype::kInt, peer, i));
+    }
+    p.waitall(rs);
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(rvals[static_cast<std::size_t>(i)], peer * 1000 + i);
+    }
+    p.stop();
+    EXPECT_GT(p.channel().stats().ring_full_stalls, 0u);
+    EXPECT_EQ(p.channel().stats().pool_full_stalls, 0u);
+  });
+}
+
+TEST(OffloadEngine, LongLivedRequestSurvivesCompactionAndStaysFair) {
+  // Regression for the in-flight bookkeeping rework: one slow request posted
+  // FIRST, then 63 fast ones behind it. After the fast ones complete, 63
+  // dead slots sit behind the lone live entry and the sweep array compacts
+  // (size > 32, live*2 <= size). The slow request must keep its identity
+  // through compaction and complete promptly once its message arrives —
+  // under the old rebuild-per-completion scheme this scenario was O(n^2).
+  Cluster c(cfg(2));
+  sim::Time slow_sent, slow_done;
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc, /*ring_capacity=*/128, /*pool_capacity=*/256);
+    p.start();
+    if (rc.rank() == 0) {
+      int slow_got = -1;
+      PReq slow = p.irecv(&slow_got, 1, Datatype::kInt, 1, 999);
+      std::vector<int> got(63, -1);
+      std::vector<PReq> fast;
+      for (int i = 0; i < 63; ++i) {
+        fast.push_back(p.irecv(&got[static_cast<std::size_t>(i)], 1, Datatype::kInt, 1, i));
+      }
+      p.waitall(fast);  // all 63 complete; the slow request is now 1 live of 64
+      for (int i = 0; i < 63; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+      p.wait(slow);
+      slow_done = sim::now();
+      EXPECT_EQ(slow_got, 777);
+    } else {
+      for (int i = 0; i < 63; ++i) {
+        const int v = i;
+        p.send(&v, 1, Datatype::kInt, 0, i);
+      }
+      compute(sim::Time::from_us(200));
+      const int v = 777;
+      slow_sent = sim::now();
+      p.send(&v, 1, Datatype::kInt, 0, 999);
+    }
+    p.barrier();
+    p.stop();
+    if (rc.rank() == 0) {
+      EXPECT_EQ(p.channel().stats().completions, p.channel().stats().commands);
+      EXPECT_GE(p.channel().stats().max_inflight, 64u);
+    }
+  });
+  // Completion must follow the send within network latency + poll
+  // granularity — not after another sweep proportional to the dead slots.
+  EXPECT_GT(slow_done.ns(), 0);
+  EXPECT_GT(slow_sent.ns(), 0);
+  EXPECT_LT((slow_done - slow_sent).ns(), 50'000);
+}
