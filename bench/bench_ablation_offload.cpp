@@ -7,9 +7,17 @@
 //      thread count donated to communication;
 //   A5 command-queue capacity under a burst of posts (ring-full stalls);
 //   A6 wire faults — overlap retention and reliability-layer work vs drop
-//      rate, with an end-to-end payload digest proving the data is intact.
+//      rate, with an end-to-end payload digest proving the data is intact;
+//   A7 submission front-end — the single shared MPSC ring vs per-thread SPSC
+//      lanes vs lanes+batching, measured as the multi-thread post window.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/proxy.hpp"
+#include "core/proxy_options.hpp"
 
 #include "apps/qcd/dslash_perf.hpp"
 #include "benchlib/osu.hpp"
@@ -92,7 +100,10 @@ void a5_ring_capacity() {
     std::uint64_t stalls = 0;
     double us = 0;
     cluster.run([&](smpi::RankCtx& rc) {
-      core::OffloadProxy p(rc, cap, 4096);
+      // lane_count = 0 pins the shared MPSC ring so the stalls land in
+      // ring_full_stalls — the knob this ablation sweeps.
+      core::OffloadProxy p(rc, core::ProxyOptions{.ring_capacity = cap,
+                                                  .lane_count = 0});
       p.start();
       const int peer = 1 - rc.rank();
       std::vector<core::PReq> reqs;
@@ -232,18 +243,124 @@ void a6_fault_sweep() {
   benchlib::finish_table(t);
 }
 
+struct A7Cell {
+  double window_us = 0;  ///< max(last post end) - min(first post start)
+  double rate = 0;       ///< posted messages per microsecond of window
+};
+
+/// One (front-end, thread-count) cell: rank 0 runs `threads` submitter
+/// fibers, each posting 64 small isends (singly or through post_batch);
+/// rank 1 pre-posts the matching irecvs. The figure of merit is the post
+/// window across all submitters — with the single shared ring the producers
+/// serialize on the tail cache line, with lanes they post in parallel, and
+/// batching amortizes the per-command enqueue + doorbell on top.
+A7Cell a7_run(std::size_t lanes, bool batch, int threads) {
+  constexpr int kPerThread = 64;
+  smpi::ClusterConfig cc;
+  cc.nranks = 2;
+  cc.deadline = sim::Time::from_sec(120);
+  smpi::Cluster cluster(cc);
+  A7Cell cell;
+  cluster.run([&](smpi::RankCtx& rc) {
+    core::ProxyOptions opts;
+    opts.ring_capacity = 4096;
+    opts.pool_capacity = 1u << 15;
+    opts.lane_count = lanes;
+    opts.lane_capacity = 256;
+    opts.batch_flush = 8;
+    core::OffloadProxy p(rc, opts);
+    p.start();
+    if (rc.rank() == 0) {
+      auto done = std::make_shared<int>(0);
+      auto t_min = std::make_shared<sim::Time>(sim::Time::max());
+      auto t_max = std::make_shared<sim::Time>(sim::Time::zero());
+      auto submit = [&p, done, t_min, t_max, batch](int tid) {
+        std::vector<core::PReq> reqs(kPerThread);
+        const sim::Time t0 = sim::now();
+        if (batch) {
+          std::vector<core::BatchOp> ops;
+          ops.reserve(kPerThread);
+          for (int i = 0; i < kPerThread; ++i) {
+            ops.push_back(core::BatchOp::isend(nullptr, 8, smpi::Datatype::kByte,
+                                               1, tid * 1000 + i));
+          }
+          p.post_batch(ops, reqs);
+        } else {
+          for (int i = 0; i < kPerThread; ++i) {
+            reqs[i] =
+                p.isend(nullptr, 8, smpi::Datatype::kByte, 1, tid * 1000 + i);
+          }
+        }
+        const sim::Time t1 = sim::now();
+        *t_min = std::min(*t_min, t0);
+        *t_max = std::max(*t_max, t1);
+        p.waitall(reqs);
+        ++*done;
+      };
+      for (int t = 1; t < threads; ++t) {
+        rc.cluster().spawn_on(0, "sub" + std::to_string(t),
+                              [submit, t]() { submit(t); });
+      }
+      submit(0);
+      while (*done < threads) sim::advance(sim::Time(200));
+      cell.window_us = (*t_max - *t_min).us();
+      cell.rate =
+          threads * kPerThread / std::max(cell.window_us, 1e-9);
+    } else {
+      std::vector<core::PReq> reqs;
+      reqs.reserve(static_cast<std::size_t>(threads) * kPerThread);
+      for (int t = 0; t < threads; ++t) {
+        for (int i = 0; i < kPerThread; ++i) {
+          reqs.push_back(
+              p.irecv(nullptr, 8, smpi::Datatype::kByte, 0, t * 1000 + i));
+        }
+      }
+      p.waitall(reqs);
+    }
+    p.barrier();
+    report_proxy_stats(p);
+    p.stop();
+  });
+  return cell;
+}
+
+void a7_submission_lanes() {
+  std::printf("\nA7: submission front-end — single shared ring vs per-thread "
+              "lanes vs lanes+batching, 64 isends/thread\n");
+  const std::vector<int> threads = Runner::smoke_enabled()
+                                       ? std::vector<int>{1, 8}
+                                       : std::vector<int>{1, 2, 4, 8, 16};
+  Table t({"threads", "single-ring(us)", "lanes(us)", "lanes+batch(us)",
+           "rate speedup"});
+  for (int T : threads) {
+    const A7Cell s = a7_run(0, false, T);
+    const A7Cell l = a7_run(16, false, T);
+    const A7Cell b = a7_run(16, true, T);
+    char spd[16];
+    std::snprintf(spd, sizeof spd, "%.2fx", b.rate / std::max(s.rate, 1e-12));
+    t.row({fmt_int(T), fmt_us(s.window_us, 2), fmt_us(l.window_us, 2),
+           fmt_us(b.window_us, 2), spd});
+  }
+  benchlib::finish_table(t);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchlib::Runner runner(argc, argv);
-  a1_eager_threshold();
-  a2_pipeline_depth();
-  a3_detect_latency();
-  a4_dedicated_core();
-  a5_ring_capacity();
-  // A6 only perturbs the wire when MPIOFF_FAULTS-style faults are active in
-  // its own profiles; with the default run it still executes (drop=0 row is
-  // the control showing zero reliability-layer work).
-  a6_fault_sweep();
+  // Smoke mode (MPIOFF_BENCH_SMOKE=1, CI) runs only the A7 front-end
+  // ablation at a reduced thread sweep; the full run does everything.
+  if (!Runner::smoke_enabled()) {
+    a1_eager_threshold();
+    a2_pipeline_depth();
+    a3_detect_latency();
+    a4_dedicated_core();
+    a5_ring_capacity();
+    // A6 only perturbs the wire when MPIOFF_FAULTS-style faults are active in
+    // its own profiles; with the default run it still executes (drop=0 row is
+    // the control showing zero reliability-layer work).
+    a6_fault_sweep();
+  }
+  a7_submission_lanes();
   return 0;
 }

@@ -18,11 +18,18 @@ using core::Approach;
 int main(int argc, char** argv) {
   benchlib::Runner runner(argc, argv);
   const auto prof = machine::xeon_fdr();
-  const std::vector<std::size_t> sizes = {8, 64, 512, 4096, 16384, 65536};
+  // Smoke mode (MPIOFF_BENCH_SMOKE=1, CI) keeps one thread count and two
+  // sizes so the job finishes in minutes but still emits real trailers.
+  const bool smoke = benchlib::Runner::smoke_enabled();
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{8, 4096}
+            : std::vector<std::size_t>{8, 64, 512, 4096, 16384, 65536};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{8} : std::vector<int>{2, 4, 8};
   const Approach approaches[] = {Approach::kBaseline, Approach::kCommSelf,
                                  Approach::kOffload};
 
-  for (int threads : {2, 4, 8}) {
+  for (int threads : thread_counts) {
     std::printf("Figure 6(%c): OSU multithreaded latency, %d thread pairs (%s)\n",
                 threads == 2 ? 'a' : threads == 4 ? 'b' : 'c', threads,
                 prof.name.c_str());

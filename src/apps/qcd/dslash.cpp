@@ -239,23 +239,27 @@ void DistributedDslash::boundary(SpinorField& out) {
 void DistributedDslash::apply(SpinorField& out) {
   using smpi::Datatype;
   pack_faces();
-  // Post the boundary exchange: 2 receives + 2 sends per partitioned dim.
-  std::vector<core::PReq> reqs;
+  // Post the whole boundary exchange (2 receives + 2 sends per partitioned
+  // dim) as one batch: a single command-ring publish + doorbell under the
+  // offload proxy instead of one per halo message.
+  std::vector<core::BatchOp> ops;
   for (int mu = 0; mu < 4; ++mu) {
     if (!dec_.partitioned(mu)) continue;
     const std::size_t n = recv_plus_[mu].size();
     const int up = dec_.neighbor_rank(mu, +1);
     const int dn = dec_.neighbor_rank(mu, -1);
     // Tags: 8 directions, mu*2 for data flowing -mu-ward, mu*2+1 for +mu-ward.
-    reqs.push_back(proxy_.irecv(recv_plus_[mu].data(), n, Datatype::kComplexFloat,
-                                up, mu * 2));
-    reqs.push_back(proxy_.irecv(recv_minus_[mu].data(), n, Datatype::kComplexFloat,
-                                dn, mu * 2 + 1));
-    reqs.push_back(proxy_.isend(send_minus_[mu].data(), n, Datatype::kComplexFloat,
-                                dn, mu * 2));
-    reqs.push_back(proxy_.isend(send_plus_[mu].data(), n, Datatype::kComplexFloat,
-                                up, mu * 2 + 1));
+    ops.push_back(core::BatchOp::irecv(recv_plus_[mu].data(), n,
+                                       Datatype::kComplexFloat, up, mu * 2));
+    ops.push_back(core::BatchOp::irecv(recv_minus_[mu].data(), n,
+                                       Datatype::kComplexFloat, dn, mu * 2 + 1));
+    ops.push_back(core::BatchOp::isend(send_minus_[mu].data(), n,
+                                       Datatype::kComplexFloat, dn, mu * 2));
+    ops.push_back(core::BatchOp::isend(send_plus_[mu].data(), n,
+                                       Datatype::kComplexFloat, up, mu * 2 + 1));
   }
+  std::vector<core::PReq> reqs(ops.size());
+  proxy_.post_batch(ops, reqs);
   interior(out);
   proxy_.waitall(reqs);
   boundary(out);

@@ -29,18 +29,20 @@ struct PhaseTimes {
   sim::Time post, wait, total;
 };
 
-/// One exchange: Irecv+Isend to the peer, optional compute, two waits.
+/// One exchange: Irecv+Isend to the peer, optional compute, then drain both
+/// completions through waitany — whichever finishes first is retired first,
+/// instead of the old hand-rolled fixed-order wait pair.
 PhaseTimes exchange_once(Proxy& p, int peer, char* sbuf, char* rbuf,
                          std::size_t bytes, sim::Time compute_time) {
   PhaseTimes t;
   const sim::Time t0 = sim::now();
-  PReq rr = p.irecv(rbuf, bytes, Datatype::kByte, peer, 0);
-  PReq rs = p.isend(sbuf, bytes, Datatype::kByte, peer, 0);
+  PReq reqs[2] = {p.irecv(rbuf, bytes, Datatype::kByte, peer, 0),
+                  p.isend(sbuf, bytes, Datatype::kByte, peer, 0)};
   t.post = sim::now() - t0;
   if (compute_time > sim::Time::zero()) smpi::compute(compute_time);
   const sim::Time w0 = sim::now();
-  p.wait(rr);
-  p.wait(rs);
+  while (p.waitany(reqs) >= 0) {
+  }
   t.wait = sim::now() - w0;
   t.total = sim::now() - t0;
   return t;

@@ -90,6 +90,16 @@ void Runner::finish(const Table& t) {
 
 bool Runner::stats_enabled() { return g_stats_enabled; }
 void Runner::set_stats_enabled(bool on) { g_stats_enabled = on; }
+
+bool Runner::smoke_enabled() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before any threads
+  static const bool on = [] {
+    const char* e = std::getenv("MPIOFF_BENCH_SMOKE");
+    return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+  }();
+  return on;
+}
+
 Runner* Runner::active() { return g_active_runner; }
 
 void finish_table(const Table& t) {
@@ -120,6 +130,13 @@ void report_proxy_stats(core::Proxy& p) {
                static_cast<double>(s.pool_full_stalls));
     tr.counter(ts, rank, "offload.watchdog_flags",
                static_cast<double>(s.watchdog_flags));
+    tr.counter(ts, rank, "offload.lane_submits",
+               static_cast<double>(s.lane_submits));
+    tr.counter(ts, rank, "offload.shared_submits",
+               static_cast<double>(s.shared_submits));
+    tr.counter(ts, rank, "offload.batches", static_cast<double>(s.batches));
+    tr.counter(ts, rank, "offload.lane_full_stalls",
+               static_cast<double>(s.lane_full_stalls));
   }
   if (rank == 0) {
     std::printf(
@@ -133,6 +150,32 @@ void report_proxy_stats(core::Proxy& p) {
         static_cast<unsigned long long>(s.ring_full_stalls),
         static_cast<unsigned long long>(s.pool_full_stalls),
         static_cast<unsigned long long>(s.watchdog_flags));
+    std::printf(
+        "[stats] offload rank0 frontend: lanes=%zu lane_submits=%llu "
+        "shared_submits=%llu batches=%llu batched=%llu lane_full_stalls=%llu "
+        "spins=%llu yields=%llu sleeps=%llu\n",
+        op->channel().lane_count(),
+        static_cast<unsigned long long>(s.lane_submits),
+        static_cast<unsigned long long>(s.shared_submits),
+        static_cast<unsigned long long>(s.batches),
+        static_cast<unsigned long long>(s.batched_commands),
+        static_cast<unsigned long long>(s.lane_full_stalls),
+        static_cast<unsigned long long>(s.engine_spins),
+        static_cast<unsigned long long>(s.engine_yields),
+        static_cast<unsigned long long>(s.engine_sleeps));
+    for (std::size_t i = 0; i < op->channel().lane_count(); ++i) {
+      const core::LaneStats& ls = op->channel().lane_stats(i);
+      if (ls.submits == 0) continue;  // unbound lane: nothing to report
+      std::printf(
+          "[stats] offload rank0 lane%zu: submits=%llu drained=%llu "
+          "batches=%llu batched=%llu max_occ=%llu full_stalls=%llu\n",
+          i, static_cast<unsigned long long>(ls.submits),
+          static_cast<unsigned long long>(ls.drained),
+          static_cast<unsigned long long>(ls.batches),
+          static_cast<unsigned long long>(ls.batched_commands),
+          static_cast<unsigned long long>(ls.max_occupancy),
+          static_cast<unsigned long long>(ls.full_stalls));
+    }
   }
 }
 

@@ -46,6 +46,11 @@ class Runner {
   static bool stats_enabled();
   static void set_stats_enabled(bool on);
 
+  /// True when MPIOFF_BENCH_SMOKE=1: benches run a reduced configuration
+  /// (fewer sizes/thread counts) so CI can execute them in minutes while
+  /// still producing real `[stats]` trailers.
+  static bool smoke_enabled();
+
   /// The Runner currently alive in this process (nullptr outside main).
   static Runner* active();
 

@@ -4,8 +4,11 @@
 #include <set>
 #include <stdexcept>
 
+#include <span>
+
 #include "core/mpsc_ring.hpp"
 #include "core/request_pool.hpp"
+#include "core/spsc_lane.hpp"
 #include "mpi/types.hpp"
 
 namespace chk::specs {
@@ -100,6 +103,47 @@ Result check_pool(const Options& opt, const PoolCfg& cfg) {
   });
 }
 
+Result check_lane(const Options& opt, const LaneCfg& cfg) {
+  return explore(opt, [&cfg](Sim& sim) {
+    core::SpscLane<int, ModelAtomics> lane(cfg.capacity);
+    int popped = 0;  // consumer-local; read by the main body after join
+
+    sim.threads({
+        // Producer: first half pushed singly, second half published through
+        // one try_push_n batch, retrying the unconsumed suffix — this drives
+        // both the single-item and the batched tail-publish paths.
+        [&lane, &cfg] {
+          const int half = cfg.items / 2;
+          for (int i = 0; i < half; ++i) {
+            while (!lane.try_push(i)) Sim::yield();
+          }
+          std::vector<int> batch;
+          for (int i = half; i < cfg.items; ++i) batch.push_back(i);
+          std::span<int> rest(batch);
+          while (!rest.empty()) {
+            rest = rest.subspan(lane.try_push_n(rest));
+            if (!rest.empty()) Sim::yield();
+          }
+        },
+        // Consumer: the stream must come out exactly 0..items-1.
+        [&lane, &cfg, &popped] {
+          int v = -1;
+          while (popped < cfg.items) {
+            if (!lane.try_pop(v)) {
+              Sim::yield();
+              continue;
+            }
+            check(v == popped, "lane pops FIFO, nothing lost or duplicated");
+            ++popped;
+          }
+        },
+    });
+
+    check(popped == cfg.items, "consumer drained every item");
+    check(lane.empty_approx(), "lane drained");
+  });
+}
+
 Result check_handshake(const Options& opt) {
   return explore(opt, [](Sim& sim) {
     struct HsCmd {
@@ -150,6 +194,7 @@ Result check_handshake(const Options& opt) {
 Result run_spec(const std::string& spec, const Options& opt) {
   if (spec == "ring") return check_ring(opt);
   if (spec == "pool") return check_pool(opt);
+  if (spec == "lane") return check_lane(opt);
   if (spec == "handshake") return check_handshake(opt);
   throw std::invalid_argument("unknown spec: " + spec);
 }
@@ -160,6 +205,13 @@ std::vector<MutationCase> mutation_matrix() {
       // ring.seq base location; the ring spec catches either side).
       {{"ring.seq", OpKind::kLoad, Side::kAcquire}, "ring"},
       {{"ring.seq", OpKind::kStore, Side::kRelease}, "ring"},
+      // SpscLane cached-index protocol: tail release/acquire publishes the
+      // payload, head release/acquire returns cells for reuse (the lane spec
+      // wraps around, so a weakened head edge races on the recycled cell).
+      {{"lane.tail", OpKind::kLoad, Side::kAcquire}, "lane"},
+      {{"lane.tail", OpKind::kStore, Side::kRelease}, "lane"},
+      {{"lane.head", OpKind::kLoad, Side::kAcquire}, "lane"},
+      {{"lane.head", OpKind::kStore, Side::kRelease}, "lane"},
       // RequestPool free-list handoff.
       {{"pool.head", OpKind::kLoad, Side::kAcquire}, "pool"},
       {{"pool.head", OpKind::kRmw, Side::kAcquire}, "pool"},
@@ -179,7 +231,7 @@ std::vector<Site> collect_sites() {
   opt.iterations = 8;
   opt.seed = 12345;
   std::set<Site> all;
-  for (const char* spec : {"ring", "pool", "handshake"}) {
+  for (const char* spec : {"ring", "pool", "lane", "handshake"}) {
     const Result r = run_spec(spec, opt);
     if (r.failed) {
       throw std::logic_error(std::string("collect_sites: spec '") + spec +

@@ -40,6 +40,16 @@ struct PoolCfg {
 };
 Result check_pool(const Options& opt, const PoolCfg& cfg = {});
 
+/// SpscLane: 1 producer pushes a FIFO stream (first half singly, second half
+/// through one try_push_n batch), 1 consumer drains. capacity < items forces
+/// wraparound, so every cell is reused and the head release/acquire pair
+/// (cell return) is load-bearing, not just the tail publish.
+struct LaneCfg {
+  int items = 4;
+  std::size_t capacity = 2;  ///< power of two
+};
+Result check_lane(const Options& opt, const LaneCfg& cfg = {});
+
 /// The engine handshake: app thread allocs a request, writes a plain
 /// argument cell, pushes the command, rings a doorbell (release); the
 /// engine thread waits on the doorbell (acquire), reads the argument
@@ -48,7 +58,8 @@ Result check_pool(const Options& opt, const PoolCfg& cfg = {});
 /// the Status payload round-tripped.
 Result check_handshake(const Options& opt);
 
-/// Run a spec by name ("ring" | "pool" | "handshake") with its default cfg.
+/// Run a spec by name ("ring" | "pool" | "lane" | "handshake") with its
+/// default cfg.
 Result run_spec(const std::string& spec, const Options& opt);
 
 /// One row of the mutation suite: weakening `site` must be caught by `spec`.
@@ -58,13 +69,13 @@ struct MutationCase {
 };
 
 /// The curated site -> detecting-spec table. Covers every acquire/release
-/// site the three specs observe (test_check_mutations asserts this against
+/// site the specs observe (test_check_mutations asserts this against
 /// collect_sites(), so a new fence added to the production code cannot
 /// silently dodge the suite).
 std::vector<MutationCase> mutation_matrix();
 
-/// Union of synchronization sites observed while running all three specs
-/// briefly (random mode, few iterations).
+/// Union of synchronization sites observed while running all specs briefly
+/// (random mode, few iterations).
 std::vector<Site> collect_sites();
 
 }  // namespace chk::specs

@@ -7,19 +7,55 @@
 
 namespace core {
 
-OffloadChannel::OffloadChannel(smpi::RankCtx& rc, std::size_t ring_capacity,
-                               std::uint32_t pool_capacity)
+namespace {
+// A producer spinning this long on a full lane/ring means the engine is
+// stuck or dead, not merely behind — fail loudly instead of hanging.
+constexpr int kFullSpinBound = 1 << 16;
+// lane_of_slot_ sentinels: slot not yet bound / bound to the shared ring.
+constexpr std::uint32_t kNoLane = 0xffffffffu;
+constexpr std::uint32_t kSharedRing = 0xfffffffeu;
+}  // namespace
+
+OffloadChannel::OffloadChannel(smpi::RankCtx& rc, const ProxyOptions& opts)
     : rc_(rc),
-      ring_(ring_capacity),
-      pool_(pool_capacity),
+      opts_(opts),
+      ring_(opts.ring_capacity),
+      pool_(opts.pool_capacity),
+      shared_tail_line_(rc.profile().mpsc_line_transfer),
       completions_(rc.profile().done_flag_detect),
       g_ring_(rc.rank(), "ring_occupancy"),
-      g_inflight_(rc.rank(), "inflight") {}
+      g_inflight_(rc.rank(), "inflight") {
+  lanes_.reserve(opts_.lane_count);
+  for (std::size_t i = 0; i < opts_.lane_count; ++i) {
+    lanes_.push_back(
+        std::make_unique<Lane>(opts_.lane_capacity, rc_.rank(), i));
+  }
+}
 
 // ------------------------------------------------------ application side ----
 
-std::uint32_t OffloadChannel::submit(Command cmd) {
-  trace::Scope tsc("cmd:enqueue", "offload");
+OffloadChannel::Lane* OffloadChannel::lane_for_caller() {
+  if (lanes_.empty()) return nullptr;
+  const int slot = rc_.thread_slot();
+  const auto s = static_cast<std::size_t>(slot);
+  if (s >= lane_of_slot_.size()) lane_of_slot_.resize(s + 1, kNoLane);
+  std::uint32_t li = lane_of_slot_[s];
+  if (li == kNoLane) {
+    if (next_lane_ < lanes_.size()) {
+      li = static_cast<std::uint32_t>(next_lane_++);
+      lane_of_slot_[s] = li;
+      lanes_[li]->owner_slot = slot;
+    } else {
+      // More submitting fibers than lanes: overflow to the shared ring.
+      lane_of_slot_[s] = kSharedRing;
+      return nullptr;
+    }
+  }
+  if (li == kSharedRing) return nullptr;
+  return lanes_[li].get();
+}
+
+std::uint32_t OffloadChannel::alloc_slot() {
   const auto& p = rc_.profile();
   // Allocate the proxy request (lock-free pool op).
   sim::advance(p.request_pool_op);
@@ -40,15 +76,36 @@ std::uint32_t OffloadChannel::submit(Command cmd) {
     completions_.wait_beyond_timeout(seen, sim::Time::from_us(200));
     proxy = pool_.alloc();
   }
-  cmd.proxy = proxy;
-  // Serialize parameters + lock-free enqueue.
-  sim::advance(p.cmd_enqueue);
+  return proxy;
+}
+
+void OffloadChannel::push_lane(Lane& lane, const Command& cmd) {
+  const auto& p = rc_.profile();
+  for (int spins = 0; !lane.ring.try_push(cmd); ++spins) {
+    if (spins > kFullSpinBound) {
+      throw std::runtime_error(
+          "offload submission lane stuck full: engine is not draining "
+          "(increase lane_capacity or check the offload fiber is running)");
+    }
+    ++stats_.lane_full_stalls;
+    ++lane.stats.full_stalls;
+    trace::instant("stall:lane-full", "offload");
+    rc_.arrivals().signal();
+    sim::advance(p.cmd_enqueue);  // retry cost
+  }
+  const std::size_t occ = lane.ring.size_approx();
+  lane.stats.max_occupancy =
+      std::max<std::uint64_t>(lane.stats.max_occupancy, occ);
+  lane.gauge.set(static_cast<double>(occ));
+}
+
+void OffloadChannel::push_shared_locked(const Command& cmd) {
+  const auto& p = rc_.profile();
+  // The shared ring's tail cache line: concurrent producers serialize here,
+  // each acquisition charging Profile::mpsc_line_transfer.
+  sim::LockGuard g(shared_tail_line_);
   for (int spins = 0; !ring_.try_push(cmd); ++spins) {
-    // A full ring means the engine is behind, not gone — but if it never
-    // drains (engine fiber stuck or dead) an unbounded spin here would look
-    // like a silent hang. Bound it, and re-ring the doorbell each retry in
-    // case the engine's sleep cursor predates the push that filled the ring.
-    if (spins > (1 << 16)) {
+    if (spins > kFullSpinBound) {
       throw std::runtime_error(
           "offload command ring stuck full: engine is not draining "
           "(increase ring_capacity or check the offload fiber is running)");
@@ -59,11 +116,93 @@ std::uint32_t OffloadChannel::submit(Command cmd) {
     sim::advance(p.cmd_enqueue);  // retry cost
   }
   g_ring_.set(static_cast<double>(ring_.size_approx()));
+}
+
+std::uint32_t OffloadChannel::submit(Command cmd) {
+  trace::Scope tsc("cmd:enqueue", "offload");
+  const auto& p = rc_.profile();
+  cmd.proxy = alloc_slot();
+  // Serialize parameters + lock-free enqueue.
+  sim::advance(p.cmd_enqueue);
+  if (Lane* lane = lane_for_caller(); lane != nullptr) {
+    push_lane(*lane, cmd);
+    ++stats_.lane_submits;
+    ++lane->stats.submits;
+  } else {
+    push_shared_locked(cmd);
+    ++stats_.shared_submits;
+  }
   // Ring the doorbell: the offload thread's poll loop notices new work after
   // its detection latency.
   trace::instant("doorbell", "offload");
   rc_.arrivals().signal();
-  return proxy;
+  return cmd.proxy;
+}
+
+void OffloadChannel::submit_batch(std::span<Command> cmds) {
+  if (cmds.empty()) return;
+  trace::Scope tsc("cmd:enqueue-batch", "offload");
+  const auto& p = rc_.profile();
+  for (Command& c : cmds) c.proxy = alloc_slot();
+  // The first command pays the full serialize+publish cost; the rest only
+  // the marginal marshalling into already-hot cells.
+  sim::advance(p.cmd_enqueue);
+  if (cmds.size() > 1) {
+    sim::advance(sim::Time(p.cmd_enqueue_batch.ns() *
+                           static_cast<std::int64_t>(cmds.size() - 1)));
+  }
+  if (Lane* lane = lane_for_caller(); lane != nullptr) {
+    std::span<Command> rest = cmds;
+    int spins = 0;
+    while (!rest.empty()) {
+      const std::size_t n = lane->ring.try_push_n(rest);
+      rest = rest.subspan(n);
+      if (rest.empty()) break;
+      if (++spins > kFullSpinBound) {
+        throw std::runtime_error(
+            "offload submission lane stuck full: engine is not draining "
+            "(increase lane_capacity or check the offload fiber is running)");
+      }
+      ++stats_.lane_full_stalls;
+      ++lane->stats.full_stalls;
+      trace::instant("stall:lane-full", "offload");
+      rc_.arrivals().signal();
+      sim::advance(p.cmd_enqueue);  // retry cost
+    }
+    const std::size_t occ = lane->ring.size_approx();
+    lane->stats.max_occupancy =
+        std::max<std::uint64_t>(lane->stats.max_occupancy, occ);
+    lane->gauge.set(static_cast<double>(occ));
+    lane->stats.submits += cmds.size();
+    ++lane->stats.batches;
+    lane->stats.batched_commands += cmds.size();
+    stats_.lane_submits += cmds.size();
+  } else {
+    // No lane: the batch still amortizes the doorbell and pays the tail
+    // cache-line transfer once for the whole group.
+    sim::LockGuard g(shared_tail_line_);
+    for (const Command& c : cmds) {
+      for (int spins = 0; !ring_.try_push(c); ++spins) {
+        if (spins > kFullSpinBound) {
+          throw std::runtime_error(
+              "offload command ring stuck full: engine is not draining "
+              "(increase ring_capacity or check the offload fiber is "
+              "running)");
+        }
+        ++stats_.ring_full_stalls;
+        trace::instant("stall:ring-full", "offload");
+        rc_.arrivals().signal();
+        sim::advance(p.cmd_enqueue);  // retry cost
+      }
+    }
+    g_ring_.set(static_cast<double>(ring_.size_approx()));
+    stats_.shared_submits += cmds.size();
+  }
+  ++stats_.batches;
+  stats_.batched_commands += cmds.size();
+  // ONE doorbell for the whole batch.
+  trace::instant("doorbell", "offload");
+  rc_.arrivals().signal();
 }
 
 void OffloadChannel::wait_done(std::uint32_t proxy, smpi::Status* st) {
@@ -97,6 +236,9 @@ void OffloadChannel::shutdown() {
   Command c;
   c.op = CmdOp::kShutdown;
   sim::advance(rc_.profile().cmd_enqueue);
+  // Shutdown goes through the shared ring regardless of lanes: the engine
+  // keeps draining lanes until they are empty even after seeing it.
+  sim::LockGuard g(shared_tail_line_);
   while (!ring_.try_push(c)) sim::advance(rc_.profile().cmd_enqueue);
   rc_.arrivals().signal();
 }
@@ -192,6 +334,64 @@ void OffloadChannel::track_inflight(smpi::Request real, std::uint32_t proxy) {
   g_inflight_.set(static_cast<double>(live_inflight_));
 }
 
+void OffloadChannel::process_command(const Command& cmd) {
+  // One span per command covering dequeue + issue, named after the op.
+  trace::Scope tsc(cmd_op_name(cmd.op), "offload");
+  sim::advance(rc_.profile().cmd_dequeue);
+  if (cmd.op == CmdOp::kShutdown) {
+    shutdown_requested_ = true;
+    return;
+  }
+  ++stats_.commands;
+  issue(cmd);
+}
+
+bool OffloadChannel::drain_lanes_round() {
+  // One round-robin pass, at most lane_drain_bound commands per lane: the
+  // fairness bound keeps a saturating lane from starving its neighbours or
+  // postponing the testany pass indefinitely.
+  bool any = false;
+  const std::size_t n = lanes_.size();
+  if (n == 0) return false;
+  for (std::size_t k = 0; k < n; ++k) {
+    Lane& lane = *lanes_[(drain_cursor_ + k) % n];
+    Command cmd;
+    std::size_t popped = 0;
+    while (popped < opts_.lane_drain_bound && lane.ring.try_pop(cmd)) {
+      ++popped;
+      ++lane.stats.drained;
+      lane.gauge.set(static_cast<double>(lane.ring.size_approx()));
+      process_command(cmd);
+    }
+    any = any || popped != 0;
+  }
+  // Rotate the starting lane so equal backlogs drain at equal rates.
+  drain_cursor_ = (drain_cursor_ + 1) % n;
+  return any;
+}
+
+bool OffloadChannel::drain_shared() {
+  bool any = false;
+  Command cmd;
+  while (ring_.try_pop(cmd)) {
+    any = true;
+    g_ring_.set(static_cast<double>(ring_.size_approx()));
+    process_command(cmd);
+  }
+  return any;
+}
+
+bool OffloadChannel::lanes_empty() const {
+  for (const auto& lane : lanes_) {
+    if (!lane->ring.empty_approx()) return false;
+  }
+  return true;
+}
+
+bool OffloadChannel::submissions_pending() const {
+  return !ring_.empty_approx() || !lanes_empty();
+}
+
 void OffloadChannel::drive_progress() {
   watchdog_scan();
   if (live_inflight_ == 0) return;
@@ -238,7 +438,7 @@ void OffloadChannel::compact_inflight() {
 }
 
 void OffloadChannel::watchdog_scan() {
-  const sim::Time budget = rc_.profile().offload_watchdog_budget;
+  const sim::Time budget = opts_.watchdog_budget;
   if (budget.ns() <= 0 || live_inflight_ == 0) return;
   const sim::Time now = sim::now();
   if (now < next_watchdog_scan_) return;
@@ -258,37 +458,40 @@ void OffloadChannel::engine_main() {
   const bool faults_on = p.faults.enabled();
   std::uint64_t seen = rc_.arrivals().count();
   for (;;) {
-    Command cmd;
-    bool worked = false;
-    while (ring_.try_pop(cmd)) {
-      // One span per command covering dequeue + issue, named after the op.
-      trace::Scope tsc(cmd_op_name(cmd.op), "offload");
-      g_ring_.set(static_cast<double>(ring_.size_approx()));
-      sim::advance(p.cmd_dequeue);
-      worked = true;
-      if (cmd.op == CmdOp::kShutdown) {
-        shutdown_requested_ = true;
-        continue;
-      }
-      ++stats_.commands;
-      issue(cmd);
-    }
+    bool worked = drain_lanes_round();
+    worked = drain_shared() || worked;
     drive_progress();
-    if (shutdown_requested_ && live_inflight_ == 0 && ring_.empty_approx()) {
+    if (shutdown_requested_ && live_inflight_ == 0 && !submissions_pending()) {
       return;
     }
     if (worked) {
       seen = rc_.arrivals().count();
       continue;
     }
-    // Nothing to do: sleep until the doorbell (new command) or a network
-    // event (progress opportunity). The Notifier's detection latency models
-    // the spin-poll granularity of the real busy-waiting offload thread.
     const std::uint64_t cur = rc_.arrivals().count();
     if (cur > seen) {
       seen = cur;
       continue;  // something happened while we were working
     }
+    // Nothing to do: adaptive wait. Spin first (a doorbell rung during the
+    // spin window is noticed within one cmd_detect poll — the cheapest
+    // wake), then yield the core a few times, then block on the doorbell.
+    // The Notifier's detection latency models the spin-poll granularity of
+    // the real busy-waiting offload thread.
+    bool woke = false;
+    for (int i = 0; i < p.engine_spin_polls && !woke; ++i) {
+      ++stats_.engine_spins;
+      sim::advance(p.cmd_detect);
+      woke = submissions_pending() || rc_.arrivals().count() > seen;
+    }
+    for (int i = 0; i < p.engine_yield_polls && !woke; ++i) {
+      ++stats_.engine_yields;
+      sim::yield();
+      sim::advance(p.cmd_detect);
+      woke = submissions_pending() || rc_.arrivals().count() > seen;
+    }
+    if (woke) continue;
+    ++stats_.engine_sleeps;
     if (faults_on) {
       // Under faults the wake we are waiting for may have been lost with the
       // frame that carried it. Sleep with a bound and run a progress pass so

@@ -3,25 +3,39 @@
 // One dedicated fiber per rank — "the offload thread" — is the only execution
 // context that ever enters the MPI library. Application threads interact with
 // it exclusively through:
-//   * the lock-free command ring (call submission),
+//   * sharded per-thread SPSC submission lanes (the fast path: each
+//     submitting fiber is bound to its own lane, so concurrent submitters
+//     never touch each other's cache lines),
+//   * the shared lock-free MPSC command ring (fallback when lanes are
+//     disabled or more fibers submit than lanes exist; producers contend on
+//     its tail cache line, modeled by a mutex charging
+//     Profile::mpsc_line_transfer per acquisition),
 //   * the lock-free request pool (completion flags).
 //
 // Engine loop:
-//   1. drain the command ring, issuing each command as a *nonblocking* MPI
-//      call (blocking application calls were converted by the channel);
-//   2. when the ring is empty, drive progress on all in-flight operations
-//      with MPI_Testany, publishing done flags as they complete;
-//   3. when nothing is in flight and no commands are pending, sleep on the
+//   1. drain the submission lanes round-robin, at most
+//      ProxyOptions::lane_drain_bound commands per lane per pass (the
+//      fairness bound: a saturating lane cannot starve its neighbours or
+//      postpone the progress pass), then drain the shared ring;
+//   2. drive progress on all in-flight operations with MPI_Testany,
+//      publishing done flags as they complete;
+//   3. when nothing is pending, wait adaptively: spin-poll a few times
+//      (cheapest wake), then yield the core a few times, then block on the
 //      rank's doorbell (a real offload thread spins; the simulator models the
-//      spin-detection latency on wake instead of burning events).
+//      detection latency on wake instead of burning events).
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/command.hpp"
 #include "core/mpsc_ring.hpp"
+#include "core/proxy_options.hpp"
 #include "core/request_pool.hpp"
+#include "core/spsc_lane.hpp"
 #include "mpi/rank_ctx.hpp"
 #include "sim/sync.hpp"
 #include "trace/counters.hpp"
@@ -33,11 +47,31 @@ struct OffloadStats {
   std::uint64_t testany_calls = 0;
   std::uint64_t completions = 0;
   std::uint64_t max_inflight = 0;
-  std::uint64_t ring_full_stalls = 0;  ///< submit spun on a full command ring
+  std::uint64_t ring_full_stalls = 0;  ///< submit spun on the full shared ring
   std::uint64_t pool_full_stalls = 0;  ///< submit waited on an exhausted pool
-  /// In-flight requests seen exceeding Profile::offload_watchdog_budget
+  /// In-flight requests seen exceeding ProxyOptions::watchdog_budget
   /// (counted once per request; diagnostic only, never alters timing).
   std::uint64_t watchdog_flags = 0;
+  // ---- submission front-end ----
+  std::uint64_t lane_submits = 0;    ///< commands entering via a SPSC lane
+  std::uint64_t shared_submits = 0;  ///< commands entering via the shared ring
+  std::uint64_t batches = 0;         ///< submit_batch publishes
+  std::uint64_t batched_commands = 0;  ///< commands carried by those batches
+  std::uint64_t lane_full_stalls = 0;  ///< producer spun on its full lane
+  // ---- adaptive engine wait policy ----
+  std::uint64_t engine_spins = 0;   ///< idle spin polls
+  std::uint64_t engine_yields = 0;  ///< idle yield polls
+  std::uint64_t engine_sleeps = 0;  ///< doorbell blocks
+};
+
+/// Per-lane occupancy/batching counters (see OffloadChannel::lane_stats).
+struct LaneStats {
+  std::uint64_t submits = 0;          ///< commands pushed (incl. batched)
+  std::uint64_t batches = 0;          ///< batched publishes into this lane
+  std::uint64_t batched_commands = 0; ///< commands carried by those batches
+  std::uint64_t full_stalls = 0;      ///< producer spun on the full lane
+  std::uint64_t max_occupancy = 0;    ///< high-water mark of queued commands
+  std::uint64_t drained = 0;          ///< commands popped by the engine
 };
 
 /// Shared state between application threads and the offload engine of one
@@ -45,18 +79,33 @@ struct OffloadStats {
 /// this class is the engine side plus the submission primitives.
 class OffloadChannel {
  public:
-  OffloadChannel(smpi::RankCtx& rc, std::size_t ring_capacity = 1024,
-                 std::uint32_t pool_capacity = 4096);
+  explicit OffloadChannel(smpi::RankCtx& rc, const ProxyOptions& opts = {});
 
   smpi::RankCtx& rank_ctx() { return rc_; }
   RequestPool& pool() { return pool_; }
   [[nodiscard]] const OffloadStats& stats() const { return stats_; }
+  [[nodiscard]] const ProxyOptions& options() const { return opts_; }
+  [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
+  [[nodiscard]] const LaneStats& lane_stats(std::size_t i) const {
+    return lanes_[i]->stats;
+  }
+  /// Signalled whenever the engine publishes a done flag (or a waiter frees
+  /// a slot); exposed so the proxy's waitany/testall can sleep on it.
+  sim::Notifier& completions() { return completions_; }
 
   // ---------------- application side ----------------
 
   /// Serialize + enqueue; returns the proxy request slot. Charges the
-  /// enqueue cost; spins (virtually) if the ring is momentarily full.
+  /// enqueue cost; spins (virtually) if the lane/ring is momentarily full.
   std::uint32_t submit(Command cmd);
+
+  /// Enqueue a whole batch through the caller's lane with ONE publish and
+  /// ONE doorbell, writing each command's allocated proxy slot back into
+  /// `cmds[i].proxy`. The first command pays the full cmd_enqueue cost,
+  /// subsequent ones only Profile::cmd_enqueue_batch. FIFO order within the
+  /// batch is preserved. Falls back to the shared ring (still one doorbell,
+  /// one tail-line transfer) when the caller has no lane.
+  void submit_batch(std::span<Command> cmds);
 
   /// Spin on the done flag of `proxy` (the paper's optimized MPI_Wait: no
   /// MPI call, just a flag check). Frees the slot.
@@ -65,7 +114,8 @@ class OffloadChannel {
   /// Nonblocking flag check; frees the slot when done.
   bool test_done(std::uint32_t proxy, smpi::Status* st = nullptr);
 
-  /// Enqueue the shutdown command (engine exits after draining in-flight).
+  /// Enqueue the shutdown command (engine exits after draining every lane,
+  /// the shared ring, and all in-flight requests).
   void shutdown();
 
   // ---------------- engine side ----------------
@@ -74,15 +124,50 @@ class OffloadChannel {
   void engine_main();
 
  private:
+  struct Lane {
+    Lane(std::size_t capacity, int rank, std::size_t index)
+        : ring(capacity),
+          gauge_name("lane" + std::to_string(index) + "_occupancy"),
+          gauge(rank, gauge_name.c_str()) {}
+    SpscLane<Command> ring;
+    LaneStats stats;
+    int owner_slot = -1;     ///< thread-registry slot bound to this lane
+    std::string gauge_name;  ///< stable storage for the gauge's name
+    trace::Gauge gauge;
+  };
+
+  /// The caller's lane, binding one on first use (nullptr = shared ring:
+  /// lanes disabled, or more submitting fibers than lanes).
+  Lane* lane_for_caller();
+  std::uint32_t alloc_slot();
+  void push_lane(Lane& lane, const Command& cmd);
+  void push_shared_locked(const Command& cmd);
+
   void issue(const Command& cmd);
   void track_inflight(smpi::Request real, std::uint32_t proxy);
+  bool drain_lanes_round();
+  bool drain_shared();
+  void process_command(const Command& cmd);
+  [[nodiscard]] bool lanes_empty() const;
+  [[nodiscard]] bool submissions_pending() const;
   void drive_progress();
   void compact_inflight();
   void watchdog_scan();
 
   smpi::RankCtx& rc_;
+  ProxyOptions opts_;
   MpscRing<Command> ring_;
   RequestPool pool_;
+  /// Sharded per-thread submission lanes (unique_ptr: Lane owns the stable
+  /// string its trace gauge points into, so Lane must not relocate).
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::uint32_t> lane_of_slot_;  ///< thread slot -> lane index
+  std::size_t next_lane_ = 0;                ///< next unbound lane
+  std::size_t drain_cursor_ = 0;             ///< round-robin fairness cursor
+  /// Models the shared ring's tail cache line: producers pushing to the
+  /// shared ring serialize here, each paying Profile::mpsc_line_transfer.
+  /// Lane submitters never touch it — that is the point of the lanes.
+  sim::Mutex shared_tail_line_;
   /// Signalled by the engine whenever it publishes a done flag; application
   /// waiters use it to model their done-flag spin loop without event spam.
   sim::Notifier completions_;

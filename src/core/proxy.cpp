@@ -1,8 +1,10 @@
 #include "core/proxy.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "mpi/cluster.hpp"
+#include "trace/scope.hpp"
 
 namespace core {
 
@@ -25,7 +27,9 @@ Approach approach_from_string(const std::string& s) {
   if (s == "iprobe") return Approach::kIprobe;
   if (s == "commself" || s == "comm-self") return Approach::kCommSelf;
   if (s == "offload") return Approach::kOffload;
-  throw std::invalid_argument("unknown approach: " + s);
+  throw std::invalid_argument(
+      "unknown approach: '" + s +
+      "' (valid: baseline, iprobe, comm-self (or commself), offload)");
 }
 
 smpi::ThreadLevel required_thread_level(Approach a) {
@@ -47,6 +51,22 @@ void Proxy::recv(void* b, std::size_t n, smpi::Datatype dt, int src, int tag,
                  smpi::Comm c, smpi::Status* st) {
   PReq r = irecv(b, n, dt, src, tag, c);
   wait(r, st);
+}
+
+void Proxy::post_batch(std::span<const BatchOp> ops, std::span<PReq> out) {
+  if (ops.size() != out.size()) {
+    throw std::invalid_argument("post_batch: ops/out span size mismatch");
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const BatchOp& o = ops[i];
+    if (o.op == CmdOp::kIsend) {
+      out[i] = isend(o.sbuf, o.count, o.dtype, o.peer, o.tag, o.comm);
+    } else if (o.op == CmdOp::kIrecv) {
+      out[i] = irecv(o.rbuf, o.count, o.dtype, o.peer, o.tag, o.comm);
+    } else {
+      throw std::invalid_argument("post_batch: only isend/irecv ops batch");
+    }
+  }
 }
 
 void Proxy::waitall(std::span<PReq> rs) {
@@ -135,6 +155,22 @@ void DirectProxy::waitall(std::span<PReq> rs) {
   rc_.waitall(reqs);
   for (std::size_t i = 0; i < rs.size(); ++i) rs[i] = wrap(reqs[i]);
 }
+int DirectProxy::waitany(std::span<PReq> rs, smpi::Status* st) {
+  std::vector<smpi::Request> reqs;
+  reqs.reserve(rs.size());
+  for (PReq r : rs) reqs.push_back(unwrap(r));
+  const int idx = rc_.waitany(reqs, st);
+  for (std::size_t i = 0; i < rs.size(); ++i) rs[i] = wrap(reqs[i]);
+  return idx;
+}
+bool DirectProxy::testall(std::span<PReq> rs) {
+  std::vector<smpi::Request> reqs;
+  reqs.reserve(rs.size());
+  for (PReq r : rs) reqs.push_back(unwrap(r));
+  const bool done = rc_.testall(reqs);
+  for (std::size_t i = 0; i < rs.size(); ++i) rs[i] = wrap(reqs[i]);
+  return done;
+}
 PReq DirectProxy::ibarrier(smpi::Comm c) { return wrap(rc_.ibarrier(c)); }
 PReq DirectProxy::ibcast(void* b, std::size_t n, smpi::Datatype dt, int root,
                          smpi::Comm c) {
@@ -195,9 +231,20 @@ void CommSelfProxy::stop() {
 
 // ----------------------------------------------------------- OffloadProxy ----
 
-OffloadProxy::OffloadProxy(smpi::RankCtx& rc, std::size_t ring_capacity,
-                           std::uint32_t pool_capacity)
-    : Proxy(rc), channel_(rc, ring_capacity, pool_capacity) {}
+OffloadProxy::OffloadProxy(smpi::RankCtx& rc)
+    : OffloadProxy(rc, ProxyOptions::from_env(rc.profile())) {}
+
+OffloadProxy::OffloadProxy(smpi::RankCtx& rc, const ProxyOptions& opts)
+    : Proxy(rc), channel_(rc, opts) {}
+
+namespace {
+// PReq <-> pool-slot mapping: slots are biased by one so PReq{0} stays the
+// universal null handle (slot 0 is a valid pool index).
+PReq preq_of(std::uint32_t slot) {
+  return PReq{static_cast<std::uint64_t>(slot) + 1};
+}
+std::uint32_t slot_of(PReq r) { return static_cast<std::uint32_t>(r.v - 1); }
+}  // namespace
 
 void OffloadProxy::start() {
   auto* ch = &channel_;
@@ -230,7 +277,7 @@ PReq OffloadProxy::isend(const void* b, std::size_t n, smpi::Datatype dt,
   cmd.dtype = dt;
   cmd.peer = dst;
   cmd.tag = tag;
-  return PReq{channel_.submit(cmd)};
+  return preq_of(channel_.submit(cmd));
 }
 PReq OffloadProxy::irecv(void* b, std::size_t n, smpi::Datatype dt, int src,
                          int tag, smpi::Comm c) {
@@ -240,16 +287,128 @@ PReq OffloadProxy::irecv(void* b, std::size_t n, smpi::Datatype dt, int src,
   cmd.dtype = dt;
   cmd.peer = src;
   cmd.tag = tag;
-  return PReq{channel_.submit(cmd)};
+  return preq_of(channel_.submit(cmd));
 }
 void OffloadProxy::wait(PReq& r, smpi::Status* st) {
-  channel_.wait_done(static_cast<std::uint32_t>(r.v), st);
+  if (r.is_null()) return;
+  channel_.wait_done(slot_of(r), st);
+  r = PReq{};
 }
 bool OffloadProxy::test(PReq& r, smpi::Status* st) {
-  return channel_.test_done(static_cast<std::uint32_t>(r.v), st);
+  if (r.is_null()) return true;
+  if (!channel_.test_done(slot_of(r), st)) return false;
+  r = PReq{};
+  return true;
+}
+void OffloadProxy::waitall(std::span<PReq> rs) {
+  trace::Scope tsc("wait:all", "offload");
+  const auto& p = rc_.profile();
+  RequestPool& pool = channel_.pool();
+  for (;;) {
+    // One pass over the done flags per wake; the completion notifier's count
+    // is snapshotted first so a flag published mid-scan re-runs the pass
+    // instead of being slept past.
+    const std::uint64_t seen = channel_.completions().count();
+    bool all_done = true;
+    for (const PReq& r : rs) {
+      if (r.is_null()) continue;
+      sim::advance(p.done_flag_check);
+      if (!pool.done(slot_of(r))) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    channel_.completions().wait_beyond(seen);
+  }
+  for (PReq& r : rs) {
+    if (r.is_null()) continue;
+    sim::advance(p.request_pool_op);
+    pool.free(slot_of(r));
+    r = PReq{};
+  }
+  channel_.completions().signal();  // freed slots may unblock a full pool
+}
+int OffloadProxy::waitany(std::span<PReq> rs, smpi::Status* st) {
+  trace::Scope tsc("wait:any", "offload");
+  const auto& p = rc_.profile();
+  RequestPool& pool = channel_.pool();
+  for (;;) {
+    const std::uint64_t seen = channel_.completions().count();
+    bool any_active = false;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (rs[i].is_null()) continue;
+      any_active = true;
+      sim::advance(p.done_flag_check);
+      const std::uint32_t slot = slot_of(rs[i]);
+      if (!pool.done(slot)) continue;
+      if (st != nullptr) *st = pool.status(slot);
+      sim::advance(p.request_pool_op);
+      pool.free(slot);
+      channel_.completions().signal();
+      rs[i] = PReq{};
+      return static_cast<int>(i);
+    }
+    if (!any_active) return -1;
+    channel_.completions().wait_beyond(seen);
+  }
+}
+bool OffloadProxy::testall(std::span<PReq> rs) {
+  const auto& p = rc_.profile();
+  RequestPool& pool = channel_.pool();
+  // Single pass over the done flags; release only if every one is set.
+  for (const PReq& r : rs) {
+    if (r.is_null()) continue;
+    sim::advance(p.done_flag_check);
+    if (!pool.done(slot_of(r))) return false;
+  }
+  bool freed = false;
+  for (PReq& r : rs) {
+    if (r.is_null()) continue;
+    sim::advance(p.request_pool_op);
+    pool.free(slot_of(r));
+    r = PReq{};
+    freed = true;
+  }
+  if (freed) channel_.completions().signal();
+  return true;
+}
+void OffloadProxy::post_batch(std::span<const BatchOp> ops,
+                              std::span<PReq> out) {
+  if (ops.size() != out.size()) {
+    throw std::invalid_argument("post_batch: ops/out span size mismatch");
+  }
+  const std::size_t flush = channel_.options().batch_flush;
+  // Per-call scratch: submit_batch advances virtual time (and a real enqueue
+  // would block), so another fiber can enter post_batch concurrently — a
+  // shared member buffer would be clobbered mid-flush.
+  std::vector<Command> scratch;
+  scratch.reserve(std::min(flush, ops.size()));
+  for (std::size_t base = 0; base < ops.size(); base += flush) {
+    const std::size_t n = std::min(flush, ops.size() - base);
+    scratch.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const BatchOp& o = ops[base + i];
+      if (o.op != CmdOp::kIsend && o.op != CmdOp::kIrecv) {
+        throw std::invalid_argument("post_batch: only isend/irecv ops batch");
+      }
+      Command cmd = base_cmd(o.op, o.comm);
+      cmd.sbuf = o.sbuf;
+      cmd.rbuf = o.rbuf;
+      cmd.count = o.count;
+      cmd.dtype = o.dtype;
+      cmd.peer = o.peer;
+      cmd.tag = o.tag;
+      scratch.push_back(cmd);
+    }
+    channel_.submit_batch(scratch);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[base + i] = preq_of(scratch[i].proxy);
+    }
+  }
 }
 PReq OffloadProxy::ibarrier(smpi::Comm c) {
-  return PReq{channel_.submit(base_cmd(CmdOp::kIbarrier, c))};
+  return preq_of(channel_.submit(base_cmd(CmdOp::kIbarrier, c)));
 }
 PReq OffloadProxy::ibcast(void* b, std::size_t n, smpi::Datatype dt, int root,
                           smpi::Comm c) {
@@ -258,7 +417,7 @@ PReq OffloadProxy::ibcast(void* b, std::size_t n, smpi::Datatype dt, int root,
   cmd.count = n;
   cmd.dtype = dt;
   cmd.peer = root;
-  return PReq{channel_.submit(cmd)};
+  return preq_of(channel_.submit(cmd));
 }
 PReq OffloadProxy::ireduce(const void* s, void* r, std::size_t n,
                            smpi::Datatype dt, smpi::Op op, int root,
@@ -270,7 +429,7 @@ PReq OffloadProxy::ireduce(const void* s, void* r, std::size_t n,
   cmd.dtype = dt;
   cmd.rop = op;
   cmd.peer = root;
-  return PReq{channel_.submit(cmd)};
+  return preq_of(channel_.submit(cmd));
 }
 PReq OffloadProxy::iallreduce(const void* s, void* r, std::size_t n,
                               smpi::Datatype dt, smpi::Op op, smpi::Comm c) {
@@ -280,7 +439,7 @@ PReq OffloadProxy::iallreduce(const void* s, void* r, std::size_t n,
   cmd.count = n;
   cmd.dtype = dt;
   cmd.rop = op;
-  return PReq{channel_.submit(cmd)};
+  return preq_of(channel_.submit(cmd));
 }
 PReq OffloadProxy::ialltoall(const void* s, void* r, std::size_t n_per,
                              smpi::Datatype dt, smpi::Comm c) {
@@ -289,7 +448,7 @@ PReq OffloadProxy::ialltoall(const void* s, void* r, std::size_t n_per,
   cmd.rbuf = r;
   cmd.count = n_per;
   cmd.dtype = dt;
-  return PReq{channel_.submit(cmd)};
+  return preq_of(channel_.submit(cmd));
 }
 PReq OffloadProxy::iallgather(const void* s, void* r, std::size_t n_per,
                               smpi::Datatype dt, smpi::Comm c) {
@@ -298,7 +457,7 @@ PReq OffloadProxy::iallgather(const void* s, void* r, std::size_t n_per,
   cmd.rbuf = r;
   cmd.count = n_per;
   cmd.dtype = dt;
-  return PReq{channel_.submit(cmd)};
+  return preq_of(channel_.submit(cmd));
 }
 
 smpi::Win OffloadProxy::win_create(void* base, std::size_t bytes, smpi::Comm c) {
@@ -357,6 +516,12 @@ std::unique_ptr<Proxy> make_proxy(Approach a, smpi::RankCtx& rc) {
       return std::make_unique<OffloadProxy>(rc);
   }
   throw std::logic_error("unknown approach");
+}
+
+std::unique_ptr<Proxy> make_proxy(Approach a, smpi::RankCtx& rc,
+                                  const ProxyOptions& opts) {
+  if (a == Approach::kOffload) return std::make_unique<OffloadProxy>(rc, opts);
+  return make_proxy(a, rc);  // tuning only applies to the offload channel
 }
 
 }  // namespace core

@@ -18,6 +18,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/offload_engine.hpp"
 #include "mpi/rank_ctx.hpp"
@@ -40,9 +41,51 @@ Approach approach_from_string(const std::string& s);
 smpi::ThreadLevel required_thread_level(Approach a);
 
 /// Proxy-level request handle. Meaning is proxy-specific (real smpi request
-/// index for direct proxies; RequestPool slot for offload).
+/// index for direct proxies; RequestPool slot + 1 for offload). Zero is the
+/// null handle for every proxy — a default-constructed PReq is null, and
+/// completion calls null handles they release, so waiting twice is safe.
 struct PReq {
   std::uint64_t v = 0;
+  [[nodiscard]] bool is_null() const { return v == 0; }
+};
+
+/// One operation of a batched nonblocking post (Proxy::post_batch). Only
+/// point-to-point ops batch: that is the halo-exchange shape the batching
+/// path exists for (N posts -> one lane publish + one doorbell).
+struct BatchOp {
+  CmdOp op = CmdOp::kIsend;  ///< kIsend or kIrecv
+  const void* sbuf = nullptr;
+  void* rbuf = nullptr;
+  std::size_t count = 0;
+  smpi::Datatype dtype = smpi::Datatype::kByte;
+  int peer = -1;
+  int tag = 0;
+  smpi::Comm comm = smpi::kCommWorld;
+
+  static BatchOp isend(const void* b, std::size_t n, smpi::Datatype dt,
+                       int dst, int tag, smpi::Comm c = smpi::kCommWorld) {
+    BatchOp o;
+    o.op = CmdOp::kIsend;
+    o.sbuf = b;
+    o.count = n;
+    o.dtype = dt;
+    o.peer = dst;
+    o.tag = tag;
+    o.comm = c;
+    return o;
+  }
+  static BatchOp irecv(void* b, std::size_t n, smpi::Datatype dt, int src,
+                       int tag, smpi::Comm c = smpi::kCommWorld) {
+    BatchOp o;
+    o.op = CmdOp::kIrecv;
+    o.rbuf = b;
+    o.count = n;
+    o.dtype = dt;
+    o.peer = src;
+    o.tag = tag;
+    o.comm = c;
+    return o;
+  }
 };
 
 class Proxy {
@@ -71,10 +114,23 @@ class Proxy {
   virtual void recv(void* b, std::size_t n, smpi::Datatype dt, int src, int tag,
                     smpi::Comm c = smpi::kCommWorld, smpi::Status* st = nullptr);
 
+  /// Post a group of nonblocking point-to-point operations; `out[i]`
+  /// receives the request for `ops[i]` (spans must be the same length). The
+  /// default posts one at a time; the offload proxy serializes whole chunks
+  /// into its submission lane with one publish and one doorbell each
+  /// (ProxyOptions::batch_flush commands per chunk).
+  virtual void post_batch(std::span<const BatchOp> ops, std::span<PReq> out);
+
   // ---- completion ----
   virtual void wait(PReq& r, smpi::Status* st = nullptr) = 0;
   virtual bool test(PReq& r, smpi::Status* st = nullptr) = 0;
   virtual void waitall(std::span<PReq> rs);
+  /// MPI_Waitany: block until some active request completes, release it,
+  /// null its entry, and return its index; -1 when every entry is null.
+  virtual int waitany(std::span<PReq> rs, smpi::Status* st = nullptr) = 0;
+  /// MPI_Testall: true iff every active request has completed — then all are
+  /// released and nulled; otherwise none are (and true for an all-null span).
+  virtual bool testall(std::span<PReq> rs) = 0;
 
   // ---- collectives ----
   virtual void barrier(smpi::Comm c = smpi::kCommWorld);
@@ -137,6 +193,8 @@ class DirectProxy : public Proxy {
   void wait(PReq& r, smpi::Status* st = nullptr) override;
   bool test(PReq& r, smpi::Status* st = nullptr) override;
   void waitall(std::span<PReq> rs) override;
+  int waitany(std::span<PReq> rs, smpi::Status* st = nullptr) override;
+  bool testall(std::span<PReq> rs) override;
   PReq ibarrier(smpi::Comm c = smpi::kCommWorld) override;
   PReq ibcast(void* b, std::size_t n, smpi::Datatype dt, int root,
               smpi::Comm c = smpi::kCommWorld) override;
@@ -176,8 +234,10 @@ class CommSelfProxy : public DirectProxy {
 
 class OffloadProxy : public Proxy {
  public:
-  explicit OffloadProxy(smpi::RankCtx& rc, std::size_t ring_capacity = 1024,
-                        std::uint32_t pool_capacity = 4096);
+  /// Tuning from the machine profile + the MPIOFF_PROXY env spec.
+  explicit OffloadProxy(smpi::RankCtx& rc);
+  /// Explicit tuning (tests/ablations); the environment is NOT consulted.
+  OffloadProxy(smpi::RankCtx& rc, const ProxyOptions& opts);
   [[nodiscard]] Approach approach() const override { return Approach::kOffload; }
   void start() override;
   void stop() override;
@@ -198,8 +258,14 @@ class OffloadProxy : public Proxy {
              smpi::Comm c = smpi::kCommWorld) override;
   PReq irecv(void* b, std::size_t n, smpi::Datatype dt, int src, int tag,
              smpi::Comm c = smpi::kCommWorld) override;
+  void post_batch(std::span<const BatchOp> ops, std::span<PReq> out) override;
   void wait(PReq& r, smpi::Status* st = nullptr) override;
   bool test(PReq& r, smpi::Status* st = nullptr) override;
+  /// Tuned completion surface: one pass over the pool's done flags per wake,
+  /// no per-request channel calls.
+  void waitall(std::span<PReq> rs) override;
+  int waitany(std::span<PReq> rs, smpi::Status* st = nullptr) override;
+  bool testall(std::span<PReq> rs) override;
   PReq ibarrier(smpi::Comm c = smpi::kCommWorld) override;
   PReq ibcast(void* b, std::size_t n, smpi::Datatype dt, int root,
               smpi::Comm c = smpi::kCommWorld) override;
@@ -218,6 +284,10 @@ class OffloadProxy : public Proxy {
 };
 
 /// Factory; caller picks the approach per rank (all ranks should agree).
+/// Offload tuning comes from ProxyOptions::from_env (profile defaults +
+/// MPIOFF_PROXY); the second overload pins it explicitly instead.
 std::unique_ptr<Proxy> make_proxy(Approach a, smpi::RankCtx& rc);
+std::unique_ptr<Proxy> make_proxy(Approach a, smpi::RankCtx& rc,
+                                  const ProxyOptions& opts);
 
 }  // namespace core

@@ -1,0 +1,103 @@
+#include "core/proxy_options.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace core {
+
+namespace {
+
+constexpr const char* kValidKeys =
+    "ring, pool, lanes, lane_cap, drain, batch, watchdog";
+
+std::size_t parse_count(const std::string& v, const std::string& key) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::invalid_argument("MPIOFF_PROXY: bad count for '" + key +
+                                "': " + v);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+sim::Time parse_duration(const std::string& v, const std::string& key) {
+  char* end = nullptr;
+  const double n = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || n < 0) {
+    throw std::invalid_argument("MPIOFF_PROXY: bad duration for '" + key +
+                                "': " + v);
+  }
+  const std::string unit(end);
+  if (unit.empty() || unit == "ns") return sim::Time(static_cast<std::int64_t>(n));
+  if (unit == "us") return sim::Time::from_us(n);
+  if (unit == "ms") return sim::Time::from_ms(n);
+  if (unit == "s") return sim::Time::from_sec(n);
+  throw std::invalid_argument("MPIOFF_PROXY: bad unit for '" + key + "': " + v);
+}
+
+}  // namespace
+
+ProxyOptions ProxyOptions::defaults_for(const machine::Profile& p) {
+  ProxyOptions o;
+  // One lane per core that could plausibly submit (everything except the
+  // offload core itself), capped: past ~16 submitters the engine's drain
+  // round, not tail contention, is the limiter.
+  o.lane_count = static_cast<std::size_t>(
+      std::clamp(p.cores_per_rank - 1, 1, 16));
+  o.watchdog_budget = p.offload_watchdog_budget;
+  return o;
+}
+
+ProxyOptions ProxyOptions::parse(const std::string& spec, ProxyOptions base) {
+  ProxyOptions o = base;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("MPIOFF_PROXY: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "ring") {
+      o.ring_capacity = parse_count(val, key);
+    } else if (key == "pool") {
+      o.pool_capacity = static_cast<std::uint32_t>(parse_count(val, key));
+    } else if (key == "lanes") {
+      o.lane_count = parse_count(val, key);
+    } else if (key == "lane_cap") {
+      o.lane_capacity = parse_count(val, key);
+    } else if (key == "drain") {
+      o.lane_drain_bound = parse_count(val, key);
+    } else if (key == "batch") {
+      o.batch_flush = parse_count(val, key);
+    } else if (key == "watchdog") {
+      o.watchdog_budget = parse_duration(val, key);
+    } else {
+      throw std::invalid_argument("MPIOFF_PROXY: unknown key '" + key +
+                                  "' (valid: " + kValidKeys + ")");
+    }
+  }
+  if (o.lane_drain_bound == 0 || o.batch_flush == 0) {
+    throw std::invalid_argument(
+        "MPIOFF_PROXY: 'drain' and 'batch' must be at least 1");
+  }
+  return o;
+}
+
+ProxyOptions ProxyOptions::from_env(const machine::Profile& p) {
+  ProxyOptions o = defaults_for(p);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before fibers spawn
+  if (const char* spec = std::getenv("MPIOFF_PROXY"); spec != nullptr) {
+    o = parse(spec, o);
+  }
+  return o;
+}
+
+}  // namespace core

@@ -1,0 +1,55 @@
+// ProxyOptions: one place for every capacity/tuning knob of the offload
+// proxy, replacing the positional (ring_capacity, pool_capacity) constructor
+// arguments and the magic 1024/4096 literals that used to be scattered
+// across benches and tests.
+//
+// Defaults come from the machine profile (defaults_for), and a run can be
+// retuned without recompiling through the MPIOFF_PROXY environment spec
+// (from_env), mirroring MPIOFF_FAULTS:
+//
+//   MPIOFF_PROXY="lanes=8,lane_cap=128,batch=16,watchdog=200ms" ./bench_...
+//
+// Keys (all optional, comma-separated key=value):
+//   ring     shared MPSC command-ring capacity (power of two)
+//   pool     request-pool capacity (done-flag slots)
+//   lanes    per-thread SPSC submission lane count; 0 = single shared ring
+//   lane_cap capacity of each lane (power of two)
+//   drain    engine fairness bound: max commands popped per lane per pass
+//   batch    flush threshold: max commands per one lane publish + doorbell
+//   watchdog in-flight age budget (duration: ns/us/ms/s suffix), 0 disables
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "machine/profile.hpp"
+#include "sim/time.hpp"
+
+namespace core {
+
+struct ProxyOptions {
+  std::size_t ring_capacity = 1024;   ///< shared MPSC ring (fallback/overflow)
+  std::uint32_t pool_capacity = 4096; ///< request-pool done-flag slots
+  std::size_t lane_count = 8;         ///< SPSC lanes; 0 = shared ring only
+  std::size_t lane_capacity = 64;     ///< per-lane ring capacity
+  std::size_t lane_drain_bound = 16;  ///< engine pops per lane per pass
+  std::size_t batch_flush = 8;        ///< max commands per batched publish
+  sim::Time watchdog_budget{500'000'000};  ///< 0 disables the watchdog
+
+  /// Profile-derived defaults: one lane per usable submitter core (capped),
+  /// watchdog budget from the profile.
+  static ProxyOptions defaults_for(const machine::Profile& p);
+
+  /// Parse a "key=value,key=value" spec on top of `base`. Throws
+  /// std::invalid_argument naming the bad key/value and the valid keys.
+  static ProxyOptions parse(const std::string& spec, ProxyOptions base);
+  static ProxyOptions parse(const std::string& spec) {
+    return parse(spec, ProxyOptions{});
+  }
+
+  /// defaults_for(p), then apply the MPIOFF_PROXY env spec if set.
+  static ProxyOptions from_env(const machine::Profile& p);
+};
+
+}  // namespace core

@@ -32,6 +32,8 @@ Profile xeon_phi() {
   p.done_flag_check = sim::Time(100);
   p.done_flag_detect = sim::Time(200);
   p.request_pool_op = sim::Time(75);
+  p.cmd_enqueue_batch = sim::Time(150);
+  p.mpsc_line_transfer = sim::Time(400);  // slow in-order cores, ring bus
   return p;
 }
 

@@ -92,6 +92,23 @@ struct Profile {
   sim::Time done_flag_detect{40};   ///< app spin-poll granularity on done flag
   sim::Time request_pool_op{15};    ///< lock-free pool alloc/free
 
+  /// Marginal serialize cost of each *additional* command in a batched
+  /// submit: the fixed part of cmd_enqueue (cache-line handoff, doorbell
+  /// setup) is paid once per batch, later commands only pay argument
+  /// marshalling into already-hot lane cells.
+  sim::Time cmd_enqueue_batch{40};
+  /// Cost for a producer to gain ownership of the shared MPSC ring's tail
+  /// cache line when another thread touched it last. This is the per-push
+  /// serialization that sharded per-thread lanes exist to avoid: concurrent
+  /// submitters to the single shared ring each pay one line transfer, while
+  /// lane submitters never contend.
+  sim::Time mpsc_line_transfer{100};
+  /// Adaptive engine wait policy (spin -> yield -> doorbell sleep): number
+  /// of pure spin polls (each costing cmd_detect) before the engine starts
+  /// yielding, and number of yield polls before it blocks on the doorbell.
+  int engine_spin_polls = 4;
+  int engine_yield_polls = 2;
+
   // ---- derived helpers ----
   [[nodiscard]] sim::Time copy_cost(std::size_t bytes) const {
     return sim::Time(static_cast<std::int64_t>(static_cast<double>(bytes) / copy_bytes_per_ns));

@@ -73,6 +73,21 @@ class RankCtx {
   MatchingEngine& matching() { return match_; }
   sim::Notifier& arrivals() { return arrivals_; }
 
+  // ---------------- thread registry ----------------
+  /// Stable small integer identifying the calling fiber within this rank.
+  /// Slots are assigned at fiber spawn (Cluster::spawn_on calls
+  /// register_thread) or lazily on first use; the offload channel keys its
+  /// per-thread submission lanes off them.
+  int thread_slot() {
+    const sim::Fiber* f = sim::Engine::current()->current_fiber();
+    return slot_for(f != nullptr ? f->id() : 0);
+  }
+  /// Pre-assign a slot to `f` (idempotent).
+  void register_thread(const sim::Fiber& f) { slot_for(f.id()); }
+  [[nodiscard]] int thread_slots() const {
+    return static_cast<int>(fiber_slots_.size());
+  }
+
   // ---------------- point-to-point ----------------
   Request isend(const void* buf, std::size_t count, Datatype dt, int dst,
                 int tag, Comm comm);
@@ -221,6 +236,16 @@ class RankCtx {
 
   [[nodiscard]] bool software_work_pending() const;
 
+  /// Slot lookup/assignment for the thread registry. Linear scan: a rank
+  /// hosts a handful of fibers, and the offload channel caches the result.
+  int slot_for(std::uint64_t fiber_id) {
+    for (std::size_t i = 0; i < fiber_slots_.size(); ++i) {
+      if (fiber_slots_[i] == fiber_id) return static_cast<int>(i);
+    }
+    fiber_slots_.push_back(fiber_id);
+    return static_cast<int>(fiber_slots_.size() - 1);
+  }
+
   Cluster& cluster_;
   int rank_;
   ThreadLevel level_;
@@ -231,6 +256,7 @@ class RankCtx {
 
   sim::Mutex big_lock_;
   sim::Notifier arrivals_;
+  std::vector<std::uint64_t> fiber_slots_;  ///< slot index -> fiber id
   std::deque<machine::NetMessage> inbox_;
   std::vector<RequestImpl*> pending_rndv_send_;
   std::vector<RequestImpl*> pending_rndv_recv_;

@@ -119,7 +119,7 @@ TEST(OffloadEngine, AsynchronousProgressOverlapsRendezvous) {
 TEST(OffloadEngine, ManyOutstandingRequests) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
-    OffloadProxy p(rc, /*ring_capacity=*/64, /*pool_capacity=*/4096);
+    OffloadProxy p(rc, core::ProxyOptions{.ring_capacity = 64});
     p.start();
     const int peer = 1 - rc.rank();
     constexpr int kN = 500;  // forces ring wrap and pool recycling
@@ -222,7 +222,7 @@ TEST(OffloadEngine, PoolExhaustionCountsPoolFullStalls) {
   // until another thread of the rank recycles a slot.
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
-    OffloadProxy p(rc, /*ring_capacity=*/64, /*pool_capacity=*/8);
+    OffloadProxy p(rc, core::ProxyOptions{.ring_capacity = 64, .pool_capacity = 8});
     p.start();
     if (rc.rank() == 0) {
       int vals[9];
@@ -266,7 +266,9 @@ TEST(OffloadEngine, RingBackpressureCountsRingFullStalls) {
   // the stalls land in ring_full_stalls only.
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
-    OffloadProxy p(rc, /*ring_capacity=*/4, /*pool_capacity=*/4096);
+    // lane_count = 0 pins every submit to the shared MPSC ring: this test
+    // is specifically about the shared ring's backpressure counter.
+    OffloadProxy p(rc, core::ProxyOptions{.ring_capacity = 4, .lane_count = 0});
     p.start();
     const int peer = 1 - rc.rank();
     constexpr int kN = 64;
@@ -297,7 +299,8 @@ TEST(OffloadEngine, LongLivedRequestSurvivesCompactionAndStaysFair) {
   Cluster c(cfg(2));
   sim::Time slow_sent, slow_done;
   c.run([&](RankCtx& rc) {
-    OffloadProxy p(rc, /*ring_capacity=*/128, /*pool_capacity=*/256);
+    OffloadProxy p(rc, core::ProxyOptions{.ring_capacity = 128,
+                                          .pool_capacity = 256});
     p.start();
     if (rc.rank() == 0) {
       int slow_got = -1;
@@ -313,6 +316,10 @@ TEST(OffloadEngine, LongLivedRequestSurvivesCompactionAndStaysFair) {
       slow_done = sim::now();
       EXPECT_EQ(slow_got, 777);
     } else {
+      // Hold the sends until rank 0 has posted the whole burst, so all 64
+      // receives are simultaneously in flight — the compaction trigger
+      // (size > 32, live*2 <= size) this test exists to exercise.
+      compute(sim::Time::from_us(50));
       for (int i = 0; i < 63; ++i) {
         const int v = i;
         p.send(&v, 1, Datatype::kInt, 0, i);

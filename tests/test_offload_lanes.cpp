@@ -1,0 +1,375 @@
+// Sharded submission front-end: per-thread SPSC lanes, command batching,
+// shutdown draining, ProxyOptions parsing, and the waitany/testall additions
+// to the Proxy API.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/proxy.hpp"
+#include "core/proxy_options.hpp"
+#include "mpi/cluster.hpp"
+
+using namespace smpi;
+using namespace core;
+
+namespace {
+
+ClusterConfig cfg(int n) {
+  ClusterConfig c;
+  c.nranks = n;
+  c.thread_level = ThreadLevel::kFunneled;
+  c.deadline = sim::Time::from_sec(30);
+  return c;
+}
+
+}  // namespace
+
+TEST(OffloadLanes, MultiLaneSubmitIsFairAcrossThreads) {
+  // Four submitter fibers on rank 0, one lane each. Every message must land
+  // (no starved lane), every lane must be bound and fully drained, and the
+  // submissions must go through the lane path, not the shared-ring fallback.
+  constexpr int kThreads = 4, kPer = 32;
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc, ProxyOptions{.lane_count = kThreads,
+                                    .lane_capacity = 8,
+                                    .lane_drain_bound = 2});
+    p.start();
+    if (rc.rank() == 0) {
+      auto done = std::make_shared<int>(0);
+      auto submit = [&p, done](int tid) {
+        std::vector<int> vals(kPer);
+        std::vector<PReq> reqs(kPer);
+        for (int i = 0; i < kPer; ++i) {
+          vals[static_cast<std::size_t>(i)] = tid * kPer + i;
+          reqs[static_cast<std::size_t>(i)] =
+              p.isend(&vals[static_cast<std::size_t>(i)], 1, Datatype::kInt, 1,
+                      tid * 100 + i);
+        }
+        p.waitall(reqs);
+        ++*done;
+      };
+      for (int t = 1; t < kThreads; ++t) {
+        rc.cluster().spawn_on(0, "sub" + std::to_string(t),
+                              [submit, t]() { submit(t); });
+      }
+      submit(0);
+      while (*done < kThreads) sim::advance(sim::Time::from_us(1));
+    } else {
+      std::vector<PReq> reqs;
+      std::vector<int> got(kThreads * kPer, -1);
+      for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kPer; ++i) {
+          reqs.push_back(p.irecv(&got[static_cast<std::size_t>(t * kPer + i)],
+                                 1, Datatype::kInt, 0, t * 100 + i));
+        }
+      }
+      p.waitall(reqs);
+      for (int k = 0; k < kThreads * kPer; ++k) {
+        EXPECT_EQ(got[static_cast<std::size_t>(k)], k);
+      }
+    }
+    p.barrier();
+    if (rc.rank() == 0) {
+      const OffloadStats& s = p.channel().stats();
+      EXPECT_GE(s.lane_submits, static_cast<std::uint64_t>(kThreads * kPer));
+      EXPECT_EQ(s.shared_submits, 0u);
+      int bound = 0;
+      for (std::size_t i = 0; i < p.channel().lane_count(); ++i) {
+        const LaneStats& ls = p.channel().lane_stats(i);
+        if (ls.submits == 0) continue;
+        ++bound;
+        EXPECT_GE(ls.submits, static_cast<std::uint64_t>(kPer));
+        EXPECT_EQ(ls.drained, ls.submits) << "lane " << i << " starved";
+      }
+      EXPECT_EQ(bound, kThreads);
+    }
+    p.stop();
+  });
+}
+
+TEST(OffloadLanes, SubmitBatchKeepsFifoOrderWithinLane) {
+  // 16 same-tag sends posted through one post_batch call must match the
+  // peer's receives in posting order — FIFO within a lane is the ordering
+  // contract batching must not break.
+  constexpr int kN = 16;
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc, ProxyOptions{.lane_count = 2, .batch_flush = 8});
+    p.start();
+    if (rc.rank() == 0) {
+      std::vector<int> vals(kN);
+      std::vector<BatchOp> ops;
+      for (int i = 0; i < kN; ++i) {
+        vals[static_cast<std::size_t>(i)] = i;
+        ops.push_back(BatchOp::isend(&vals[static_cast<std::size_t>(i)], 1,
+                                     Datatype::kInt, 1, 7));
+      }
+      std::vector<PReq> reqs(kN);
+      p.post_batch(ops, reqs);
+      p.waitall(reqs);
+      const OffloadStats& s = p.channel().stats();
+      EXPECT_GE(s.batches, 1u);
+      EXPECT_EQ(s.batched_commands, static_cast<std::uint64_t>(kN));
+      bool found = false;
+      for (std::size_t i = 0; i < p.channel().lane_count(); ++i) {
+        const LaneStats& ls = p.channel().lane_stats(i);
+        if (ls.batches == 0) continue;
+        found = true;
+        EXPECT_EQ(ls.batched_commands, static_cast<std::uint64_t>(kN));
+      }
+      EXPECT_TRUE(found) << "no lane saw the batch";
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        int v = -1;
+        p.recv(&v, 1, Datatype::kInt, 0, 7);
+        EXPECT_EQ(v, i) << "batch broke FIFO order at message " << i;
+      }
+    }
+    p.barrier();
+    p.stop();
+  });
+}
+
+TEST(OffloadLanes, ShutdownDrainsNonEmptyLanes) {
+  // stop() immediately after a batch post: the engine must drain the lanes
+  // and finish every in-flight send before exiting — nothing may be dropped
+  // on the floor.
+  constexpr int kN = 16;
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc, ProxyOptions{.lane_count = 2});
+    p.start();
+    if (rc.rank() == 0) {
+      std::vector<int> vals(kN);
+      std::vector<BatchOp> ops;
+      for (int i = 0; i < kN; ++i) {
+        vals[static_cast<std::size_t>(i)] = 1000 + i;
+        ops.push_back(BatchOp::isend(&vals[static_cast<std::size_t>(i)], 1,
+                                     Datatype::kInt, 1, i));
+      }
+      std::vector<PReq> reqs(kN);
+      p.post_batch(ops, reqs);
+      p.stop();  // no waitall: shutdown races the lane drain
+      const OffloadStats& s = p.channel().stats();
+      EXPECT_EQ(s.commands, static_cast<std::uint64_t>(kN));
+      EXPECT_EQ(s.completions, s.commands);
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        int v = -1;
+        p.recv(&v, 1, Datatype::kInt, 0, i);
+        EXPECT_EQ(v, 1000 + i);
+      }
+      p.stop();
+    }
+  });
+}
+
+TEST(OffloadLanes, OverflowThreadsFallBackToSharedRing) {
+  // More submitters than lanes: the extras must still make progress through
+  // the shared MPSC ring fallback.
+  constexpr int kThreads = 3, kPer = 8;
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc, ProxyOptions{.lane_count = 1});
+    p.start();
+    if (rc.rank() == 0) {
+      auto done = std::make_shared<int>(0);
+      auto submit = [&p, done](int tid) {
+        std::vector<int> vals(kPer);
+        std::vector<PReq> reqs(kPer);
+        for (int i = 0; i < kPer; ++i) {
+          vals[static_cast<std::size_t>(i)] = tid * kPer + i;
+          reqs[static_cast<std::size_t>(i)] =
+              p.isend(&vals[static_cast<std::size_t>(i)], 1, Datatype::kInt, 1,
+                      tid * 100 + i);
+        }
+        p.waitall(reqs);
+        ++*done;
+      };
+      for (int t = 1; t < kThreads; ++t) {
+        rc.cluster().spawn_on(0, "sub" + std::to_string(t),
+                              [submit, t]() { submit(t); });
+      }
+      submit(0);
+      while (*done < kThreads) sim::advance(sim::Time::from_us(1));
+      const OffloadStats& s = p.channel().stats();
+      EXPECT_GT(s.lane_submits, 0u);
+      EXPECT_GT(s.shared_submits, 0u);
+    } else {
+      std::vector<PReq> reqs;
+      std::vector<int> got(kThreads * kPer, -1);
+      for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kPer; ++i) {
+          reqs.push_back(p.irecv(&got[static_cast<std::size_t>(t * kPer + i)],
+                                 1, Datatype::kInt, 0, t * 100 + i));
+        }
+      }
+      p.waitall(reqs);
+      for (int k = 0; k < kThreads * kPer; ++k) {
+        EXPECT_EQ(got[static_cast<std::size_t>(k)], k);
+      }
+    }
+    p.barrier();
+    p.stop();
+  });
+}
+
+TEST(OffloadLanes, WaitanyRetiresInCompletionOrder) {
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc);
+    p.start();
+    if (rc.rank() == 0) {
+      int slow = -1, fast = -1;
+      PReq reqs[2] = {p.irecv(&slow, 1, Datatype::kInt, 1, 0),
+                      p.irecv(&fast, 1, Datatype::kInt, 1, 1)};
+      // Peer sends tag 1 immediately and tag 0 only after a long compute, so
+      // index 1 must retire first.
+      const int first = p.waitany(reqs);
+      EXPECT_EQ(first, 1);
+      EXPECT_EQ(fast, 11);
+      EXPECT_TRUE(reqs[1].is_null());
+      const int second = p.waitany(reqs);
+      EXPECT_EQ(second, 0);
+      EXPECT_EQ(slow, 10);
+      // All handles consumed: waitany on an all-null span returns -1.
+      EXPECT_EQ(p.waitany(reqs), -1);
+    } else {
+      const int vf = 11;
+      p.send(&vf, 1, Datatype::kInt, 0, 1);
+      compute(sim::Time::from_ms(1));
+      const int vs = 10;
+      p.send(&vs, 1, Datatype::kInt, 0, 0);
+    }
+    p.barrier();
+    p.stop();
+  });
+}
+
+TEST(OffloadLanes, TestallReleasesAllOrNothing) {
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc);
+    p.start();
+    if (rc.rank() == 0) {
+      int a = -1, b = -1;
+      PReq reqs[2] = {p.irecv(&a, 1, Datatype::kInt, 1, 0),
+                      p.irecv(&b, 1, Datatype::kInt, 1, 1)};
+      // Nothing sent yet: testall must fail and release neither handle.
+      EXPECT_FALSE(p.testall(reqs));
+      EXPECT_FALSE(reqs[0].is_null());
+      EXPECT_FALSE(reqs[1].is_null());
+      p.barrier();  // peer sends both after the barrier
+      while (!p.testall(reqs)) sim::advance(sim::Time::from_us(1));
+      EXPECT_TRUE(reqs[0].is_null());
+      EXPECT_TRUE(reqs[1].is_null());
+      EXPECT_EQ(a, 1);
+      EXPECT_EQ(b, 2);
+      // All-null span is vacuously complete.
+      EXPECT_TRUE(p.testall(reqs));
+    } else {
+      p.barrier();
+      const int va = 1, vb = 2;
+      p.send(&va, 1, Datatype::kInt, 0, 0);
+      p.send(&vb, 1, Datatype::kInt, 0, 1);
+    }
+    p.barrier();
+    p.stop();
+  });
+}
+
+TEST(OffloadLanes, DirectProxyWaitanyAndTestall) {
+  // The same API surface must work on the non-offload proxies (DirectProxy
+  // wraps real requests; null handling and -1 semantics must match).
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    auto p = make_proxy(Approach::kBaseline, rc);
+    p->start();
+    if (rc.rank() == 0) {
+      int a = -1, b = -1;
+      PReq reqs[2] = {p->irecv(&a, 1, Datatype::kInt, 1, 0),
+                      p->irecv(&b, 1, Datatype::kInt, 1, 1)};
+      int got = 0;
+      while (p->waitany(reqs) >= 0) ++got;
+      EXPECT_EQ(got, 2);
+      EXPECT_EQ(a, 5);
+      EXPECT_EQ(b, 6);
+      EXPECT_EQ(p->waitany(reqs), -1);
+      EXPECT_TRUE(p->testall(reqs));  // all-null span
+    } else {
+      const int va = 5, vb = 6;
+      p->send(&va, 1, Datatype::kInt, 0, 0);
+      p->send(&vb, 1, Datatype::kInt, 0, 1);
+    }
+    p->barrier();
+    p->stop();
+  });
+}
+
+TEST(ProxyOptions, ParseOverridesEveryKey) {
+  const ProxyOptions o = ProxyOptions::parse(
+      "ring=2048,pool=128,lanes=4,lane_cap=32,drain=3,batch=4,watchdog=250us");
+  EXPECT_EQ(o.ring_capacity, 2048u);
+  EXPECT_EQ(o.pool_capacity, 128u);
+  EXPECT_EQ(o.lane_count, 4u);
+  EXPECT_EQ(o.lane_capacity, 32u);
+  EXPECT_EQ(o.lane_drain_bound, 3u);
+  EXPECT_EQ(o.batch_flush, 4u);
+  EXPECT_EQ(o.watchdog_budget.ns(), 250'000);
+}
+
+TEST(ProxyOptions, ParseAcceptsDurationSuffixes) {
+  EXPECT_EQ(ProxyOptions::parse("watchdog=500").watchdog_budget.ns(), 500);
+  EXPECT_EQ(ProxyOptions::parse("watchdog=500ns").watchdog_budget.ns(), 500);
+  EXPECT_EQ(ProxyOptions::parse("watchdog=2ms").watchdog_budget.ns(),
+            2'000'000);
+  EXPECT_EQ(ProxyOptions::parse("watchdog=1s").watchdog_budget.ns(),
+            1'000'000'000);
+}
+
+TEST(ProxyOptions, ParseRejectsUnknownKeyNamingValidOnes) {
+  try {
+    ProxyOptions::parse("rings=64");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rings"), std::string::npos);
+    EXPECT_NE(msg.find("lane_cap"), std::string::npos) << msg;
+  }
+}
+
+TEST(ProxyOptions, ParseRejectsBadValues) {
+  EXPECT_THROW(ProxyOptions::parse("ring=abc"), std::invalid_argument);
+  EXPECT_THROW(ProxyOptions::parse("watchdog=2fortnights"),
+               std::invalid_argument);
+  EXPECT_THROW(ProxyOptions::parse("ring"), std::invalid_argument);
+  EXPECT_THROW(ProxyOptions::parse("drain=0"), std::invalid_argument);
+  EXPECT_THROW(ProxyOptions::parse("batch=0"), std::invalid_argument);
+}
+
+TEST(ProxyOptions, DefaultsDeriveFromProfile) {
+  machine::Profile p = machine::xeon_fdr();
+  p.cores_per_rank = 28;
+  ProxyOptions o = ProxyOptions::defaults_for(p);
+  EXPECT_EQ(o.lane_count, 16u);  // 27 usable submitters, capped at 16
+  EXPECT_EQ(o.watchdog_budget.ns(), p.offload_watchdog_budget.ns());
+  p.cores_per_rank = 4;
+  EXPECT_EQ(ProxyOptions::defaults_for(p).lane_count, 3u);
+}
+
+TEST(ProxyOptions, FromEnvAppliesSpecOnTopOfDefaults) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded test
+  setenv("MPIOFF_PROXY", "lanes=2,batch=16", 1);
+  const ProxyOptions o = ProxyOptions::from_env(machine::xeon_fdr());
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  unsetenv("MPIOFF_PROXY");
+  EXPECT_EQ(o.lane_count, 2u);
+  EXPECT_EQ(o.batch_flush, 16u);
+  // Untouched keys keep their profile-derived defaults.
+  EXPECT_EQ(o.ring_capacity, 1024u);
+}

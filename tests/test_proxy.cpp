@@ -125,8 +125,20 @@ TEST(ProxyFactory, NamesRoundTrip) {
                      Approach::kOffload}) {
     EXPECT_EQ(approach_from_string(approach_name(a)), a);
   }
+  // Both spellings of comm-self parse to the same approach.
   EXPECT_EQ(approach_from_string("commself"), Approach::kCommSelf);
-  EXPECT_THROW(approach_from_string("bogus"), std::invalid_argument);
+  EXPECT_EQ(approach_from_string("comm-self"), Approach::kCommSelf);
+  // The rejection names every valid choice, so a CLI typo is self-explaining.
+  try {
+    approach_from_string("bogus");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos);
+    for (const char* name : {"baseline", "iprobe", "comm-self", "offload"}) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name << ": " << msg;
+    }
+  }
 }
 
 TEST(ProxyFactory, RequiredThreadLevels) {

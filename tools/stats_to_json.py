@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Convert `[stats]` trailer lines from a bench run into a JSON array.
+
+Reads stdin, finds every line of the form
+
+    [stats] <label tokens...>: key=value key=value ...
+
+and emits a JSON array of objects, one per line, preserving input order:
+
+    [{"label": "offload rank0 lane3", "submits": 64, ...}, ...]
+
+Values are coerced to int, then float, then kept as strings. Tokens before
+the first key=value pair form the label (a trailing ':' is stripped).
+
+Usage:  ./bench_foo --stats | python3 tools/stats_to_json.py > stats.json
+"""
+import json
+import sys
+
+
+def coerce(v: str):
+    for cast in (int, float):
+        try:
+            return cast(v)
+        except ValueError:
+            pass
+    return v
+
+
+def parse_line(line: str):
+    tokens = line.split()[1:]  # drop the "[stats]" marker
+    label_parts, entry = [], {}
+    for tok in tokens:
+        if "=" in tok:
+            k, _, v = tok.partition("=")
+            entry[k] = coerce(v)
+        else:
+            label_parts.append(tok.rstrip(":"))
+    entry["label"] = " ".join(label_parts)
+    return entry
+
+
+def main() -> int:
+    entries = [
+        parse_line(line)
+        for line in sys.stdin
+        if line.lstrip().startswith("[stats]")
+    ]
+    json.dump(entries, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
