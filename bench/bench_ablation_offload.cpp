@@ -9,11 +9,15 @@
 //   A6 wire faults — overlap retention and reliability-layer work vs drop
 //      rate, with an end-to-end payload digest proving the data is intact;
 //   A7 submission front-end — the single shared MPSC ring vs per-thread SPSC
-//      lanes vs lanes+batching, measured as the multi-thread post window.
+//      lanes vs lanes+batching, measured as the multi-thread post window;
+//   A8 collective algorithm selection — recursive doubling vs the segmented
+//      ring allreduce vs ring + doorbell batching, as effective bandwidth
+//      over the message-size sweep (the CollTuner's whole reason to exist).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/proxy.hpp"
@@ -344,12 +348,83 @@ void a7_submission_lanes() {
   benchlib::finish_table(t);
 }
 
+struct A8Cell {
+  double us = 0;                       ///< pure allreduce time
+  std::uint64_t amortized = 0;         ///< doorbells saved by stage batching
+};
+
+/// One (forced algorithm, doorbell batching) cell: 8 offload ranks time a
+/// pure (phantom-buffer) float-sum allreduce of `bytes`.
+A8Cell a8_run(const std::string& spec, bool batch, std::size_t bytes) {
+  smpi::ClusterConfig cc;
+  cc.nranks = 8;
+  cc.profile = machine::xeon_fdr();
+  cc.profile.coll_batch_doorbells = batch;
+  cc.coll_spec = spec;
+  cc.thread_level = core::required_thread_level(Approach::kOffload);
+  cc.deadline = sim::Time::from_sec(600);
+  smpi::Cluster cluster(cc);
+  A8Cell cell;
+  constexpr int kWarmup = 1, kIters = 4;
+  cluster.run([&](smpi::RankCtx& rc) {
+    auto p = core::make_proxy(Approach::kOffload, rc);
+    p->start();
+    const std::size_t count = bytes / sizeof(float);
+    sim::Time acc = sim::Time::zero();
+    for (int i = 0; i < kWarmup + kIters; ++i) {
+      p->barrier();
+      const sim::Time t0 = sim::now();
+      core::PReq rq = p->iallreduce(nullptr, nullptr, count,
+                                    smpi::Datatype::kFloat, smpi::Op::kSum);
+      p->wait(rq);
+      if (i >= kWarmup) acc += sim::now() - t0;
+    }
+    p->barrier();
+    if (rc.rank() == 0) cell.us = acc.us() / kIters;
+    p->stop();
+  });
+  cell.amortized = cluster.rank(0).coll_stats().doorbells_amortized;
+  return cell;
+}
+
+void a8_coll_algorithms() {
+  std::printf("\nA8: allreduce algorithm — recursive doubling vs segmented "
+              "ring vs ring+doorbell-batch, 8 ranks, offload, float sum\n");
+  // Cheap even at 4M (phantom payloads), so smoke mode runs the full sweep
+  // and BENCH_pr5.json carries the whole speedup curve.
+  const std::vector<std::size_t> sizes = {64u << 10, 256u << 10, 1u << 20,
+                                          4u << 20};
+  Table t({"size", "rdbl(us)", "ring(us)", "ring+batch(us)", "eff.bw speedup",
+           "amortized"});
+  for (std::size_t bytes : sizes) {
+    const A8Cell rd = a8_run("allreduce:rdbl@0", false, bytes);
+    const A8Cell rg = a8_run("allreduce:ring@0", false, bytes);
+    const A8Cell rb = a8_run("allreduce:ring@0", true, bytes);
+    // Effective bandwidth ~ bytes / time, so the bandwidth ratio is the
+    // inverse time ratio; report ring+batch vs recursive doubling.
+    const double speedup = rd.us / std::max(rb.us, 1e-9);
+    char spd[16];
+    std::snprintf(spd, sizeof spd, "%.2fx", speedup);
+    t.row({fmt_bytes(bytes), fmt_us(rd.us), fmt_us(rg.us), fmt_us(rb.us), spd,
+           fmt_int(static_cast<long long>(rb.amortized))});
+    if (Runner::stats_enabled()) {
+      std::printf(
+          "[stats] a8 allreduce: bytes=%zu rdbl_us=%.3f ring_us=%.3f "
+          "ring_batch_us=%.3f speedup=%.2f amortized=%llu\n",
+          bytes, rd.us, rg.us, rb.us, speedup,
+          static_cast<unsigned long long>(rb.amortized));
+    }
+  }
+  benchlib::finish_table(t);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchlib::Runner runner(argc, argv);
   // Smoke mode (MPIOFF_BENCH_SMOKE=1, CI) runs only the A7 front-end
-  // ablation at a reduced thread sweep; the full run does everything.
+  // ablation (reduced thread sweep) and the A8 collective-algorithm
+  // ablation; the full run does everything.
   if (!Runner::smoke_enabled()) {
     a1_eager_threshold();
     a2_pipeline_depth();
@@ -362,5 +437,6 @@ int main(int argc, char** argv) {
     a6_fault_sweep();
   }
   a7_submission_lanes();
+  a8_coll_algorithms();
   return 0;
 }

@@ -27,11 +27,11 @@ int main(int argc, char** argv) {
     std::printf("Figure 3%s: NBC overlap, %s payload, %d ranks (%s)\n",
                 bytes == 8 ? "(a)" : "(b)", fmt_bytes(bytes).c_str(), nranks,
                 prof.name.c_str());
-    Table t({"collective", "approach", "t_pure(us)", "overlap%"});
+    Table t({"collective", "algorithm", "approach", "t_pure(us)", "overlap%"});
     for (CollKind k : kinds) {
       for (Approach a : approaches) {
         OverlapResult r = overlap_collective(a, prof, k, nranks, bytes);
-        t.row({coll_name(k), core::approach_name(a), fmt_us(r.comm_us),
+        t.row({coll_name(k), r.algo, core::approach_name(a), fmt_us(r.comm_us),
                fmt_pct(r.overlap_frac)});
       }
     }

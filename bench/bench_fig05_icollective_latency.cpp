@@ -27,12 +27,17 @@ int main(int argc, char** argv) {
     std::printf("Figure 5%s: Icollective issue latency, %s, %d ranks (%s)\n",
                 bytes == 8 ? "(a)" : "(b)", fmt_bytes(bytes).c_str(), nranks,
                 prof.name.c_str());
-    Table t({"collective", "baseline(us)", "comm-self(us)", "offload(us)"});
+    Table t({"collective", "algorithm", "baseline(us)", "comm-self(us)",
+             "offload(us)"});
     for (CollKind k : kinds) {
-      std::vector<std::string> row{coll_name(k)};
+      std::string algo = "-";
+      std::vector<std::string> cells;
       for (Approach a : approaches) {
-        row.push_back(fmt_us(icollective_post_us(a, prof, k, nranks, bytes), 3));
+        cells.push_back(
+            fmt_us(icollective_post_us(a, prof, k, nranks, bytes, 10, 2, &algo), 3));
       }
+      std::vector<std::string> row{coll_name(k), algo};
+      row.insert(row.end(), cells.begin(), cells.end());
       t.row(row);
     }
     benchlib::finish_table(t);

@@ -13,6 +13,8 @@
 //  * run_cnn_perf — AlexNet-scale cost-model harness behind Figure 14.
 #pragma once
 
+#include <string>
+
 #include "apps/cnn/layers.hpp"
 #include "core/proxy.hpp"
 #include "machine/profile.hpp"
@@ -75,6 +77,9 @@ struct CnnPerfConfig {
   int iters = 4;
   int warmup = 1;
   double flops_per_ns_thread = 10.0;  ///< effective conv/FC compute rate
+  /// MPIOFF_COLL-grammar override for the gradient allreduces (empty =
+  /// profile defaults; the tuner picks the segmented ring at CNN sizes).
+  std::string coll_spec;
 };
 
 struct CnnPerfResult {

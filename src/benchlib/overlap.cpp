@@ -119,6 +119,40 @@ const char* coll_name(CollKind k) {
 
 namespace {
 
+smpi::CollectiveId coll_id_of(CollKind k) {
+  switch (k) {
+    case CollKind::kIbcast:
+      return smpi::CollectiveId::kBcast;
+    case CollKind::kIreduce:
+      return smpi::CollectiveId::kReduce;
+    case CollKind::kIallreduce:
+      return smpi::CollectiveId::kAllreduce;
+    case CollKind::kIalltoall:
+      return smpi::CollectiveId::kAlltoall;
+    case CollKind::kIallgather:
+      return smpi::CollectiveId::kAllgather;
+    case CollKind::kIbarrier:
+      return smpi::CollectiveId::kBarrier;
+  }
+  return smpi::CollectiveId::kBarrier;
+}
+
+/// Name of the algorithm rank 0 actually ran for `kind` (the schedule with
+/// the highest count, in case an inner barrier shares the CollectiveId).
+std::string ran_algo(Cluster& c, CollKind kind) {
+  const smpi::CollStats& cs = c.rank(0).coll_stats();
+  const int ci = static_cast<int>(coll_id_of(kind));
+  int best = -1;
+  std::uint64_t best_n = 0;
+  for (int ai = 0; ai < smpi::kNumCollAlgos; ++ai) {
+    if (cs.algo_count[ci][ai] > best_n) {
+      best_n = cs.algo_count[ci][ai];
+      best = ai;
+    }
+  }
+  return best < 0 ? "-" : smpi::coll_algo_name(static_cast<smpi::CollAlgo>(best));
+}
+
 /// Post the chosen nonblocking collective through the proxy.
 PReq post_coll(Proxy& p, CollKind k, std::size_t bytes, int nranks,
                std::vector<char>& s, std::vector<char>& r) {
@@ -190,13 +224,14 @@ OverlapResult overlap_collective(Approach a, const machine::Profile& prof,
     report_proxy_stats(*p);
     p->stop();
   });
+  res.algo = ran_algo(c, kind);
   report_cluster_stats(c);
   return res;
 }
 
 double icollective_post_us(Approach a, const machine::Profile& prof,
                            CollKind kind, int nranks, std::size_t bytes,
-                           int iters, int warmup) {
+                           int iters, int warmup, std::string* algo_out) {
   double post_us = 0;
   Cluster c(cluster_cfg(a, prof, nranks));
   c.run([&](RankCtx& rc) {
@@ -218,6 +253,7 @@ double icollective_post_us(Approach a, const machine::Profile& prof,
     report_proxy_stats(*p);
     p->stop();
   });
+  if (algo_out != nullptr) *algo_out = ran_algo(c, kind);
   report_cluster_stats(c);
   return post_us;
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "core/proxy.hpp"
 #include "machine/profile.hpp"
@@ -22,6 +23,7 @@ struct OverlapResult {
   double post_frac = 0;     ///< post time / comm time
   double wait_frac = 0;     ///< step-2 wait time / comm time
   double overlap_frac = 0;  ///< (wait1 - wait2) / comm time
+  std::string algo = "-";   ///< collective algorithm that ran (CollStats)
 };
 
 /// Point-to-point overlap between 2 ranks for a message of `bytes`.
@@ -39,9 +41,11 @@ OverlapResult overlap_collective(core::Approach a, const machine::Profile& prof,
                                  CollKind kind, int nranks, std::size_t bytes,
                                  int iters = 10, int warmup = 2);
 
-/// Issue time of a nonblocking collective (paper Fig. 5).
+/// Issue time of a nonblocking collective (paper Fig. 5). When `algo_out`
+/// is non-null it receives the name of the algorithm that actually ran.
 double icollective_post_us(core::Approach a, const machine::Profile& prof,
                            CollKind kind, int nranks, std::size_t bytes,
-                           int iters = 10, int warmup = 2);
+                           int iters = 10, int warmup = 2,
+                           std::string* algo_out = nullptr);
 
 }  // namespace benchlib

@@ -199,6 +199,45 @@ void report_cluster_stats(smpi::Cluster& c) {
       static_cast<unsigned long long>(s.fibers_spawned),
       static_cast<unsigned long long>(s.context_switches),
       c.engine().now().us());
+  // Collective-algorithm summary (only when collectives actually ran, so
+  // benchmarks that never enter a collective keep their legacy output).
+  {
+    const smpi::CollStats& cs = c.rank(0).coll_stats();
+    bool any = false;
+    for (const auto& per_coll : cs.algo_count) {
+      for (const std::uint64_t n : per_coll) {
+        if (n != 0) any = true;
+      }
+    }
+    if (any) {
+      std::printf("[stats] coll rank0:");
+      for (int ci = 0; ci < smpi::kNumCollectiveIds; ++ci) {
+        for (int ai = 0; ai < smpi::kNumCollAlgos; ++ai) {
+          const std::uint64_t n = cs.algo_count[ci][ai];
+          if (n == 0) continue;
+          std::printf(" %s=%s:%llu",
+                      smpi::coll_name(static_cast<smpi::CollectiveId>(ci)),
+                      smpi::coll_algo_name(static_cast<smpi::CollAlgo>(ai)),
+                      static_cast<unsigned long long>(n));
+        }
+      }
+      std::printf("\n");
+      const double avg_us =
+          cs.chunks == 0 ? 0.0 : cs.chunk_time.us() / static_cast<double>(cs.chunks);
+      std::printf(
+          "[stats] coll rank0 chunks: chunks=%llu avg_chunk_us=%.3f "
+          "doorbells_amortized=%llu\n",
+          static_cast<unsigned long long>(cs.chunks), avg_us,
+          static_cast<unsigned long long>(cs.doorbells_amortized));
+      if (trace::Tracer::on()) {
+        const std::int64_t ts = c.engine().now().ns();
+        trace::Tracer& tr = trace::Tracer::instance();
+        tr.counter(ts, 0, "coll.chunks", static_cast<double>(cs.chunks));
+        tr.counter(ts, 0, "coll.doorbells_amortized",
+                   static_cast<double>(cs.doorbells_amortized));
+      }
+    }
+  }
   // Fault-injection + wire-reliability summary (only when a plan is active,
   // so fault-free output stays byte-identical to a fault-free build).
   if (const machine::FaultPlan* fp = c.network().faults()) {

@@ -83,6 +83,7 @@ class OffloadChannel {
 
   smpi::RankCtx& rank_ctx() { return rc_; }
   RequestPool& pool() { return pool_; }
+  [[nodiscard]] const RequestPool& pool() const { return pool_; }
   [[nodiscard]] const OffloadStats& stats() const { return stats_; }
   [[nodiscard]] const ProxyOptions& options() const { return opts_; }
   [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }

@@ -176,6 +176,11 @@ class Proxy {
   /// (approaches with a dedicated communication thread consume one).
   [[nodiscard]] virtual int compute_threads(int cores) const { return cores; }
 
+  /// Requests still live inside the proxy's own bookkeeping (0 for the
+  /// direct approaches, which hand out raw smpi requests). The differential
+  /// conformance suite asserts this drains to zero at teardown.
+  [[nodiscard]] virtual std::size_t inflight() const { return 0; }
+
  protected:
   smpi::RankCtx& rc_;
 };
@@ -245,6 +250,9 @@ class OffloadProxy : public Proxy {
     return cores > 1 ? cores - 1 : cores;
   }
   [[nodiscard]] OffloadChannel& channel() { return channel_; }
+  [[nodiscard]] std::size_t inflight() const override {
+    return channel_.pool().capacity() - channel_.pool().free_count();
+  }
 
   smpi::Win win_create(void* base, std::size_t bytes, smpi::Comm c) override;
   void win_free(smpi::Win w) override;

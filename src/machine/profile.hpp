@@ -55,6 +55,27 @@ struct Profile {
   /// Local reduction combine throughput (bytes of operand per ns).
   double reduce_bytes_per_ns = 4.0;
 
+  // ---- collective algorithm selection (mpi/coll_tuner.hpp) ----
+  /// Segment size for chunked/pipelined collective schedules (ring,
+  /// pipelined bcast): each segment becomes an independent stage chain so
+  /// chunk k+1's sends post while chunk k's combine runs.
+  std::size_t coll_seg_bytes = 64 * 1024;
+  /// Cap on concurrent chains per collective; the effective segment grows
+  /// instead, so CNN-scale vectors stay tractable in the simulator. Eight
+  /// keeps the ring pipeline full on 64-node MB-scale gradient allreduces
+  /// (Fig. 14) without measurable cost at small scale.
+  int coll_max_chains = 8;
+  /// Size thresholds for the bandwidth-optimal schedules (bytes of the
+  /// tuning size; see CollTuner::choose for what that means per collective).
+  std::size_t coll_ring_allreduce_min = 128 * 1024;
+  std::size_t coll_ring_allgather_min = 128 * 1024;
+  std::size_t coll_pipeline_bcast_min = 256 * 1024;
+  std::size_t coll_rabenseifner_min = 64 * 1024;
+  /// Post each collective stage's internal sends as one descriptor batch —
+  /// one doorbell per stage instead of one per send (the post_batch-style
+  /// amortization of PR 4, applied to schedule-internal p2p).
+  bool coll_batch_doorbells = true;
+
   // ---- protocol switch ----
   std::size_t eager_threshold = 128 * 1024;  ///< bytes; > this uses rendezvous
   /// Rendezvous transfers are pipelined in chunks; injecting each chunk

@@ -27,6 +27,10 @@ struct ClusterConfig {
   ThreadLevel thread_level = ThreadLevel::kFunneled;
   /// Abort the run if the virtual clock passes this (deadlock guard).
   sim::Time deadline = sim::Time::from_sec(3600);
+  /// Collective algorithm overrides in MPIOFF_COLL grammar (see
+  /// mpi/coll_tuner.hpp). Empty -> the MPIOFF_COLL environment variable,
+  /// which in turn falls back to the profile's thresholds.
+  std::string coll_spec;
 };
 
 class Cluster {
@@ -39,6 +43,7 @@ class Cluster {
 
   [[nodiscard]] int nranks() const { return cfg_.nranks; }
   [[nodiscard]] const machine::Profile& profile() const { return cfg_.profile; }
+  [[nodiscard]] const CollTuner& coll_tuner() const { return tuner_; }
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] machine::Network& network() { return net_; }
   [[nodiscard]] RankCtx& rank(int r) { return *ranks_.at(static_cast<std::size_t>(r)); }
@@ -59,6 +64,7 @@ class Cluster {
   [[nodiscard]] bool all_rel_drained() const;
 
   ClusterConfig cfg_;
+  CollTuner tuner_;
   sim::Engine engine_;
   machine::Network net_;
   std::vector<std::unique_ptr<RankCtx>> ranks_;

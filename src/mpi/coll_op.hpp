@@ -1,11 +1,14 @@
 // Nonblocking-collective schedules.
 //
-// A collective is compiled (per rank) into a list of stages. Each stage posts
-// a set of internal point-to-point operations; when they all complete, an
-// optional local computation runs (e.g. a reduction combine) and the next
-// stage is posted. The schedule advances only inside the progress engine —
-// i.e. only while some thread is in the MPI library — which is exactly why
-// nonblocking collectives need asynchronous progress (paper Fig. 3/5).
+// A collective is compiled (per rank) into one or more *chains* of stages.
+// Each stage posts a set of internal point-to-point operations; when they all
+// complete, an optional local computation runs (e.g. a reduction combine) and
+// the chain's next stage is posted. Chains advance independently — that is
+// the pipelining: a segmented ring allreduce compiles each segment into its
+// own chain, so segment k+1's sends are on the wire while segment k's combine
+// runs. The schedule advances only inside the progress engine — i.e. only
+// while some thread is in the MPI library — which is exactly why nonblocking
+// collectives need asynchronous progress (paper Fig. 3/5).
 #pragma once
 
 #include <cstddef>
@@ -13,12 +16,17 @@
 #include <functional>
 #include <vector>
 
+#include "mpi/coll_tuner.hpp"
 #include "mpi/types.hpp"
 #include "sim/time.hpp"
 
 namespace smpi {
 
 class RankCtx;
+
+/// Chains per op are bounded so the per-chain tag salt fits alongside the
+/// sequence number (tag = (seq * kCollMaxChains + chain) mod 2^30).
+inline constexpr std::size_t kCollMaxChains = 64;
 
 struct CollStage {
   struct SendItem {
@@ -38,22 +46,47 @@ struct CollStage {
   std::function<void(RankCtx&)> on_complete;
 };
 
-struct CollOp {
-  Comm comm{};
-  /// Optional gate: the next stage (and final completion) is held back until
-  /// this returns true. Used by ifence to drain outstanding RMA first.
-  std::function<bool(RankCtx&)> gate;
-  std::uint64_t seq = 0;  ///< per-comm collective sequence number (tag base)
+/// One independent stage sequence. Within a chain stages are strictly
+/// ordered; across chains there is no ordering, so a chain must never read a
+/// buffer another chain writes (segmented schedules keep chains on disjoint
+/// element ranges).
+struct CollChain {
   std::vector<CollStage> stages;
   std::size_t cur = 0;
   bool stage_posted = false;
   std::vector<Request> pending;  ///< internal requests of the current stage
+  sim::Time posted_at;           ///< current stage's post time (chunk timing)
+
+  [[nodiscard]] bool done() const { return cur >= stages.size() && !stage_posted; }
+};
+
+struct CollOp {
+  Comm comm{};
+  /// Optional gate: no chain posts its first stage (and the op cannot
+  /// complete) until this returns true. Used by ifence to drain RMA first.
+  std::function<bool(RankCtx&)> gate;
+  bool gate_open = false;
+  std::uint64_t seq = 0;  ///< per-comm collective sequence number (tag base)
+  CollectiveId kind = CollectiveId::kBarrier;
+  CollAlgo algo = CollAlgo::kUnknown;  ///< set by the builder via the tuner
+  std::vector<CollChain> chains;
   /// Scratch buffers owned by the schedule (accumulators, pack buffers).
   std::vector<std::vector<std::byte>> temps;
-  /// Final copy-out / epilogue, run once when the last stage completes.
+  /// Final copy-out / epilogue, run once when the last chain completes.
   std::function<void(RankCtx&)> on_finish;
 
   std::byte* temp(std::size_t i) { return temps[i].data(); }
+  /// Chain accessor, growing on demand (chain 0 is the unsegmented default).
+  CollChain& chain(std::size_t i) {
+    while (chains.size() <= i) chains.emplace_back();
+    return chains[i];
+  }
+  [[nodiscard]] bool done() const {
+    for (const CollChain& c : chains) {
+      if (!c.done()) return false;
+    }
+    return true;
+  }
 };
 
 }  // namespace smpi

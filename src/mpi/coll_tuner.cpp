@@ -1,0 +1,309 @@
+#include "mpi/coll_tuner.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace smpi {
+
+namespace {
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+constexpr const char* kValidItems =
+    "barrier|bcast|reduce|allreduce|alltoall|allgather|gather|scatter|scan|"
+    "fence :algo[@bytes], seg:<bytes>, chains:<n>";
+
+constexpr const char* kValidAlgos =
+    "linear, binomial, dissemination, rdbl, rabenseifner, reduce-bcast, ring, "
+    "pipeline, postall, pairwise, hillis-steele";
+
+/// Parse a byte count with optional k/K (KiB) or m/M (MiB) suffix.
+std::size_t parse_bytes(const std::string& v, const std::string& item) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str()) {
+    throw std::invalid_argument("MPIOFF_COLL: bad size in '" + item + "'");
+  }
+  std::size_t mult = 1;
+  if (*end == 'k' || *end == 'K') {
+    mult = 1024;
+    ++end;
+  } else if (*end == 'm' || *end == 'M') {
+    mult = 1024 * 1024;
+    ++end;
+  }
+  if (*end != '\0') {
+    throw std::invalid_argument("MPIOFF_COLL: bad size in '" + item + "'");
+  }
+  return static_cast<std::size_t>(n) * mult;
+}
+
+bool parse_coll(const std::string& s, CollectiveId* out) {
+  static constexpr struct {
+    const char* name;
+    CollectiveId id;
+  } kTable[] = {
+      {"barrier", CollectiveId::kBarrier},   {"bcast", CollectiveId::kBcast},
+      {"reduce", CollectiveId::kReduce},     {"allreduce", CollectiveId::kAllreduce},
+      {"alltoall", CollectiveId::kAlltoall}, {"allgather", CollectiveId::kAllgather},
+      {"gather", CollectiveId::kGather},     {"scatter", CollectiveId::kScatter},
+      {"scan", CollectiveId::kScan},         {"fence", CollectiveId::kFence},
+  };
+  for (const auto& e : kTable) {
+    if (s == e.name) {
+      *out = e.id;
+      return true;
+    }
+  }
+  return false;
+}
+
+CollAlgo parse_algo(const std::string& s, const std::string& item) {
+  static constexpr struct {
+    const char* name;
+    CollAlgo algo;
+  } kTable[] = {
+      {"linear", CollAlgo::kLinear},
+      {"binomial", CollAlgo::kBinomial},
+      {"dissemination", CollAlgo::kDissemination},
+      {"rdbl", CollAlgo::kRecursiveDoubling},
+      {"recursive-doubling", CollAlgo::kRecursiveDoubling},
+      {"rabenseifner", CollAlgo::kRabenseifner},
+      {"reduce-bcast", CollAlgo::kReduceBcast},
+      {"ring", CollAlgo::kRing},
+      {"pipeline", CollAlgo::kPipeline},
+      {"postall", CollAlgo::kPostAll},
+      {"pairwise", CollAlgo::kPairwise},
+      {"hillis-steele", CollAlgo::kHillisSteele},
+  };
+  for (const auto& e : kTable) {
+    if (s == e.name) return e.algo;
+  }
+  throw std::invalid_argument("MPIOFF_COLL: unknown algorithm in '" + item +
+                              "' (valid: " + kValidAlgos + ")");
+}
+
+}  // namespace
+
+const char* coll_name(CollectiveId c) {
+  switch (c) {
+    case CollectiveId::kBarrier:
+      return "barrier";
+    case CollectiveId::kBcast:
+      return "bcast";
+    case CollectiveId::kReduce:
+      return "reduce";
+    case CollectiveId::kAllreduce:
+      return "allreduce";
+    case CollectiveId::kAlltoall:
+      return "alltoall";
+    case CollectiveId::kAllgather:
+      return "allgather";
+    case CollectiveId::kGather:
+      return "gather";
+    case CollectiveId::kScatter:
+      return "scatter";
+    case CollectiveId::kScan:
+      return "scan";
+    case CollectiveId::kFence:
+      return "fence";
+  }
+  return "?";
+}
+
+const char* coll_algo_name(CollAlgo a) {
+  switch (a) {
+    case CollAlgo::kUnknown:
+      return "unknown";
+    case CollAlgo::kLinear:
+      return "linear";
+    case CollAlgo::kBinomial:
+      return "binomial";
+    case CollAlgo::kDissemination:
+      return "dissemination";
+    case CollAlgo::kRecursiveDoubling:
+      return "rdbl";
+    case CollAlgo::kRabenseifner:
+      return "rabenseifner";
+    case CollAlgo::kReduceBcast:
+      return "reduce-bcast";
+    case CollAlgo::kRing:
+      return "ring";
+    case CollAlgo::kPipeline:
+      return "pipeline";
+    case CollAlgo::kPostAll:
+      return "postall";
+    case CollAlgo::kPairwise:
+      return "pairwise";
+    case CollAlgo::kHillisSteele:
+      return "hillis-steele";
+  }
+  return "?";
+}
+
+CollTuner CollTuner::defaults_for(const machine::Profile& p) {
+  CollTuner t;
+  t.seg_bytes_ = p.coll_seg_bytes;
+  t.max_chains_ = p.coll_max_chains;
+  t.ring_allreduce_min_ = p.coll_ring_allreduce_min;
+  t.ring_allgather_min_ = p.coll_ring_allgather_min;
+  t.pipeline_bcast_min_ = p.coll_pipeline_bcast_min;
+  t.rabenseifner_min_ = p.coll_rabenseifner_min;
+  t.eager_threshold_ = p.eager_threshold;
+  return t;
+}
+
+CollTuner CollTuner::parse(const std::string& spec, CollTuner base) {
+  CollTuner t = std::move(base);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("MPIOFF_COLL: expected key:value, got '" +
+                                  item + "' (valid: " + std::string(kValidItems) +
+                                  ")");
+    }
+    const std::string key = item.substr(0, colon);
+    const std::string val = item.substr(colon + 1);
+    if (key == "seg") {
+      t.seg_bytes_ = std::max<std::size_t>(1, parse_bytes(val, item));
+      continue;
+    }
+    if (key == "chains") {
+      const std::size_t n = parse_bytes(val, item);
+      if (n < 1 || n > 64) {
+        throw std::invalid_argument("MPIOFF_COLL: chains must be 1..64 in '" +
+                                    item + "'");
+      }
+      t.max_chains_ = static_cast<int>(n);
+      continue;
+    }
+    CollectiveId coll{};
+    if (!parse_coll(key, &coll)) {
+      throw std::invalid_argument("MPIOFF_COLL: unknown key '" + key +
+                                  "' (valid: " + std::string(kValidItems) + ")");
+    }
+    const std::size_t at = val.find('@');
+    Rule r;
+    r.algo = parse_algo(val.substr(0, at), item);
+    r.min_bytes = at == std::string::npos ? 0 : parse_bytes(val.substr(at + 1), item);
+    auto& rules = t.rules_[static_cast<int>(coll)];
+    rules.push_back(r);
+    std::stable_sort(rules.begin(), rules.end(),
+                     [](const Rule& a, const Rule& b) {
+                       return a.min_bytes < b.min_bytes;
+                     });
+  }
+  return t;
+}
+
+CollTuner CollTuner::from_env(const machine::Profile& p) {
+  CollTuner t = defaults_for(p);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before fibers spawn
+  if (const char* spec = std::getenv("MPIOFF_COLL"); spec != nullptr) {
+    t = parse(spec, std::move(t));
+  }
+  return t;
+}
+
+int CollTuner::chains_for(std::size_t total_bytes) const {
+  if (total_bytes <= seg_bytes_) return 1;
+  const std::size_t n = (total_bytes + seg_bytes_ - 1) / seg_bytes_;
+  return static_cast<int>(
+      std::min<std::size_t>(n, static_cast<std::size_t>(max_chains_)));
+}
+
+bool CollTuner::legal(CollectiveId c, CollAlgo a, std::size_t count, int ranks,
+                      bool commutative) {
+  switch (a) {
+    case CollAlgo::kUnknown:
+      return false;
+    case CollAlgo::kRecursiveDoubling:
+      return c == CollectiveId::kAllreduce && is_pow2(ranks) && commutative;
+    case CollAlgo::kRabenseifner:
+      return c == CollectiveId::kAllreduce && is_pow2(ranks) && ranks > 1 &&
+             commutative && count % static_cast<std::size_t>(ranks) == 0;
+    case CollAlgo::kRing:
+      return (c == CollectiveId::kAllreduce && commutative) ||
+             c == CollectiveId::kAllgather;
+    case CollAlgo::kReduceBcast:
+      return c == CollectiveId::kAllreduce;
+    case CollAlgo::kPipeline:
+      return c == CollectiveId::kBcast;
+    case CollAlgo::kBinomial:
+      // The binomial reduce combines lower⊕higher in *relative* rank order,
+      // which wraps around the root — only safe when the op commutes.
+      return c == CollectiveId::kBcast ||
+             (c == CollectiveId::kReduce && commutative);
+    case CollAlgo::kPostAll:
+    case CollAlgo::kPairwise:
+      return c == CollectiveId::kAlltoall || c == CollectiveId::kAllgather;
+    case CollAlgo::kLinear:
+      return c == CollectiveId::kGather || c == CollectiveId::kScatter ||
+             c == CollectiveId::kReduce;
+    case CollAlgo::kDissemination:
+      return c == CollectiveId::kBarrier || c == CollectiveId::kFence;
+    case CollAlgo::kHillisSteele:
+      return c == CollectiveId::kScan;
+  }
+  return false;
+}
+
+CollAlgo CollTuner::default_for(CollectiveId c, std::size_t bytes,
+                                std::size_t count, int ranks,
+                                bool commutative) const {
+  switch (c) {
+    case CollectiveId::kBarrier:
+    case CollectiveId::kFence:
+      return CollAlgo::kDissemination;
+    case CollectiveId::kBcast:
+      return (ranks > 1 && bytes >= pipeline_bcast_min_) ? CollAlgo::kPipeline
+                                                         : CollAlgo::kBinomial;
+    case CollectiveId::kReduce:
+      // The binomial schedule is rank-order-correct only from rank 0's
+      // perspective; non-commutative reductions use the ordered linear fold.
+      return commutative ? CollAlgo::kBinomial : CollAlgo::kLinear;
+    case CollectiveId::kAllreduce:
+      if (!commutative || ranks <= 1) return CollAlgo::kReduceBcast;
+      if (bytes >= ring_allreduce_min_) return CollAlgo::kRing;
+      if (legal(c, CollAlgo::kRabenseifner, count, ranks, commutative) &&
+          bytes >= rabenseifner_min_) {
+        return CollAlgo::kRabenseifner;
+      }
+      if (is_pow2(ranks)) return CollAlgo::kRecursiveDoubling;
+      return CollAlgo::kReduceBcast;
+    case CollectiveId::kAlltoall:
+      return bytes <= eager_threshold_ ? CollAlgo::kPostAll : CollAlgo::kPairwise;
+    case CollectiveId::kAllgather:
+      return (ranks > 1 && bytes >= ring_allgather_min_) ? CollAlgo::kRing
+                                                         : CollAlgo::kPostAll;
+    case CollectiveId::kGather:
+    case CollectiveId::kScatter:
+      return CollAlgo::kLinear;
+    case CollectiveId::kScan:
+      return CollAlgo::kHillisSteele;
+  }
+  return CollAlgo::kUnknown;
+}
+
+CollAlgo CollTuner::choose(CollectiveId c, std::size_t bytes, std::size_t count,
+                           int ranks, bool commutative) const {
+  // Forced rules: largest threshold not exceeding the message wins; an
+  // illegal forced choice falls back to the defaults so the recorded
+  // algorithm is always the one that ran.
+  const auto& rules = rules_[static_cast<int>(c)];
+  for (auto it = rules.rbegin(); it != rules.rend(); ++it) {
+    if (bytes < it->min_bytes) continue;
+    if (legal(c, it->algo, count, ranks, commutative)) return it->algo;
+    break;
+  }
+  return default_for(c, bytes, count, ranks, commutative);
+}
+
+}  // namespace smpi

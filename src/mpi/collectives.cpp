@@ -1,16 +1,24 @@
 // Collective algorithms, compiled to CollOp schedules per rank.
 //
-// Algorithm choices mirror mainstream MPI implementations:
+// Which schedule a collective compiles to is decided per instance by the
+// CollTuner (size x ranks x operand properties; see mpi/coll_tuner.hpp for
+// the override grammar). The inventory:
 //   * barrier      — dissemination (ceil(log2 p) rounds)
-//   * bcast        — binomial tree
-//   * reduce       — binomial tree (leaves send partial results inward)
-//   * allreduce    — recursive doubling for power-of-two sizes, otherwise
-//                    reduce-to-0 + bcast
+//   * bcast        — binomial tree; pipelined (segmented) binomial for large
+//                    vectors, one chain per segment
+//   * reduce       — binomial tree for commutative ops, ordered linear fold
+//                    for non-commutative ones
+//   * allreduce    — segmented ring (reduce-scatter + allgather) for large
+//                    commutative vectors, Rabenseifner / recursive doubling
+//                    for medium power-of-two cases, reduce-to-0 + bcast
+//                    otherwise
 //   * alltoall     — post-all for eager-sized blocks, pairwise sequential
 //                    exchange for rendezvous-sized blocks
-//   * allgather    — post-all (blocks are typically small)
+//   * allgather    — segmented ring for large results, post-all otherwise
 //   * gather/scatter — linear rooted trees
+//   * scan         — Hillis-Steele doubling
 //   * reduce_scatter_block — reduce + scatter
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <memory>
@@ -25,12 +33,13 @@ namespace smpi {
 
 namespace {
 
-bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
-
-std::unique_ptr<CollOp> new_op(CommInfo& ci, Comm comm) {
+std::unique_ptr<CollOp> new_op(CommInfo& ci, Comm comm, CollectiveId kind,
+                               CollAlgo algo) {
   auto op = std::make_unique<CollOp>();
   op->comm = comm;
   op->seq = ci.coll_seq++;
+  op->kind = kind;
+  op->algo = algo;
   return op;
 }
 
@@ -39,9 +48,15 @@ std::size_t add_temp(CollOp& op, std::size_t bytes) {
   return op.temps.size() - 1;
 }
 
+/// Offset into a possibly-phantom buffer (phantom schedules carry byte
+/// counts but no storage).
+std::byte* at(std::byte* base, std::size_t off) {
+  return base == nullptr ? nullptr : base + off;
+}
+
 /// Append the stages of a binomial broadcast of `buf` (bytes) from comm rank
-/// `root` to schedule `op`.
-void build_bcast_stages(CollOp& op, const CommInfo& ci, void* buf,
+/// `root` to chain `ch`.
+void build_bcast_stages(CollChain& ch, const CommInfo& ci, void* buf,
                         std::size_t bytes, int root) {
   const int p = ci.size();
   const int rel = (ci.my_rank - root + p) % p;
@@ -57,7 +72,7 @@ void build_bcast_stages(CollOp& op, const CommInfo& ci, void* buf,
   if (parent_rel >= 0) {
     CollStage st;
     st.recvs.push_back({(parent_rel + root) % p, buf, bytes});
-    op.stages.push_back(std::move(st));
+    ch.stages.push_back(std::move(st));
   } else {
     mask = 1;
     while (mask < p) mask <<= 1;
@@ -67,14 +82,18 @@ void build_bcast_stages(CollOp& op, const CommInfo& ci, void* buf,
   for (int m = mask >> 1; m > 0; m >>= 1) {
     if (rel + m < p) sends.sends.push_back({(rel + m + root) % p, buf, bytes});
   }
-  if (!sends.sends.empty()) op.stages.push_back(std::move(sends));
+  if (!sends.sends.empty()) ch.stages.push_back(std::move(sends));
 }
 
-/// Append binomial-reduce stages combining into `accum` (which must start as
-/// this rank's contribution); the result lands in rank `root`'s accum.
-void build_reduce_stages(CollOp& op, const CommInfo& ci, std::byte* accum,
-                         std::size_t bytes, Datatype dt, Op rop, int root,
-                         std::size_t count, std::size_t store) {
+/// Append binomial-reduce stages to `ch` combining into `accum` (which must
+/// start as this rank's contribution); the result lands in rank `root`'s
+/// accum. Combines are accum ⊕ recv with the received block always the
+/// higher relative-rank range — rank-order-correct at root 0, commutative
+/// ops only elsewhere (the tuner enforces this).
+void build_reduce_stages(CollOp& op, CollChain& ch, const CommInfo& ci,
+                         std::byte* accum, std::size_t bytes, Datatype dt,
+                         Op rop, int root, std::size_t count,
+                         std::size_t store) {
   const int p = ci.size();
   const int rel = (ci.my_rank - root + p) % p;
   CollOp* opp = &op;  // CollOp lives in a unique_ptr; its address is stable
@@ -89,12 +108,149 @@ void build_reduce_stages(CollOp& op, const CommInfo& ci, std::byte* accum,
         sim::advance(rc.profile().reduce_cost(bytes));
         apply_op(rop, dt, opp->temps[t].data(), accum, count);
       };
-      op.stages.push_back(std::move(st));
+      ch.stages.push_back(std::move(st));
     } else {
       CollStage st;
       st.sends.push_back({(rel - mask + root) % p, accum, bytes});
-      op.stages.push_back(std::move(st));
+      ch.stages.push_back(std::move(st));
       return;  // after sending inward this rank is done reducing
+    }
+  }
+}
+
+/// Ordered linear fold into rank `root`: the only reduce schedule that is
+/// correct for non-commutative operators at any root. Non-roots send once;
+/// the root receives and combines strictly in rank order (serial by design).
+/// `accum` must start as this rank's own contribution.
+void build_linear_reduce(CollOp& op, CollChain& ch, const CommInfo& ci,
+                         std::byte* accum, const void* sbuf, std::size_t bytes,
+                         Datatype dt, Op rop, int root, std::size_t count,
+                         std::size_t store) {
+  const int p = ci.size();
+  const int me = ci.my_rank;
+  if (me != root) {
+    CollStage st;
+    st.sends.push_back({root, sbuf, bytes});
+    ch.stages.push_back(std::move(st));
+    return;
+  }
+  const bool phantom = store == 0;
+  CollOp* opp = &op;
+  // Root with root > 0: accum must end up as fold(0..p-1) in index order, so
+  // the first arriving block (rank 0) *replaces* accum and the root's own
+  // block is re-folded at its position from a snapshot taken now.
+  std::byte* own = nullptr;
+  if (root != 0) {
+    const std::size_t own_t = add_temp(op, store);
+    if (!phantom) std::memcpy(op.temps[own_t].data(), accum, bytes);
+    own = op.temps[own_t].data();
+  }
+  for (int k = 0; k < p; ++k) {
+    if (k == root) continue;
+    const std::size_t t = add_temp(op, store);
+    CollStage st;
+    st.recvs.push_back({k, op.temps[t].data(), bytes});
+    const bool replace = (k == 0 && root != 0);
+    const bool fold_own = (root != 0 && k == root - 1);
+    st.on_complete = [opp, t, accum, own, dt, rop, count, bytes, replace,
+                      fold_own, phantom](RankCtx& rc) {
+      sim::advance(rc.profile().reduce_cost(bytes));
+      if (replace) {
+        if (!phantom) std::memcpy(accum, opp->temps[t].data(), bytes);
+      } else {
+        apply_op(rop, dt, opp->temps[t].data(), accum, count);
+      }
+      if (fold_own) {
+        sim::advance(rc.profile().reduce_cost(bytes));
+        apply_op(rop, dt, own, accum, count);
+      }
+    };
+    ch.stages.push_back(std::move(st));
+  }
+}
+
+/// Segmented ring allreduce. Chain c owns the element range
+/// [c*count/C, (c+1)*count/C); within a chain the range splits into p chunks
+/// and runs the classic reduce-scatter + allgather ring: 2(p-1) stages, each
+/// moving ~n/p elements to the right neighbour. Chains advance independently,
+/// so chunk k+1's sends are on the wire while chunk k's combine runs — and
+/// segments stay below the eager threshold, which is what keeps the schedule
+/// overlap-friendly for the offload thread (no rendezvous stalls).
+void build_ring_allreduce(CollOp& op, const CommInfo& ci, std::byte* accum,
+                          std::size_t count, std::size_t elem, Datatype dt,
+                          Op rop, bool phantom, int nchains) {
+  const int p = ci.size();
+  const int me = ci.my_rank;
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  const auto up = static_cast<std::size_t>(p);
+  CollOp* opp = &op;
+  for (int c = 0; c < nchains; ++c) {
+    const auto uc = static_cast<std::size_t>(c);
+    const std::size_t base = count * uc / static_cast<std::size_t>(nchains);
+    const std::size_t n = count * (uc + 1) / static_cast<std::size_t>(nchains) - base;
+    CollChain& ch = op.chain(uc);
+    // Chunk j of this chain: n/p elements plus one of the remainder.
+    const auto cn = [n, up](int j) {
+      return n / up + (static_cast<std::size_t>(j) < n % up ? 1 : 0);
+    };
+    const auto coff = [n, up](int j) {
+      const auto uj = static_cast<std::size_t>(j);
+      return uj * (n / up) + std::min(uj, n % up);
+    };
+    // One receive temp per chain: stages are chain-sequential, and the
+    // incoming partial is consumed by the combine before the next post.
+    const std::size_t t = add_temp(op, phantom ? 0 : cn(0) * elem);
+    // ---- reduce-scatter: stage s sends the chunk combined at stage s-1 ----
+    for (int s = 0; s < p - 1; ++s) {
+      const int schunk = ((me - s) % p + p) % p;
+      const int rchunk = ((me - s - 1) % p + p) % p;
+      CollStage st;
+      st.sends.push_back(
+          {right, at(accum, (base + coff(schunk)) * elem), cn(schunk) * elem});
+      st.recvs.push_back({left, op.temps[t].data(), cn(rchunk) * elem});
+      const std::size_t roff = (base + coff(rchunk)) * elem;
+      const std::size_t rcnt = cn(rchunk);
+      st.on_complete = [opp, t, accum, dt, rop, roff, rcnt, elem](RankCtx& rc) {
+        sim::advance(rc.profile().reduce_cost(rcnt * elem));
+        apply_op(rop, dt, opp->temps[t].data(), at(accum, roff), rcnt);
+      };
+      ch.stages.push_back(std::move(st));
+    }
+    // ---- allgather: circulate the finished chunks, landing in place ----
+    for (int s = 0; s < p - 1; ++s) {
+      const int schunk = ((me + 1 - s) % p + p) % p;
+      const int rchunk = ((me - s) % p + p) % p;
+      CollStage st;
+      st.sends.push_back(
+          {right, at(accum, (base + coff(schunk)) * elem), cn(schunk) * elem});
+      st.recvs.push_back(
+          {left, at(accum, (base + coff(rchunk)) * elem), cn(rchunk) * elem});
+      ch.stages.push_back(std::move(st));
+    }
+  }
+}
+
+/// Segmented ring allgather: stage s forwards the block received at stage
+/// s-1. Chain c carries the byte range [c*blk/C, (c+1)*blk/C) of every block.
+void build_ring_allgather(CollOp& op, const CommInfo& ci, std::byte* rb,
+                          std::size_t blk, int nchains) {
+  const int p = ci.size();
+  const int me = ci.my_rank;
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  for (int c = 0; c < nchains; ++c) {
+    const auto uc = static_cast<std::size_t>(c);
+    const std::size_t blo = blk * uc / static_cast<std::size_t>(nchains);
+    const std::size_t bn = blk * (uc + 1) / static_cast<std::size_t>(nchains) - blo;
+    CollChain& ch = op.chain(uc);
+    for (int s = 0; s < p - 1; ++s) {
+      const auto sblk = static_cast<std::size_t>(((me - s) % p + p) % p);
+      const auto rblk = static_cast<std::size_t>(((me - s - 1) % p + p) % p);
+      CollStage st;
+      st.sends.push_back({right, at(rb, sblk * blk + blo), bn});
+      st.recvs.push_back({left, at(rb, rblk * blk + blo), bn});
+      ch.stages.push_back(std::move(st));
     }
   }
 }
@@ -106,8 +262,10 @@ void build_reduce_stages(CollOp& op, const CommInfo& ci, std::byte* accum,
 Request RankCtx::ibarrier(Comm comm) {
   MpiEntry entry(*this, false, "Ibarrier");
   CommInfo& ci = comms_.get(comm);
-  auto op = new_op(ci, comm);
   const int p = ci.size();
+  auto op = new_op(ci, comm, CollectiveId::kBarrier,
+                   coll_tuner().choose(CollectiveId::kBarrier, 0, 0, p, true));
+  CollChain& ch = op->chain(0);
   const int me = ci.my_rank;
   for (int k = 1; k < p; k <<= 1) {
     CollStage st;
@@ -117,7 +275,7 @@ Request RankCtx::ibarrier(Comm comm) {
     const std::size_t t2 = add_temp(*op, 1);
     st.sends.push_back({(me + k) % p, op->temps[t].data(), 1});
     st.recvs.push_back({(me - k + p) % p, op->temps[t2].data(), 1});
-    op->stages.push_back(std::move(st));
+    ch.stages.push_back(std::move(st));
   }
   return start_collective(std::move(op));
 }
@@ -133,8 +291,25 @@ Request RankCtx::ibcast(void* buf, std::size_t count, Datatype dt, int root,
                         Comm comm) {
   MpiEntry entry(*this, false, "Ibcast");
   CommInfo& ci = comms_.get(comm);
-  auto op = new_op(ci, comm);
-  build_bcast_stages(*op, ci, buf, count * datatype_size(dt), root);
+  const std::size_t bytes = count * datatype_size(dt);
+  const int p = ci.size();
+  auto op = new_op(ci, comm, CollectiveId::kBcast,
+                   coll_tuner().choose(CollectiveId::kBcast, bytes, count, p,
+                                       true));
+  if (op->algo == CollAlgo::kPipeline) {
+    // One chain per segment, each an independent binomial tree: the root
+    // pushes segment c+1 into the wire while segment c propagates down.
+    const int nchains = coll_tuner().chains_for(bytes);
+    auto* b = static_cast<std::byte*>(buf);
+    for (int c = 0; c < nchains; ++c) {
+      const auto uc = static_cast<std::size_t>(c);
+      const std::size_t lo = bytes * uc / static_cast<std::size_t>(nchains);
+      const std::size_t n = bytes * (uc + 1) / static_cast<std::size_t>(nchains) - lo;
+      build_bcast_stages(op->chain(uc), ci, at(b, lo), n, root);
+    }
+  } else {
+    build_bcast_stages(op->chain(0), ci, buf, bytes, root);
+  }
   return start_collective(std::move(op));
 }
 
@@ -155,12 +330,21 @@ Request RankCtx::ireduce(const void* sbuf, void* rbuf, std::size_t count,
   // scratch buffers are not materialized either.
   const bool phantom = sbuf == nullptr;
   const std::size_t store = phantom ? 0 : bytes;
-  auto op = new_op(ci, comm);
+  const int p = ci.size();
+  auto op = new_op(ci, comm, CollectiveId::kReduce,
+                   coll_tuner().choose(CollectiveId::kReduce, bytes, count, p,
+                                       op_commutative(rop)));
   const std::size_t acc = add_temp(*op, store);
   sim::advance(profile().copy_cost(bytes));
   if (!phantom) std::memcpy(op->temps[acc].data(), sbuf, bytes);
   std::byte* accum = op->temps[acc].data();
-  build_reduce_stages(*op, ci, accum, bytes, dt, rop, root, count, store);
+  if (op->algo == CollAlgo::kLinear) {
+    build_linear_reduce(*op, op->chain(0), ci, accum, sbuf, bytes, dt, rop,
+                        root, count, store);
+  } else {
+    build_reduce_stages(*op, op->chain(0), ci, accum, bytes, dt, rop, root,
+                        count, store);
+  }
   if (ci.my_rank == root) {
     op->on_finish = [accum, rbuf, bytes](RankCtx& rc) {
       sim::advance(rc.profile().copy_cost(bytes));
@@ -186,19 +370,23 @@ Request RankCtx::iallreduce(const void* sbuf, void* rbuf, std::size_t count,
   const bool phantom = sbuf == nullptr;
   const std::size_t store = phantom ? 0 : bytes;
   const int p = ci.size();
-  auto op = new_op(ci, comm);
+  auto op = new_op(ci, comm, CollectiveId::kAllreduce,
+                   coll_tuner().choose(CollectiveId::kAllreduce, bytes, count,
+                                       p, op_commutative(rop)));
   const std::size_t acc = add_temp(*op, store);
   sim::advance(profile().copy_cost(bytes));
   if (!phantom) std::memcpy(op->temps[acc].data(), sbuf, bytes);
   std::byte* accum = op->temps[acc].data();
 
   const std::size_t elem = datatype_size(dt);
-  if (is_pow2(p) && p > 1 && count % static_cast<std::size_t>(p) == 0 &&
-      bytes >= 64 * 1024) {
+  if (op->algo == CollAlgo::kRing) {
+    build_ring_allreduce(*op, ci, accum, count, elem, dt, rop, phantom,
+                         coll_tuner().chains_for(bytes));
+  } else if (op->algo == CollAlgo::kRabenseifner) {
     // Rabenseifner: recursive-halving reduce-scatter followed by a
     // recursive-doubling allgather — ~2x the vector on the wire instead of
-    // log2(p)x. This is what mainstream MPIs use for large allreduce and
-    // what makes CNN-scale gradient exchanges feasible (Fig. 14).
+    // log2(p)x. The tuner guarantees pow2 ranks and count % p == 0 here.
+    CollChain& ch = op->chain(0);
     CollOp* opp = op.get();
     const int logp = [&] {
       int l = 0;
@@ -231,9 +419,7 @@ Request RankCtx::iallreduce(const void* sbuf, void* rbuf, std::size_t count,
       const std::size_t send_lo = keep_lower ? mid : lo;
       const std::size_t t = add_temp(*op, phantom ? 0 : keep_n * elem);
       CollStage st;
-      st.sends.push_back({partner,
-                          phantom ? nullptr : accum + send_lo * elem,
-                          keep_n * elem});
+      st.sends.push_back({partner, at(accum, send_lo * elem), keep_n * elem});
       st.recvs.push_back({partner, op->temps[t].data(), keep_n * elem});
       st.on_complete = [opp, t, accum, dt, rop, keep_lo, keep_n, elem,
                         phantom](RankCtx& rc) {
@@ -242,7 +428,7 @@ Request RankCtx::iallreduce(const void* sbuf, void* rbuf, std::size_t count,
           apply_op(rop, dt, opp->temps[t].data(), accum + keep_lo * elem, keep_n);
         }
       };
-      op->stages.push_back(std::move(st));
+      ch.stages.push_back(std::move(st));
     }
     // ---- allgather (recursive doubling, undoing the halvings) ----
     for (int j = logp - 1; j >= 0; --j) {
@@ -251,16 +437,15 @@ Request RankCtx::iallreduce(const void* sbuf, void* rbuf, std::size_t count,
       const auto [mlo, mhi] = rs_range(ci.my_rank, j + 1);
       const auto [plo, phi] = rs_range(partner, j + 1);
       CollStage st;
-      st.sends.push_back({partner, phantom ? nullptr : accum + mlo * elem,
-                          (mhi - mlo) * elem});
-      st.recvs.push_back({partner, phantom ? nullptr : accum + plo * elem,
-                          (phi - plo) * elem});
-      op->stages.push_back(std::move(st));
+      st.sends.push_back({partner, at(accum, mlo * elem), (mhi - mlo) * elem});
+      st.recvs.push_back({partner, at(accum, plo * elem), (phi - plo) * elem});
+      ch.stages.push_back(std::move(st));
     }
-  } else if (is_pow2(p)) {
+  } else if (op->algo == CollAlgo::kRecursiveDoubling) {
     // Recursive doubling: log2(p) exchange-and-combine rounds. Each round
     // sends a snapshot of the accumulator prepared by the previous round so
     // that rendezvous-sized payloads can be read at DMA time safely.
+    CollChain& ch = op->chain(0);
     int nrounds = 0;
     for (int k = 1; k < p; k <<= 1) ++nrounds;
     std::vector<std::size_t> snaps, rtmps;
@@ -289,11 +474,17 @@ Request RankCtx::iallreduce(const void* sbuf, void* rbuf, std::size_t count,
           std::memcpy(opp->temps[next_snap].data(), accum, bytes);
         }
       };
-      op->stages.push_back(std::move(st));
+      ch.stages.push_back(std::move(st));
     }
   } else {
-    build_reduce_stages(*op, ci, accum, bytes, dt, rop, /*root=*/0, count, store);
-    build_bcast_stages(*op, ci, accum, bytes, /*root=*/0);
+    // Reduce-to-0 + bcast: the order-preserving fallback (binomial combines
+    // at root 0 fold strictly lower⊕higher rank ranges, so it is correct
+    // even for non-commutative operators).
+    assert(op->algo == CollAlgo::kReduceBcast);
+    CollChain& ch = op->chain(0);
+    build_reduce_stages(*op, ch, ci, accum, bytes, dt, rop, /*root=*/0, count,
+                        store);
+    build_bcast_stages(ch, ci, accum, bytes, /*root=*/0);
   }
 
   op->on_finish = [accum, rbuf, bytes](RankCtx& rc) {
@@ -326,7 +517,9 @@ Request RankCtx::ialltoall(const void* sbuf, void* rbuf,
   auto blk_at_mut = [blk](std::byte* base, int i) -> std::byte* {
     return base == nullptr ? nullptr : base + static_cast<std::size_t>(i) * blk;
   };
-  auto op = new_op(ci, comm);
+  auto op = new_op(ci, comm, CollectiveId::kAlltoall,
+                   coll_tuner().choose(CollectiveId::kAlltoall, blk,
+                                       count_per_rank, p, true));
 
   // Self block: local copy at post time (phantom runs model their data
   // movement separately, so only real buffers are charged).
@@ -336,7 +529,7 @@ Request RankCtx::ialltoall(const void* sbuf, void* rbuf,
                 sb + static_cast<std::size_t>(me) * blk, blk);
   }
 
-  if (blk <= profile().eager_threshold) {
+  if (op->algo == CollAlgo::kPostAll) {
     // Latency-bound regime: post everything at once.
     CollStage st;
     for (int k = 1; k < p; ++k) {
@@ -345,17 +538,21 @@ Request RankCtx::ialltoall(const void* sbuf, void* rbuf,
       st.sends.push_back({dst, blk_at(sb, dst), blk});
       st.recvs.push_back({src, blk_at_mut(rb, src), blk});
     }
-    if (!st.sends.empty() || !st.recvs.empty()) op->stages.push_back(std::move(st));
+    if (!st.sends.empty() || !st.recvs.empty()) {
+      op->chain(0).stages.push_back(std::move(st));
+    }
   } else {
     // Bandwidth-bound regime: pairwise sequential exchange bounds the number
     // of concurrent rendezvous flows (what MPICH does for large alltoall).
+    assert(op->algo == CollAlgo::kPairwise);
+    CollChain& ch = op->chain(0);
     for (int k = 1; k < p; ++k) {
       const int dst = (me + k) % p;
       const int src = (me - k + p) % p;
       CollStage st;
       st.sends.push_back({dst, blk_at(sb, dst), blk});
       st.recvs.push_back({src, blk_at_mut(rb, src), blk});
-      op->stages.push_back(std::move(st));
+      ch.stages.push_back(std::move(st));
     }
   }
   return start_collective(std::move(op));
@@ -377,21 +574,44 @@ Request RankCtx::iallgather(const void* sbuf, void* rbuf,
   const int p = ci.size();
   const int me = ci.my_rank;
   auto* rb = static_cast<std::byte*>(rbuf);
-  auto op = new_op(ci, comm);
+  // Tuning size is the total gathered result (that is what the wire carries).
+  auto op = new_op(ci, comm, CollectiveId::kAllgather,
+                   coll_tuner().choose(CollectiveId::kAllgather,
+                                       blk * static_cast<std::size_t>(p),
+                                       count_per_rank * static_cast<std::size_t>(p),
+                                       p, true));
 
   if (sbuf != nullptr && rb != nullptr) {
     sim::advance(profile().copy_cost(blk));
     std::memcpy(rb + static_cast<std::size_t>(me) * blk, sbuf, blk);
   }
 
-  CollStage st;
-  for (int k = 1; k < p; ++k) {
-    const int dst = (me + k) % p;
-    const int src = (me - k + p) % p;
-    st.sends.push_back({dst, rb == nullptr ? nullptr : rb + static_cast<std::size_t>(me) * blk, blk});
-    st.recvs.push_back({src, rb == nullptr ? nullptr : rb + static_cast<std::size_t>(src) * blk, blk});
+  if (op->algo == CollAlgo::kRing) {
+    build_ring_allgather(*op, ci, rb, blk, coll_tuner().chains_for(blk));
+  } else if (op->algo == CollAlgo::kPairwise) {
+    // Sequential exchange rounds (rendezvous-friendly, rarely forced).
+    CollChain& ch = op->chain(0);
+    for (int k = 1; k < p; ++k) {
+      const int dst = (me + k) % p;
+      const int src = (me - k + p) % p;
+      CollStage st;
+      st.sends.push_back({dst, at(rb, static_cast<std::size_t>(me) * blk), blk});
+      st.recvs.push_back({src, at(rb, static_cast<std::size_t>(src) * blk), blk});
+      ch.stages.push_back(std::move(st));
+    }
+  } else {
+    assert(op->algo == CollAlgo::kPostAll);
+    CollStage st;
+    for (int k = 1; k < p; ++k) {
+      const int dst = (me + k) % p;
+      const int src = (me - k + p) % p;
+      st.sends.push_back({dst, at(rb, static_cast<std::size_t>(me) * blk), blk});
+      st.recvs.push_back({src, at(rb, static_cast<std::size_t>(src) * blk), blk});
+    }
+    if (!st.sends.empty() || !st.recvs.empty()) {
+      op->chain(0).stages.push_back(std::move(st));
+    }
   }
-  if (!st.sends.empty() || !st.recvs.empty()) op->stages.push_back(std::move(st));
   return start_collective(std::move(op));
 }
 
@@ -411,7 +631,9 @@ Request RankCtx::igather(const void* sbuf, void* rbuf,
   const std::size_t blk = count_per_rank * datatype_size(dt);
   const int p = ci.size();
   const int me = ci.my_rank;
-  auto op = new_op(ci, comm);
+  auto op = new_op(ci, comm, CollectiveId::kGather,
+                   coll_tuner().choose(CollectiveId::kGather, blk,
+                                       count_per_rank, p, true));
   if (me == root) {
     auto* rb = static_cast<std::byte*>(rbuf);
     sim::advance(profile().copy_cost(blk));
@@ -421,11 +643,11 @@ Request RankCtx::igather(const void* sbuf, void* rbuf,
       if (r == root) continue;
       st.recvs.push_back({r, rb + static_cast<std::size_t>(r) * blk, blk});
     }
-    if (!st.recvs.empty()) op->stages.push_back(std::move(st));
+    if (!st.recvs.empty()) op->chain(0).stages.push_back(std::move(st));
   } else {
     CollStage st;
     st.sends.push_back({root, sbuf, blk});
-    op->stages.push_back(std::move(st));
+    op->chain(0).stages.push_back(std::move(st));
   }
   return start_collective(std::move(op));
 }
@@ -444,7 +666,9 @@ Request RankCtx::iscatter(const void* sbuf, void* rbuf,
   const std::size_t blk = count_per_rank * datatype_size(dt);
   const int p = ci.size();
   const int me = ci.my_rank;
-  auto op = new_op(ci, comm);
+  auto op = new_op(ci, comm, CollectiveId::kScatter,
+                   coll_tuner().choose(CollectiveId::kScatter, blk,
+                                       count_per_rank, p, true));
   if (me == root) {
     const auto* sb = static_cast<const std::byte*>(sbuf);
     sim::advance(profile().copy_cost(blk));
@@ -454,11 +678,11 @@ Request RankCtx::iscatter(const void* sbuf, void* rbuf,
       if (r == root) continue;
       st.sends.push_back({r, sb + static_cast<std::size_t>(r) * blk, blk});
     }
-    if (!st.sends.empty()) op->stages.push_back(std::move(st));
+    if (!st.sends.empty()) op->chain(0).stages.push_back(std::move(st));
   } else {
     CollStage st;
     st.recvs.push_back({root, rbuf, blk});
-    op->stages.push_back(std::move(st));
+    op->chain(0).stages.push_back(std::move(st));
   }
   return start_collective(std::move(op));
 }
@@ -480,7 +704,10 @@ Request RankCtx::iscan(const void* sbuf, void* rbuf, std::size_t count,
   const std::size_t store = phantom ? 0 : bytes;
   const int p = ci.size();
   const int me = ci.my_rank;
-  auto op = new_op(ci, comm);
+  auto op = new_op(ci, comm, CollectiveId::kScan,
+                   coll_tuner().choose(CollectiveId::kScan, bytes, count, p,
+                                       op_commutative(rop)));
+  CollChain& ch = op->chain(0);
   CollOp* opp = op.get();
   const std::size_t acc = add_temp(*op, store);
   sim::advance(profile().copy_cost(bytes));
@@ -514,22 +741,22 @@ Request RankCtx::iscan(const void* sbuf, void* rbuf, std::size_t count,
       (void)snap_runtime;
       (void)phantom;
     };
-    op->stages.push_back(std::move(st));
+    ch.stages.push_back(std::move(st));
   }
   // Snapshots for later rounds must reflect combines from earlier rounds:
   // rebuild them lazily by chaining on_complete handlers. Simpler approach:
   // each round's send snapshot is prepared by the previous round's
   // on_complete; round 0's was prepared above. Patch the handlers:
-  for (std::size_t r = 0; r + 1 < op->stages.size(); ++r) {
-    auto prev = op->stages[r].on_complete;
+  for (std::size_t r = 0; r + 1 < ch.stages.size(); ++r) {
+    auto prev = ch.stages[r].on_complete;
     // The next round's snapshot temp is the one its send points at.
-    const CollStage& next = op->stages[r + 1];
+    const CollStage& next = ch.stages[r + 1];
     std::byte* next_snap = next.sends.empty()
                                ? nullptr
                                : const_cast<std::byte*>(
                                      static_cast<const std::byte*>(next.sends[0].buf));
-    op->stages[r].on_complete = [prev, next_snap, accum, bytes,
-                                 phantom](RankCtx& rc) {
+    ch.stages[r].on_complete = [prev, next_snap, accum, bytes,
+                                phantom](RankCtx& rc) {
       if (prev) prev(rc);
       if (next_snap != nullptr && !phantom) {
         std::memcpy(next_snap, accum, bytes);

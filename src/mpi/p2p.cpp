@@ -68,11 +68,26 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
     return Request{r.idx};
   }
 
-  if (bytes <= p.eager_threshold) {
-    // Eager: internal copy + doorbell; complete at once.
-    trace::Scope tsc("send:eager", "mpi");
-    sim::advance(p.copy_cost(bytes));
+  // Collective stages batch their sends on one doorbell (see
+  // post_coll_stage): the first descriptor rings, the rest only pay the
+  // already-charged enqueue work.
+  const auto charge_doorbell = [&] {
+    if (coll_doorbell_batch_ && coll_doorbell_rung_) {
+      ++coll_stats_.doorbells_amortized;
+      return;
+    }
     sim::advance(p.nic_doorbell);
+    coll_doorbell_rung_ = true;
+  };
+
+  if (bytes <= p.eager_threshold) {
+    // Eager: internal copy + doorbell; complete at once. Collective stage
+    // sends come from schedule-owned registered buffers that stay stable
+    // until the stage completes, so the NIC serializes straight from them —
+    // no CPU bounce copy (the simulation memcpy below is bookkeeping only).
+    trace::Scope tsc("send:eager", "mpi");
+    if (!coll_posting_) sim::advance(p.copy_cost(bytes));
+    charge_doorbell();
     machine::NetMessage m;
     m.src = rank_;
     m.dst = dst_global;
@@ -94,7 +109,7 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
 
   // Rendezvous: control message only; the payload stays in the user buffer.
   trace::Scope tsc("send:rts", "mpi");
-  sim::advance(p.nic_doorbell);
+  charge_doorbell();
   r.kind = ReqKind::kSendRndv;
   r.sbuf = buf;
   r.sbytes = bytes;
@@ -124,6 +139,7 @@ Request RankCtx::irecv_internal(void* buf, std::size_t bytes, int src_global,
   r.src_global = src_global;
   r.tag = tag;
   r.comm = comm;
+  r.coll_internal = coll_posting_;
 
   // First look in the unexpected queue (MPI ordering requires it).
   if (auto um = match_.match_unexpected(ctx, src_global, tag)) {

@@ -280,7 +280,9 @@ void RankCtx::handle_eager(machine::NetMessage&& m) {
     if (declared > r->rbytes) {
       throw std::runtime_error("recv truncation (eager)");
     }
-    sim::advance(p.copy_cost(declared));
+    // Pre-posted registered collective buffers take the payload by NIC DMA;
+    // everything else drains through a CPU copy out of the bounce buffer.
+    if (!r->coll_internal) sim::advance(p.copy_cost(declared));
     if (r->rbuf != nullptr && !m.payload.empty()) {
       std::memcpy(r->rbuf, m.payload.data(), m.payload.size());
     }
@@ -378,29 +380,42 @@ void RankCtx::start_rndv_chunk(RequestImpl& sreq) {
 
 // ----------------------------------------------------------- collectives ----
 
-void RankCtx::post_coll_stage(RequestImpl& creq) {
+const CollTuner& RankCtx::coll_tuner() const { return cluster_.coll_tuner(); }
+
+void RankCtx::post_coll_stage(RequestImpl& creq, std::size_t chain_idx) {
   CollOp& op = *creq.coll;
-  trace::Scope tsc(
-      trace::Tracer::on() ? "coll:stage" + std::to_string(op.cur) : std::string(),
-      "mpi");
+  CollChain& ch = op.chains[chain_idx];
+  trace::Scope tsc(trace::Tracer::on()
+                       ? std::string("coll:") + coll_algo_name(op.algo) + ":c" +
+                             std::to_string(chain_idx) + ":s" +
+                             std::to_string(ch.cur)
+                       : std::string(),
+                   "mpi");
   const CommInfo& ci = comms_.get(op.comm);
   const std::uint32_t ictx = ci.context | 0x40000000u;
-  const CollStage& st = op.stages[op.cur];
-  // One tag per collective instance: within an instance every (src,dst) pair
-  // exchanges at most one message per direction, and instances on the same
-  // communicator are distinguished by their sequence number.
-  const int tag = static_cast<int>(op.seq % (1u << 30));
-  op.pending.clear();
+  const CollStage& st = ch.stages[ch.cur];
+  // One tag per (instance, chain): within a chain stages are sequential and
+  // per-pair message order is preserved end to end, so FIFO matching pairs
+  // stage messages correctly. Chains, however, run concurrently with no
+  // ordering between them, so each gets its own tag salt.
+  const int tag = static_cast<int>(
+      (op.seq * kCollMaxChains + chain_idx) % (1u << 30));
+  ch.pending.clear();
+  // Stage traffic moves between schedule-owned registered buffers, so the
+  // transport treats it as zero-copy (NIC DMA, no CPU bounce-buffer charge).
+  coll_posting_ = true;
   // Post receives before sends (good practice and avoids self-flooding).
   for (const auto& rv : st.recvs) {
-    op.pending.push_back(irecv_internal(rv.buf, rv.bytes, ci.to_global(rv.src),
+    ch.pending.push_back(irecv_internal(rv.buf, rv.bytes, ci.to_global(rv.src),
                                         ictx, tag, op.comm));
   }
   for (const auto& sd : st.sends) {
-    op.pending.push_back(isend_internal(sd.buf, sd.bytes, ci.to_global(sd.dst),
+    ch.pending.push_back(isend_internal(sd.buf, sd.bytes, ci.to_global(sd.dst),
                                         ictx, tag, op.comm));
   }
-  op.stage_posted = true;
+  coll_posting_ = false;
+  ch.posted_at = sim::now();
+  ch.stage_posted = true;
 }
 
 void RankCtx::advance_collectives() {
@@ -410,34 +425,50 @@ void RankCtx::advance_collectives() {
     for (std::size_t i = 0; i < active_colls_.size();) {
       RequestImpl* creq = active_colls_[i];
       CollOp& op = *creq->coll;
-      if (op.gate && op.cur == 0 && !op.stage_posted && !op.gate(*this)) {
-        ++i;
-        continue;  // e.g. ifence waiting for outstanding RMA to drain
-      }
-      if (op.cur < op.stages.size() && !op.stage_posted) {
-        post_coll_stage(*creq);
-        moved = true;
-      }
-      if (op.stage_posted) {
-        bool all_done = true;
-        for (Request r : op.pending) {
-          if (!r.is_null() && !reqs_.get(r).complete) {
-            all_done = false;
-            break;
-          }
+      if (!op.gate_open) {
+        if (op.gate && !op.gate(*this)) {
+          ++i;
+          continue;  // e.g. ifence waiting for outstanding RMA to drain
         }
-        if (all_done) {
-          for (Request r : op.pending) {
-            if (!r.is_null()) reqs_.release(reqs_.get(r));
-          }
-          op.pending.clear();
-          if (op.stages[op.cur].on_complete) op.stages[op.cur].on_complete(*this);
-          ++op.cur;
-          op.stage_posted = false;
+        op.gate_open = true;  // gateless ops open immediately
+      }
+      // Each chain advances independently — this is the pipelining: chain
+      // k+1's sends go to the NIC while chain k sits in its combine. All
+      // stage sends posted in this pass ride one doorbell when the profile
+      // allows it (the post_batch amortization applied to schedule-internal
+      // p2p: the engine drains the whole descriptor batch, rings once).
+      coll_doorbell_batch_ = profile().coll_batch_doorbells;
+      coll_doorbell_rung_ = false;
+      for (std::size_t c = 0; c < op.chains.size(); ++c) {
+        CollChain& ch = op.chains[c];
+        if (ch.cur < ch.stages.size() && !ch.stage_posted) {
+          post_coll_stage(*creq, c);
           moved = true;
         }
+        if (ch.stage_posted) {
+          bool all_done = true;
+          for (Request r : ch.pending) {
+            if (!r.is_null() && !reqs_.get(r).complete) {
+              all_done = false;
+              break;
+            }
+          }
+          if (all_done) {
+            for (Request r : ch.pending) {
+              if (!r.is_null()) reqs_.release(reqs_.get(r));
+            }
+            ch.pending.clear();
+            ++coll_stats_.chunks;
+            coll_stats_.chunk_time += sim::now() - ch.posted_at;
+            if (ch.stages[ch.cur].on_complete) ch.stages[ch.cur].on_complete(*this);
+            ++ch.cur;
+            ch.stage_posted = false;
+            moved = true;
+          }
+        }
       }
-      if (op.cur >= op.stages.size() && !op.stage_posted) {
+      coll_doorbell_batch_ = false;
+      if (op.done()) {
         trace::instant(rank_, trace::ambient_tid(), "coll:done", "mpi");
         if (op.on_finish) op.on_finish(*this);
         creq->complete = true;
@@ -452,6 +483,16 @@ void RankCtx::advance_collectives() {
 }
 
 Request RankCtx::start_collective(std::unique_ptr<CollOp> op) {
+  // Every schedule must carry the algorithm that built it: this is what
+  // makes the [stats] trailer's "unknown" impossible by construction.
+  if (op->algo == CollAlgo::kUnknown) {
+    throw std::logic_error(std::string("collective schedule for ") +
+                           coll_name(op->kind) + " built without an algorithm");
+  }
+  ++coll_stats_.algo_count[static_cast<int>(op->kind)][static_cast<int>(op->algo)];
+  if (op->chains.size() > kCollMaxChains) {
+    throw std::logic_error("collective schedule exceeds kCollMaxChains");
+  }
   RequestImpl& r = reqs_.alloc();
   r.kind = ReqKind::kColl;
   r.coll = std::move(op);

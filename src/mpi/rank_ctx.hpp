@@ -67,6 +67,9 @@ class RankCtx {
   [[nodiscard]] Cluster& cluster() { return cluster_; }
   [[nodiscard]] const RankStats& stats() const { return stats_; }
   [[nodiscard]] RankStats& stats() { return stats_; }
+  [[nodiscard]] const CollStats& coll_stats() const { return coll_stats_; }
+  /// Algorithm-selection table shared by every rank (owned by the Cluster).
+  [[nodiscard]] const CollTuner& coll_tuner() const;
 
   CommTable& comms() { return comms_; }
   RequestTable& requests() { return reqs_; }
@@ -226,7 +229,7 @@ class RankCtx {
   void send_cts(std::uint64_t sender_req, int sender_global, RequestImpl& rreq);
   void start_rndv_chunk(RequestImpl& sreq);
   void advance_collectives();
-  void post_coll_stage(RequestImpl& creq);
+  void post_coll_stage(RequestImpl& creq, std::size_t chain_idx);
   Request start_collective(std::unique_ptr<CollOp> op);
 
   /// Blocking-wait kernel shared by recv/wait/waitall/...: loops
@@ -305,7 +308,18 @@ class RankCtx {
   trace::Counter c_retransmits_;
   trace::Counter c_dup_drops_;
 
+  // ------- collective-stage doorbell batching (profile.coll_batch_doorbells) -
+  /// While a stage's sends are being posted, isend_internal charges the NIC
+  /// doorbell only for the first descriptor; the rest ride the same doorbell
+  /// (the post_batch amortization applied to schedule-internal p2p).
+  bool coll_doorbell_batch_ = false;
+  bool coll_doorbell_rung_ = false;
+  /// Set while post_coll_stage posts: stage traffic uses schedule-owned
+  /// registered buffers, so eager sends/recvs skip the CPU bounce copy.
+  bool coll_posting_ = false;
+
   RankStats stats_;
+  CollStats coll_stats_;
 };
 
 }  // namespace smpi

@@ -38,6 +38,9 @@ struct RequestImpl {
   bool matched_rndv = false;   ///< CTS sent, waiting for DMA
   bool data_arrived = false;   ///< set by the "NIC" when all DMA chunks land
   std::size_t rndv_received = 0;  ///< bytes landed so far (chunks in order)
+  /// Posted by a collective schedule: the buffer is schedule-owned and
+  /// registered, so an eager arrival lands by NIC DMA (no CPU copy charge).
+  bool coll_internal = false;
 
   // ---- rendezvous-send fields ----
   const void* sbuf = nullptr;
@@ -62,6 +65,7 @@ struct RequestImpl {
     tag = kAnyTag;
     comm = Comm{};
     matched_rndv = data_arrived = false;
+    coll_internal = false;
     sbuf = nullptr;
     sbytes = 0;
     dst_global = -1;

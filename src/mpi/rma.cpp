@@ -93,16 +93,20 @@ Request RankCtx::ifence(Win w) {
   MpiEntry entry(*this, false, "Ifence");
   WinInfo& wi = wins_.at(static_cast<std::size_t>(w.idx));
   CommInfo& ci = comms_.get(wi.comm);
+  const int p = ci.size();
   auto op = std::make_unique<CollOp>();
   op->comm = wi.comm;
   op->seq = ci.coll_seq++;
-  // Gate: hold the synchronization until my own RMA has fully drained.
+  op->kind = CollectiveId::kFence;
+  op->algo = coll_tuner().choose(CollectiveId::kFence, 0, 0, p, true);
+  // Gate: hold the synchronization until my own RMA has fully drained. The
+  // gate covers every chain (none posts before it opens).
   const int widx = w.idx;
   op->gate = [widx](RankCtx& rc) {
     return rc.wins_.at(static_cast<std::size_t>(widx)).outstanding == 0;
   };
   // Dissemination barrier stages over the window's communicator.
-  const int p = ci.size();
+  CollChain& ch = op->chain(0);
   const int me = ci.my_rank;
   for (int k = 1; k < p; k <<= 1) {
     CollStage st;
@@ -110,7 +114,7 @@ Request RankCtx::ifence(Win w) {
     op->temps.emplace_back(1);
     st.sends.push_back({(me + k) % p, op->temps[op->temps.size() - 2].data(), 1});
     st.recvs.push_back({(me - k + p) % p, op->temps.back().data(), 1});
-    op->stages.push_back(std::move(st));
+    ch.stages.push_back(std::move(st));
   }
   return start_collective(std::move(op));
 }

@@ -5,6 +5,7 @@
 // are small value types rather than opaque pointers.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace smpi {
@@ -37,13 +38,32 @@ enum class Datatype : std::uint8_t {
   kComplexDouble,
 };
 
-/// Reduction operations.
+/// Reduction operations. kUser0..kUser3 are slots handed out by
+/// register_user_op (MPI_Op_create); unregistered slots are invalid.
 enum class Op : std::uint8_t {
   kSum,
   kProd,
   kMax,
   kMin,
+  kUser0,
+  kUser1,
+  kUser2,
+  kUser3,
 };
+
+/// User reduction function: inout[i] = f(inout[i], in[i]) elementwise, like
+/// MPI_User_function (the second operand is the accumulator).
+using UserOpFn = void (*)(const void* in, void* inout, std::size_t count,
+                          Datatype dt);
+
+/// MPI_Op_create: register `fn` into a kUser slot. Idempotent per function
+/// pointer (re-registering returns the same slot); at most 4 distinct user
+/// ops per process. Call before fibers spawn — the registry is unsynchronized.
+Op register_user_op(UserOpFn fn, bool commutative);
+
+/// Whether `op` commutes (built-ins do; user ops report their declaration).
+/// Collective algorithm selection gates order-sensitive schedules on this.
+bool op_commutative(Op op);
 
 /// Communicator handle; value type, valid within one rank.
 struct Comm {

@@ -1,0 +1,339 @@
+// Conformance suite for the segmented collective algorithm layer:
+//   * CollTuner parsing (MPIOFF_COLL grammar) and selection/fallback rules;
+//   * a property sweep asserting every algorithm x op x rank count x payload
+//     size (eager through rendezvous, chunk-aligned and not) produces results
+//     bitwise-equal to a serial reference fold;
+//   * stats invariants — the recorded algorithm is the one that ran, illegal
+//     forced choices never appear in the counters, segmentation really chunks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+#include "mpi/coll_tuner.hpp"
+
+using namespace smpi;
+
+namespace {
+
+ClusterConfig cfg(int n, std::string coll_spec = {}) {
+  ClusterConfig c;
+  c.nranks = n;
+  c.deadline = sim::Time::from_sec(120);
+  c.coll_spec = std::move(coll_spec);
+  return c;
+}
+
+CollTuner base_tuner() { return CollTuner::defaults_for(machine::xeon_fdr()); }
+
+/// Deterministic per-rank payload byte.
+std::uint8_t pat(int rank, std::size_t i) {
+  return static_cast<std::uint8_t>(rank * 131 + i * 7 + 13);
+}
+
+// ---- 2x2 uint16 matrix multiply packed into one uint64: associative but
+// NOT commutative, the canonical order-sensitive user reduction. ----
+std::uint64_t mat_mul(std::uint64_t x, std::uint64_t y) {
+  const auto e = [](std::uint64_t m, int k) {
+    return static_cast<std::uint64_t>((m >> (16 * k)) & 0xffff);
+  };
+  const std::uint64_t r0 = e(x, 0) * e(y, 0) + e(x, 1) * e(y, 2);
+  const std::uint64_t r1 = e(x, 0) * e(y, 1) + e(x, 1) * e(y, 3);
+  const std::uint64_t r2 = e(x, 2) * e(y, 0) + e(x, 3) * e(y, 2);
+  const std::uint64_t r3 = e(x, 2) * e(y, 1) + e(x, 3) * e(y, 3);
+  return (r0 & 0xffff) | ((r1 & 0xffff) << 16) | ((r2 & 0xffff) << 32) |
+         ((r3 & 0xffff) << 48);
+}
+
+void mat_mul_op(const void* in, void* inout, std::size_t n, Datatype) {
+  const auto* a = static_cast<const std::uint64_t*>(in);
+  auto* b = static_cast<std::uint64_t*>(inout);
+  for (std::size_t i = 0; i < n; ++i) b[i] = mat_mul(b[i], a[i]);
+}
+
+std::uint64_t mat_pat(int rank, std::size_t i) {
+  // Entries kept small so products stay visibly distinct mod 2^16.
+  const auto v = [&](int k) {
+    return static_cast<std::uint64_t>((rank * 7 + i * 3 + k + 1) % 251);
+  };
+  return v(0) | (v(1) << 16) | (v(2) << 32) | (v(3) << 48);
+}
+
+}  // namespace
+
+// ========================================================================
+// CollTuner unit tests: grammar, thresholds, legality fallback.
+// ========================================================================
+
+TEST(CollTuner, ParseRejectsMalformedSpecs) {
+  const CollTuner base = base_tuner();
+  EXPECT_THROW(CollTuner::parse("nonsense", base), std::invalid_argument);
+  EXPECT_THROW(CollTuner::parse("allreduce:warp-shuffle", base),
+               std::invalid_argument);
+  EXPECT_THROW(CollTuner::parse("gossip:ring", base), std::invalid_argument);
+  EXPECT_THROW(CollTuner::parse("allreduce:ring@12q", base),
+               std::invalid_argument);
+  EXPECT_THROW(CollTuner::parse("seg:", base), std::invalid_argument);
+  EXPECT_THROW(CollTuner::parse("chains:0", base), std::invalid_argument);
+  EXPECT_THROW(CollTuner::parse("chains:65", base), std::invalid_argument);
+  // Errors must name the valid vocabulary so a typo'd env var is fixable.
+  try {
+    CollTuner::parse("allreduce:warp-shuffle", base);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ring"), std::string::npos);
+  }
+}
+
+TEST(CollTuner, ParseScalarKnobsAndSuffixes) {
+  CollTuner t = CollTuner::parse("seg:4k,chains:8", base_tuner());
+  EXPECT_EQ(t.seg_bytes(), 4096u);
+  EXPECT_EQ(t.max_chains(), 8);
+  t = CollTuner::parse("seg:1m", base_tuner());
+  EXPECT_EQ(t.seg_bytes(), 1024u * 1024u);
+  // Empty items are tolerated (trailing comma), zero seg clamps to one byte.
+  t = CollTuner::parse("seg:0,", base_tuner());
+  EXPECT_EQ(t.seg_bytes(), 1u);
+}
+
+TEST(CollTuner, ThresholdStackingLargestWins) {
+  const CollTuner t = CollTuner::parse("allreduce:rdbl@0,allreduce:ring@64k",
+                                       base_tuner());
+  EXPECT_EQ(t.choose(CollectiveId::kAllreduce, 1024, 256, 8, true),
+            CollAlgo::kRecursiveDoubling);
+  EXPECT_EQ(t.choose(CollectiveId::kAllreduce, 128 * 1024, 32 * 1024, 8, true),
+            CollAlgo::kRing);
+}
+
+TEST(CollTuner, IllegalForcedChoiceFallsBackLegally) {
+  // Ring allreduce needs a commutative op.
+  const CollTuner ring = CollTuner::parse("allreduce:ring@0", base_tuner());
+  EXPECT_EQ(ring.choose(CollectiveId::kAllreduce, 1 << 20, 1 << 18, 8, true),
+            CollAlgo::kRing);
+  EXPECT_EQ(ring.choose(CollectiveId::kAllreduce, 1 << 20, 1 << 18, 8, false),
+            CollAlgo::kReduceBcast);
+  // Recursive doubling needs a power-of-two communicator.
+  const CollTuner rd = CollTuner::parse("allreduce:rdbl@0", base_tuner());
+  EXPECT_EQ(rd.choose(CollectiveId::kAllreduce, 4096, 1024, 8, true),
+            CollAlgo::kRecursiveDoubling);
+  EXPECT_NE(rd.choose(CollectiveId::kAllreduce, 4096, 1024, 6, true),
+            CollAlgo::kRecursiveDoubling);
+  // Rabenseifner additionally needs count % ranks == 0.
+  const CollTuner rab = CollTuner::parse("allreduce:rabenseifner@0", base_tuner());
+  EXPECT_EQ(rab.choose(CollectiveId::kAllreduce, 4096, 1024, 8, true),
+            CollAlgo::kRabenseifner);
+  EXPECT_NE(rab.choose(CollectiveId::kAllreduce, 4092, 1023, 8, true),
+            CollAlgo::kRabenseifner);
+  // A pipeline rule on allreduce is never legal; defaults apply untouched.
+  const CollTuner pipe = CollTuner::parse("allreduce:pipeline@0", base_tuner());
+  EXPECT_NE(pipe.choose(CollectiveId::kAllreduce, 4096, 1024, 8, true),
+            CollAlgo::kPipeline);
+}
+
+TEST(CollTuner, ChainsForClampsToMax) {
+  const CollTuner t = CollTuner::parse("seg:1k,chains:4", base_tuner());
+  EXPECT_EQ(t.chains_for(512), 1);
+  EXPECT_EQ(t.chains_for(1024), 1);
+  EXPECT_EQ(t.chains_for(1025), 2);
+  EXPECT_EQ(t.chains_for(3 * 1024), 3);
+  EXPECT_EQ(t.chains_for(1 << 20), 4);  // clamped; segment grows instead
+}
+
+// ========================================================================
+// Property sweep: every algorithm, bitwise against a serial reference.
+// ========================================================================
+
+class CollAlgoRanks : public ::testing::TestWithParam<int> {};
+
+namespace {
+
+/// Byte payload sizes: eager through rendezvous, chunk-aligned and not
+/// (seg is forced to 4 KiB in the sweep specs below).
+constexpr std::size_t kSizes[] = {1,     3,      64,        1000,
+                                  4096,  4097,   65536,     65537,
+                                  262144, 1048576};
+
+/// Run `bytes`-sized byte-wise allreduce on an existing cluster fiber and
+/// compare against the serial fold.
+void check_allreduce_bytes(Op op, std::size_t bytes) {
+  const int p = size();
+  std::vector<std::uint8_t> in(bytes), out(bytes, 0xEE);
+  for (std::size_t i = 0; i < bytes; ++i) in[i] = pat(rank(), i);
+  allreduce(in.data(), out.data(), bytes, Datatype::kByte, op);
+  std::vector<std::uint8_t> want(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    std::uint8_t acc = pat(0, i);
+    for (int r = 1; r < p; ++r) {
+      const std::uint8_t v = pat(r, i);
+      acc = op == Op::kSum ? static_cast<std::uint8_t>(acc + v)
+                           : std::max(acc, v);
+    }
+    want[i] = acc;
+  }
+  ASSERT_EQ(std::memcmp(out.data(), want.data(), bytes), 0)
+      << "allreduce mismatch: op=" << (op == Op::kSum ? "sum" : "max")
+      << " bytes=" << bytes << " ranks=" << p;
+}
+
+}  // namespace
+
+TEST_P(CollAlgoRanks, AllreduceEveryAlgorithmBitwise) {
+  // Each spec pins one algorithm from byte 0 with a small segment so even
+  // mid-sized payloads split into multiple chains; illegal combinations
+  // (rdbl/rabenseifner off power-of-two) must fall back and still be exact.
+  static const char* kSpecs[] = {
+      "",  // profile defaults, size-dependent selection
+      "allreduce:ring@0,seg:4k,chains:8",
+      "allreduce:ring@0,seg:4097,chains:3",  // non-chunk-aligned segment
+      "allreduce:rdbl@0",
+      "allreduce:rabenseifner@0,seg:4k",
+      "allreduce:reduce-bcast@0,seg:4k",
+  };
+  for (const char* spec : kSpecs) {
+    Cluster c(cfg(GetParam(), spec));
+    c.run([&](RankCtx&) {
+      for (const std::size_t bytes : kSizes) {
+        check_allreduce_bytes(Op::kSum, bytes);
+        check_allreduce_bytes(Op::kMax, bytes);
+      }
+    });
+  }
+}
+
+TEST_P(CollAlgoRanks, AllreduceNonCommutativeUserOp) {
+  const Op matop = register_user_op(&mat_mul_op, /*commutative=*/false);
+  ASSERT_FALSE(op_commutative(matop));
+  // Force ring: illegal for a non-commutative op, so the schedule must fall
+  // back to the order-preserving reduce-bcast — and record THAT, not ring.
+  Cluster c(cfg(GetParam(), "allreduce:ring@0,seg:4k"));
+  c.run([&](RankCtx&) {
+    const int p = size();
+    for (const std::size_t count : {std::size_t{1}, std::size_t{127},
+                                    std::size_t{8192}, std::size_t{131072}}) {
+      std::vector<std::uint64_t> in(count), out(count, 0);
+      for (std::size_t i = 0; i < count; ++i) in[i] = mat_pat(rank(), i);
+      allreduce(in.data(), out.data(), count, Datatype::kLong, matop);
+      for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t acc = mat_pat(0, i);
+        for (int r = 1; r < p; ++r) acc = mat_mul(acc, mat_pat(r, i));
+        ASSERT_EQ(out[i], acc) << "count=" << count << " i=" << i;
+      }
+    }
+  });
+  const CollStats& cs = c.rank(0).coll_stats();
+  EXPECT_EQ(cs.count(CollectiveId::kAllreduce, CollAlgo::kRing), 0u);
+  EXPECT_EQ(cs.count(CollectiveId::kAllreduce, CollAlgo::kReduceBcast), 4u);
+}
+
+TEST_P(CollAlgoRanks, BcastPipelinedAndBinomialBitwise) {
+  static const char* kSpecs[] = {
+      "bcast:binomial@0",
+      "bcast:pipeline@0,seg:4k,chains:8",
+      "bcast:pipeline@0,seg:4097,chains:3",
+  };
+  for (const char* spec : kSpecs) {
+    Cluster c(cfg(GetParam(), spec));
+    c.run([&](RankCtx&) {
+      const int p = size();
+      for (const std::size_t bytes : kSizes) {
+        for (int root = 0; root < p; root += (p > 2 ? p - 1 : 1)) {
+          std::vector<std::uint8_t> buf(bytes);
+          for (std::size_t i = 0; i < bytes; ++i) {
+            buf[i] = rank() == root ? pat(root, i) : 0xCD;
+          }
+          bcast(buf.data(), bytes, Datatype::kByte, root);
+          for (std::size_t i = 0; i < bytes; ++i) {
+            ASSERT_EQ(buf[i], pat(root, i))
+                << "bcast mismatch: bytes=" << bytes << " root=" << root
+                << " i=" << i;
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST_P(CollAlgoRanks, AllgatherRingAndPostAllBitwise) {
+  static const char* kSpecs[] = {
+      "allgather:postall@0",
+      "allgather:ring@0,seg:4k,chains:8",
+  };
+  for (const char* spec : kSpecs) {
+    Cluster c(cfg(GetParam(), spec));
+    c.run([&](RankCtx&) {
+      const int p = size();
+      for (const std::size_t per : {std::size_t{1}, std::size_t{1000},
+                                    std::size_t{4097}, std::size_t{65536}}) {
+        std::vector<std::uint8_t> in(per), out(per * static_cast<std::size_t>(p));
+        for (std::size_t i = 0; i < per; ++i) in[i] = pat(rank(), i);
+        allgather(in.data(), out.data(), per, Datatype::kByte);
+        for (int r = 0; r < p; ++r) {
+          for (std::size_t i = 0; i < per; ++i) {
+            ASSERT_EQ(out[static_cast<std::size_t>(r) * per + i], pat(r, i))
+                << "allgather mismatch: per=" << per << " src=" << r;
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST_P(CollAlgoRanks, AlltoallPostAllAndPairwiseBitwise) {
+  static const char* kSpecs[] = {"alltoall:postall@0", "alltoall:pairwise@0"};
+  for (const char* spec : kSpecs) {
+    Cluster c(cfg(GetParam(), spec));
+    c.run([&](RankCtx&) {
+      const int p = size();
+      for (const std::size_t blk : {std::size_t{1}, std::size_t{4097},
+                                    std::size_t{65536}}) {
+        const auto cell = [&](int src, int dst, std::size_t i) {
+          return static_cast<std::uint8_t>(src * 89 + dst * 57 + i * 3 + 5);
+        };
+        std::vector<std::uint8_t> sb(blk * static_cast<std::size_t>(p));
+        std::vector<std::uint8_t> rb(blk * static_cast<std::size_t>(p), 0xAB);
+        for (int d = 0; d < p; ++d) {
+          for (std::size_t i = 0; i < blk; ++i) {
+            sb[static_cast<std::size_t>(d) * blk + i] = cell(rank(), d, i);
+          }
+        }
+        alltoall(sb.data(), rb.data(), blk, Datatype::kByte);
+        for (int s = 0; s < p; ++s) {
+          for (std::size_t i = 0; i < blk; ++i) {
+            ASSERT_EQ(rb[static_cast<std::size_t>(s) * blk + i],
+                      cell(s, rank(), i))
+                << "alltoall mismatch: blk=" << blk << " src=" << s;
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST_P(CollAlgoRanks, ForcedAlgorithmIsRecordedInStats) {
+  Cluster c(cfg(GetParam(), "allreduce:ring@0,seg:4k,chains:4"));
+  constexpr int kReps = 3;
+  constexpr std::size_t kBytes = 256 * 1024;
+  c.run([&](RankCtx&) {
+    std::vector<std::uint8_t> in(kBytes, 1), out(kBytes);
+    for (int i = 0; i < kReps; ++i) {
+      allreduce(in.data(), out.data(), kBytes, Datatype::kByte, Op::kSum);
+    }
+  });
+  for (int r = 0; r < c.nranks(); ++r) {
+    const CollStats& cs = c.rank(r).coll_stats();
+    EXPECT_EQ(cs.count(CollectiveId::kAllreduce, CollAlgo::kRing),
+              static_cast<std::uint64_t>(kReps))
+        << "rank " << r;
+    EXPECT_EQ(cs.count(CollectiveId::kAllreduce, CollAlgo::kUnknown), 0u);
+    // Segmented schedules must actually chunk: 256 KiB over a 4 KiB segment
+    // clamps to 4 chains and many stages per chain.
+    EXPECT_GT(cs.chunks, 0u) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CollAlgoRanks,
+                         ::testing::Values(2, 3, 4, 5, 7, 8));
