@@ -12,8 +12,12 @@
 //      lanes vs lanes+batching, measured as the multi-thread post window;
 //   A8 collective algorithm selection — recursive doubling vs the segmented
 //      ring allreduce vs ring + doorbell batching, as effective bandwidth
-//      over the message-size sweep (the CollTuner's whole reason to exist).
+//      over the message-size sweep (the CollTuner's whole reason to exist);
+//   A9 completion discovery — the polling waitall vs the continuation graph
+//      (when_all -> engine-run callbacks), as application-thread MPI time
+//      (post + wait phases) per Dslash iteration across all four approaches.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -29,6 +33,7 @@
 #include "benchlib/runner.hpp"
 #include "benchlib/table.hpp"
 #include "mpi/cluster.hpp"
+#include "sim/sync.hpp"
 
 using namespace benchlib;
 using core::Approach;
@@ -276,9 +281,10 @@ A7Cell a7_run(std::size_t lanes, bool batch, int threads) {
     p.start();
     if (rc.rank() == 0) {
       auto done = std::make_shared<int>(0);
+      auto done_n = std::make_shared<sim::Notifier>(sim::Time(200));
       auto t_min = std::make_shared<sim::Time>(sim::Time::max());
       auto t_max = std::make_shared<sim::Time>(sim::Time::zero());
-      auto submit = [&p, done, t_min, t_max, batch](int tid) {
+      auto submit = [&p, done, done_n, t_min, t_max, batch](int tid) {
         std::vector<core::PReq> reqs(kPerThread);
         const sim::Time t0 = sim::now();
         if (batch) {
@@ -300,13 +306,17 @@ A7Cell a7_run(std::size_t lanes, bool batch, int threads) {
         *t_max = std::max(*t_max, t1);
         p.waitall(reqs);
         ++*done;
+        done_n->signal();
       };
       for (int t = 1; t < threads; ++t) {
         rc.cluster().spawn_on(0, "sub" + std::to_string(t),
                               [submit, t]() { submit(t); });
       }
       submit(0);
-      while (*done < threads) sim::advance(sim::Time(200));
+      // Sleep on the submitter-exit notifier instead of spinning the clock.
+      for (std::uint64_t seen = 0; *done < threads;) {
+        seen = done_n->wait_beyond(seen);
+      }
       cell.window_us = (*t_max - *t_min).us();
       cell.rate =
           threads * kPerThread / std::max(cell.window_us, 1e-9);
@@ -418,13 +428,74 @@ void a8_coll_algorithms() {
   benchlib::finish_table(t);
 }
 
+struct A9Cell {
+  double post_us = 0;
+  double wait_us = 0;
+};
+
+/// One (approach, completion-mode) cell: the Dslash harness at a small
+/// problem (cheap enough for smoke mode), either polling waitall or arming
+/// the when_all continuation graph at post time. The figure of merit is the
+/// application thread's MPI time per iteration — post + wait — which is
+/// exactly what the continuation subsystem exists to shrink.
+A9Cell a9_run(Approach a, bool continuations) {
+  qcd::QcdPerfConfig cfg;
+  cfg.global = {16, 16, 16, 64};
+  cfg.nodes = 4;
+  cfg.ranks_per_node = 2;
+  cfg.iters = 5;
+  cfg.warmup = 1;
+  cfg.approach = a;
+  cfg.continuations = continuations;
+  const qcd::QcdPerfResult r = qcd::run_qcd_perf(cfg);
+  if (continuations && Runner::stats_enabled() &&
+      r.cont_armed + r.cont_inline + r.cont_posts != 0) {
+    std::printf(
+        "[stats] a9 %s cont: armed=%llu executed=%llu deferred=%llu "
+        "inline=%llu posts=%llu\n",
+        core::approach_name(a),
+        static_cast<unsigned long long>(r.cont_armed),
+        static_cast<unsigned long long>(r.cont_executed),
+        static_cast<unsigned long long>(r.cont_deferred),
+        static_cast<unsigned long long>(r.cont_inline),
+        static_cast<unsigned long long>(r.cont_posts));
+  }
+  return {r.post_us, r.wait_us};
+}
+
+void a9_continuations() {
+  std::printf("\nA9: completion discovery — polling waitall vs when_all "
+              "continuation graph, Dslash app-thread MPI time (8 ranks, "
+              "16^3x64)\n");
+  Table t({"approach", "poll post+wait(us)", "cont post+wait(us)",
+           "app MPI drop"});
+  for (Approach a : {Approach::kBaseline, Approach::kIprobe,
+                     Approach::kCommSelf, Approach::kOffload}) {
+    const A9Cell poll = a9_run(a, false);
+    const A9Cell cont = a9_run(a, true);
+    const double poll_mpi = poll.post_us + poll.wait_us;
+    const double cont_mpi = cont.post_us + cont.wait_us;
+    const double drop = (poll_mpi - cont_mpi) / std::max(poll_mpi, 1e-9);
+    t.row({core::approach_name(a), fmt_us(poll_mpi), fmt_us(cont_mpi),
+           fmt_pct(drop)});
+    if (Runner::stats_enabled()) {
+      std::printf(
+          "[stats] a9 qcd: approach=%s poll_post_us=%.3f poll_wait_us=%.3f "
+          "cont_post_us=%.3f cont_wait_us=%.3f app_mpi_drop=%.3f\n",
+          core::approach_name(a), poll.post_us, poll.wait_us, cont.post_us,
+          cont.wait_us, drop);
+    }
+  }
+  benchlib::finish_table(t);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchlib::Runner runner(argc, argv);
   // Smoke mode (MPIOFF_BENCH_SMOKE=1, CI) runs only the A7 front-end
-  // ablation (reduced thread sweep) and the A8 collective-algorithm
-  // ablation; the full run does everything.
+  // ablation (reduced thread sweep), the A8 collective-algorithm ablation
+  // and the A9 continuation ablation; the full run does everything.
   if (!Runner::smoke_enabled()) {
     a1_eager_threshold();
     a2_pipeline_depth();
@@ -438,5 +509,6 @@ int main(int argc, char** argv) {
   }
   a7_submission_lanes();
   a8_coll_algorithms();
+  a9_continuations();
   return 0;
 }

@@ -92,6 +92,13 @@ class DistributedDslash {
 
   /// out = D psi (halo exchange + stencil).
   void apply(SpinorField& out);
+  /// out = D psi as a continuation graph: each received +mu face's U*psi
+  /// products are computed by the face's completion continuation (on the
+  /// proxy's progress context) into per-face scratch, overlapped with the
+  /// interior stencil; the application thread only waits the graph's tail
+  /// event and folds the accumulated faces in. Bit-identical to apply():
+  /// the fold adds exactly the values boundary() would, in the same order.
+  void apply_chained(SpinorField& out);
   /// Apply to an arbitrary input field (copies into psi storage).
   void apply_to(const SpinorField& in, SpinorField& out);
 
@@ -99,6 +106,11 @@ class DistributedDslash {
   void pack_faces();
   void interior(SpinorField& out);
   void boundary(SpinorField& out);
+  /// Continuation body: scratch_plus_[mu] = U(x,mu) * recv_plus_[mu] over
+  /// the top face (what boundary()'s +mu term would add into out).
+  void compute_face_plus(int mu);
+  /// boundary() for the chained path: fold scratch_plus_ / recv_minus_.
+  void fold_boundary(SpinorField& out);
 
   const Decomposition dec_;
   core::Proxy& proxy_;
@@ -108,6 +120,7 @@ class DistributedDslash {
   // the -mu neighbor; premultiplied U^dag psi products go to the +mu one).
   std::vector<cf> send_minus_[4], send_plus_[4];
   std::vector<cf> recv_plus_[4], recv_minus_[4];
+  std::vector<cf> scratch_plus_[4];  ///< apply_chained face accumulators
 };
 
 }  // namespace qcd

@@ -9,6 +9,8 @@
 // paper sees once the local working set fits in LLC.
 #pragma once
 
+#include <cstdint>
+
 #include "apps/qcd/lattice.hpp"
 #include "core/proxy.hpp"
 #include "machine/profile.hpp"
@@ -44,6 +46,11 @@ struct QcdPerfConfig {
   /// Fig. 11: model a solver iteration (adds BLAS1 work and global
   /// reductions around each Dslash application).
   bool solver = false;
+
+  /// A9: replace the polling waitall with a when_all continuation graph —
+  /// the proxy's progress context releases the requests; the application
+  /// thread only sleeps on the graph's tail event (thread_groups == 1 only).
+  bool continuations = false;
 };
 
 struct QcdPerfResult {
@@ -58,6 +65,13 @@ struct QcdPerfResult {
   Dims grid{};
   std::size_t max_face_bytes = 0;
   std::size_t min_face_bytes = 0;
+  // Rank-0 continuation counters (offload proxy only; zero elsewhere), so
+  // the A9 ablation can report how completions were discovered.
+  std::uint64_t cont_armed = 0;
+  std::uint64_t cont_executed = 0;
+  std::uint64_t cont_deferred = 0;
+  std::uint64_t cont_inline = 0;
+  std::uint64_t cont_posts = 0;
 };
 
 QcdPerfResult run_qcd_perf(const QcdPerfConfig& cfg);

@@ -1,10 +1,13 @@
 #include "benchlib/osu.hpp"
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "benchlib/runner.hpp"
 #include "mpi/cluster.hpp"
 #include "sim/stats.hpp"
+#include "sim/sync.hpp"
 
 namespace benchlib {
 
@@ -125,7 +128,8 @@ OsuResult osu_latency_mt(Approach a, const machine::Profile& prof, int threads,
     const int me = rc.rank(), peer = 1 - me;
     // Per-thread completion accounting on rank 0.
     auto done_count = std::make_shared<int>(0);
-    auto run_pair = [&, done_count](int tid) {
+    auto done_n = std::make_shared<sim::Notifier>(sim::Time::from_us(1));
+    auto run_pair = [&, done_count, done_n](int tid) {
       std::vector<char> sbuf(std::max<std::size_t>(bytes, 1), 's');
       std::vector<char> rbuf(std::max<std::size_t>(bytes, 1));
       sim::Time t_start;
@@ -143,13 +147,17 @@ OsuResult osu_latency_mt(Approach a, const machine::Profile& prof, int threads,
         lat_us.add((sim::now() - t_start).us() / (2.0 * iters));
       }
       ++*done_count;
+      done_n->signal();
     };
     for (int t = 1; t < threads; ++t) {
       rc.cluster().spawn_on(rc.rank(), "mt" + std::to_string(t),
                             [run_pair, t]() { run_pair(t); });
     }
     run_pair(0);
-    while (*done_count < threads) sim::advance(sim::Time::from_us(1));
+    // Sleep on the thread-exit notifier instead of spinning the clock.
+    for (std::uint64_t seen = 0; *done_count < threads;) {
+      seen = done_n->wait_beyond(seen);
+    }
     p->barrier();
     report_proxy_stats(*p);
     p->stop();

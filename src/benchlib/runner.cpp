@@ -137,6 +137,10 @@ void report_proxy_stats(core::Proxy& p) {
     tr.counter(ts, rank, "offload.batches", static_cast<double>(s.batches));
     tr.counter(ts, rank, "offload.lane_full_stalls",
                static_cast<double>(s.lane_full_stalls));
+    tr.counter(ts, rank, "offload.cont_executed",
+               static_cast<double>(s.cont_executed));
+    tr.counter(ts, rank, "offload.cont_deferred",
+               static_cast<double>(s.cont_deferred));
   }
   if (rank == 0) {
     std::printf(
@@ -163,6 +167,18 @@ void report_proxy_stats(core::Proxy& p) {
         static_cast<unsigned long long>(s.engine_spins),
         static_cast<unsigned long long>(s.engine_yields),
         static_cast<unsigned long long>(s.engine_sleeps));
+    // Continuation summary (only when callbacks were armed, so benchmarks
+    // that never chain keep their legacy output).
+    if (s.cont_armed + s.cont_inline + s.cont_posts != 0) {
+      std::printf(
+          "[stats] offload rank0 cont: armed=%llu executed=%llu "
+          "deferred=%llu inline=%llu posts=%llu\n",
+          static_cast<unsigned long long>(s.cont_armed),
+          static_cast<unsigned long long>(s.cont_executed),
+          static_cast<unsigned long long>(s.cont_deferred),
+          static_cast<unsigned long long>(s.cont_inline),
+          static_cast<unsigned long long>(s.cont_posts));
+    }
     for (std::size_t i = 0; i < op->channel().lane_count(); ++i) {
       const core::LaneStats& ls = op->channel().lane_stats(i);
       if (ls.submits == 0) continue;  // unbound lane: nothing to report

@@ -6,6 +6,7 @@
 
 #include <span>
 
+#include "core/cont_table.hpp"
 #include "core/mpsc_ring.hpp"
 #include "core/request_pool.hpp"
 #include "core/spsc_lane.hpp"
@@ -191,11 +192,51 @@ Result check_handshake(const Options& opt) {
   });
 }
 
+Result check_cont(const Options& opt) {
+  return explore(opt, [](Sim& sim) {
+    core::ContTableT<ModelAtomics> table(1);
+    // What each side publishes before its claim CAS. The callback reads
+    // BOTH — so whichever side loses the race, a weakened edge on the
+    // winner's publication is a detectable race on one of these cells.
+    var<int> payload;  // completer: the Status/done-flag stand-in
+    var<int> record;   // attacher: the callback record stand-in
+    ModelAtomics::set_name(payload, "cont.payload");
+    ModelAtomics::set_name(record, "cont.record");
+    int executed = 0;  // only the single callback runner increments
+    auto run_cb = [&] {
+      check(record.ref_r() == 1, "callback record visible to the runner");
+      check(payload.ref_r() == 42, "completion payload visible to the runner");
+      ++executed;
+    };
+
+    sim.threads({
+        // Completer (the offload engine): publish payload, then fire. A true
+        // return means a continuation was already armed — run it.
+        [&] {
+          payload.ref_w() = 42;
+          if (table.fire(0)) run_cb();
+        },
+        // Attacher (the application's .then()): publish the record, then
+        // arm. A true return means the completion already fired — run
+        // inline.
+        [&] {
+          record.ref_w() = 1;
+          if (table.arm(0)) run_cb();
+        },
+    });
+
+    check(executed == 1, "callback ran exactly once");
+    check(table.state_of(0) != core::ContTableT<ModelAtomics>::kIdle,
+          "slot is claimed by exactly one side after the race");
+  });
+}
+
 Result run_spec(const std::string& spec, const Options& opt) {
   if (spec == "ring") return check_ring(opt);
   if (spec == "pool") return check_pool(opt);
   if (spec == "lane") return check_lane(opt);
   if (spec == "handshake") return check_handshake(opt);
+  if (spec == "cont") return check_cont(opt);
   throw std::invalid_argument("unknown spec: " + spec);
 }
 
@@ -222,6 +263,11 @@ std::vector<MutationCase> mutation_matrix() {
       {{"pool.done", OpKind::kStore, Side::kRelease}, "handshake"},
       {{"doorbell", OpKind::kLoad, Side::kAcquire}, "handshake"},
       {{"doorbell", OpKind::kStore, Side::kRelease}, "handshake"},
+      // ContTable claim CAS: the release half of a successful claim
+      // publishes that side's record; the acquire half of the FAILED claim
+      // is what lets the loser read it before running the callback.
+      {{"cont.state", OpKind::kRmw, Side::kAcquire}, "cont"},
+      {{"cont.state", OpKind::kRmw, Side::kRelease}, "cont"},
   };
 }
 
@@ -231,7 +277,7 @@ std::vector<Site> collect_sites() {
   opt.iterations = 8;
   opt.seed = 12345;
   std::set<Site> all;
-  for (const char* spec : {"ring", "pool", "lane", "handshake"}) {
+  for (const char* spec : {"ring", "pool", "lane", "handshake", "cont"}) {
     const Result r = run_spec(spec, opt);
     if (r.failed) {
       throw std::logic_error(std::string("collect_sites: spec '") + spec +

@@ -58,8 +58,15 @@ Result check_lane(const Options& opt, const LaneCfg& cfg = {});
 /// the Status payload round-tripped.
 Result check_handshake(const Options& opt);
 
-/// Run a spec by name ("ring" | "pool" | "lane" | "handshake") with its
-/// default cfg.
+/// The continuation claim race: a completer publishes a payload cell then
+/// fire()s; an attacher publishes a callback-record cell then arm()s. The
+/// loser of the claim CAS runs a callback that reads BOTH cells, so the
+/// spec asserts exactly-once execution and that each side's publication is
+/// visible to the runner under every interleaving.
+Result check_cont(const Options& opt);
+
+/// Run a spec by name ("ring" | "pool" | "lane" | "handshake" | "cont")
+/// with its default cfg.
 Result run_spec(const std::string& spec, const Options& opt);
 
 /// One row of the mutation suite: weakening `site` must be caught by `spec`.

@@ -1,0 +1,106 @@
+// Lock-free continuation slots: exactly-once completion handoff.
+//
+// One ContTable slot rides next to each RequestPool slot. Two racing
+// parties touch it:
+//
+//   * the *attacher* (an application thread calling `.then(cb)`), which
+//     publishes the callback record and then tries to claim the slot with
+//     kArmed;
+//   * the *completer* (the offload engine / progress path), which publishes
+//     the payload + Status and then tries to claim the slot with kFired.
+//
+// Both claims are a single CAS from kIdle on the same location, so the
+// location's modification order decides the race: exactly one side wins the
+// claim and returns `false` ("the other side will find my claim and run the
+// callback"); the losing side's CAS failure observes the winner's value and
+// returns `true` ("run the callback yourself, everything you need is
+// visible"). The callback therefore runs exactly once, on whichever side
+// arrived second — the engine for the common attach-before-complete case,
+// inline on the attaching thread when the request was already done.
+//
+// Memory-order inventory (the src/check/ "cont" mutation rows prove both
+// sides load-bearing):
+//  * arm/fire: CAS (acq_rel success / acquire failure) — the release half of
+//    a successful claim publishes the claimant's record (callback for arm,
+//    Status/payload for fire) to the other side; the acquire half of the
+//    *failed* CAS synchronizes with that release, making the winner's record
+//    safe to read before running the callback. Dropping either side lets the
+//    callback observe an unpublished record or payload (a detectable race on
+//    the chk::var payload in the model spec).
+//  * reset: relaxed store — by reset time the slot has a single owner (the
+//    side that ran the callback), so no ordering is needed; publication of
+//    the recycled slot happens through RequestPool::free's release CAS.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/atomics_policy.hpp"
+
+namespace core {
+
+template <typename Atomics = StdAtomics>
+class ContTableT {
+ public:
+  static constexpr std::uint32_t kIdle = 0;
+  static constexpr std::uint32_t kArmed = 1;
+  static constexpr std::uint32_t kFired = 2;
+
+  explicit ContTableT(std::uint32_t capacity) : slots_(capacity) {
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      Atomics::set_name(slots_[i].state, "cont.state", i);
+    }
+  }
+
+  ContTableT(const ContTableT&) = delete;
+  ContTableT& operator=(const ContTableT&) = delete;
+
+  /// Attacher side: publish the callback record *before* calling arm().
+  /// Returns false when the claim won (the completer will run the callback)
+  /// and true when the completion already fired (the caller must run the
+  /// callback itself — the Status/payload writes are visible).
+  bool arm(std::uint32_t idx) {
+    std::uint32_t expected = kIdle;
+    return !slots_[idx].state.compare_exchange_strong(
+        expected, kArmed, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+  }
+
+  /// Completer side: publish the Status/payload *before* calling fire().
+  /// Returns false when the claim won (no continuation was attached yet; a
+  /// later arm() will run it inline) and true when a continuation is armed
+  /// (the caller must run it — the callback record is visible).
+  bool fire(std::uint32_t idx) {
+    std::uint32_t expected = kIdle;
+    return !slots_[idx].state.compare_exchange_strong(
+        expected, kFired, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+  }
+
+  /// Recycle the slot after the callback ran (or alongside a plain free for
+  /// requests that never had a continuation). Single-owner at this point.
+  void reset(std::uint32_t idx) {
+    slots_[idx].state.store(kIdle, std::memory_order_relaxed);
+  }
+
+  /// Quiescent-state inspection (tests only).
+  [[nodiscard]] std::uint32_t state_of(std::uint32_t idx) const {
+    return slots_[idx].state.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+ private:
+  struct Slot {
+    typename Atomics::template atomic<std::uint32_t> state{kIdle};
+  };
+  std::vector<Slot> slots_;
+};
+
+/// Production continuation table: std::atomic, zero instrumentation.
+using ContTable = ContTableT<>;
+
+}  // namespace core

@@ -23,6 +23,8 @@ OffloadChannel::OffloadChannel(smpi::RankCtx& rc, const ProxyOptions& opts)
       pool_(opts.pool_capacity),
       shared_tail_line_(rc.profile().mpsc_line_transfer),
       completions_(rc.profile().done_flag_detect),
+      cont_(opts.pool_capacity),
+      cont_fns_(opts.pool_capacity),
       g_ring_(rc.rank(), "ring_occupancy"),
       g_inflight_(rc.rank(), "inflight") {
   lanes_.reserve(opts_.lane_count);
@@ -76,7 +78,42 @@ std::uint32_t OffloadChannel::alloc_slot() {
     completions_.wait_beyond_timeout(seen, sim::Time::from_us(200));
     proxy = pool_.alloc();
   }
+  cont_.reset(proxy);  // recycle the slot's continuation state with it
   return proxy;
+}
+
+std::uint32_t OffloadChannel::alloc_slot_engine() {
+  const auto& p = rc_.profile();
+  sim::advance(p.request_pool_op);
+  std::uint32_t proxy = pool_.alloc();
+  for (int retries = 0; proxy == RequestPool::kNil; ++retries) {
+    // Engine context: blocking on completions_ would deadlock (the engine is
+    // its only signaller). Complete in-flight work instead, and advance the
+    // clock so application fibers get a chance to free finished slots.
+    if (retries > 64) {
+      throw std::runtime_error(
+          "offload request pool exhausted while posting from a continuation "
+          "(increase pool_capacity or post smaller follow-up graphs)");
+    }
+    ++stats_.pool_full_stalls;
+    trace::instant("stall:pool-full", "offload");
+    drive_progress();
+    sim::advance(sim::Time::from_us(1));
+    proxy = pool_.alloc();
+  }
+  cont_.reset(proxy);
+  return proxy;
+}
+
+std::uint32_t OffloadChannel::submit_from_engine(Command cmd) {
+  // A continuation posting a follow-up: no lane, no ring, no doorbell — the
+  // engine IS the consumer, so the command issues directly. This is also the
+  // no-deadlock rule: a full ring can never wedge a posting callback.
+  trace::Scope tsc("cont:post", "offload");
+  cmd.proxy = alloc_slot_engine();
+  ++stats_.cont_posts;
+  process_command(cmd);
+  return cmd.proxy;
 }
 
 void OffloadChannel::push_lane(Lane& lane, const Command& cmd) {
@@ -119,6 +156,7 @@ void OffloadChannel::push_shared_locked(const Command& cmd) {
 }
 
 std::uint32_t OffloadChannel::submit(Command cmd) {
+  if (in_engine()) return submit_from_engine(cmd);
   trace::Scope tsc("cmd:enqueue", "offload");
   const auto& p = rc_.profile();
   cmd.proxy = alloc_slot();
@@ -141,6 +179,15 @@ std::uint32_t OffloadChannel::submit(Command cmd) {
 
 void OffloadChannel::submit_batch(std::span<Command> cmds) {
   if (cmds.empty()) return;
+  if (in_engine()) {
+    // Engine context keeps the batch's FIFO order but issues directly; the
+    // batching win (one doorbell, one publish) is moot when the engine is
+    // already awake running the posting callback.
+    for (Command& c : cmds) c.proxy = submit_from_engine(c);
+    ++stats_.batches;
+    stats_.batched_commands += cmds.size();
+    return;
+  }
   trace::Scope tsc("cmd:enqueue-batch", "offload");
   const auto& p = rc_.profile();
   for (Command& c : cmds) c.proxy = alloc_slot();
@@ -206,6 +253,11 @@ void OffloadChannel::submit_batch(std::span<Command> cmds) {
 }
 
 void OffloadChannel::wait_done(std::uint32_t proxy, smpi::Status* st) {
+  if (in_engine()) {
+    throw std::logic_error(
+        "blocking wait from a continuation callback: continuations must not "
+        "block the offload engine (attach another continuation instead)");
+  }
   trace::Scope tsc("wait:flag", "offload");
   const auto& p = rc_.profile();
   for (;;) {
@@ -232,6 +284,37 @@ bool OffloadChannel::test_done(std::uint32_t proxy, smpi::Status* st) {
   return true;
 }
 
+bool OffloadChannel::attach_continuation(std::uint32_t proxy, ContFn fn) {
+  const auto& p = rc_.profile();
+  // Publish the callback record first; the arm() claim's release makes it
+  // visible to the engine. (From engine context — a callback chaining onto a
+  // slot it just posted — the same protocol works: fire() for that slot can
+  // only happen on this same fiber, later.)
+  cont_fns_[proxy] = std::move(fn);
+  sim::advance(p.request_pool_op);
+  if (!cont_.arm(proxy)) {
+    // Claim won: the completer will find kArmed and queue the callback.
+    ++stats_.cont_armed;
+    return false;
+  }
+  // Already fired: the completion's Status/payload are visible (failed-CAS
+  // acquire), so run the callback inline on this thread and free the slot.
+  ContFn f = std::move(cont_fns_[proxy]);
+  cont_fns_[proxy] = nullptr;
+  const smpi::Status st = pool_.status(proxy);
+  cont_.reset(proxy);
+  sim::advance(p.request_pool_op);
+  pool_.free(proxy);
+  completions_.signal();
+  ++stats_.cont_inline;
+  {
+    trace::Scope tsc("cont:inline", "offload");
+    f(st);
+  }
+  completions_.signal();  // the callback may have set a cont_wait Event
+  return true;
+}
+
 void OffloadChannel::shutdown() {
   Command c;
   c.op = CmdOp::kShutdown;
@@ -245,6 +328,22 @@ void OffloadChannel::shutdown() {
 
 // ------------------------------------------------------------ engine side ----
 
+void OffloadChannel::complete_slot(std::uint32_t proxy,
+                                   const smpi::Status& st) {
+  // The payload/Status writes precede the fire() claim; an armed slot's
+  // callback is therefore always entitled to read them.
+  pool_.complete(proxy, st);
+  ++stats_.completions;
+  trace::instant("done:publish", "offload");
+  completions_.signal();
+  if (cont_.fire(proxy)) {
+    // A continuation is armed: its record is visible (failed-CAS acquire).
+    // Queue it for the bounded run pass rather than running here so a burst
+    // of completions cannot starve the testany sweep mid-loop.
+    cont_ready_.push_back(proxy);
+  }
+}
+
 void OffloadChannel::issue(const Command& cmd) {
   using smpi::Datatype;
   smpi::Request real{};
@@ -252,31 +351,19 @@ void OffloadChannel::issue(const Command& cmd) {
   switch (cmd.op) {
     case CmdOp::kWinCreate:
       *cmd.win_out = rc_.win_create(cmd.rbuf, cmd.count, cmd.comm);
-      pool_.complete(cmd.proxy, smpi::Status{});
-      ++stats_.completions;
-      trace::instant("done:publish", "offload");
-      completions_.signal();
+      complete_slot(cmd.proxy, smpi::Status{});
       return;
     case CmdOp::kWinFree:
       rc_.win_free(cmd.win);
-      pool_.complete(cmd.proxy, smpi::Status{});
-      ++stats_.completions;
-      trace::instant("done:publish", "offload");
-      completions_.signal();
+      complete_slot(cmd.proxy, smpi::Status{});
       return;
     case CmdOp::kPut:
       rc_.put(cmd.sbuf, cmd.count, cmd.peer, cmd.offset, cmd.win);
-      pool_.complete(cmd.proxy, smpi::Status{});
-      ++stats_.completions;
-      trace::instant("done:publish", "offload");
-      completions_.signal();
+      complete_slot(cmd.proxy, smpi::Status{});
       return;
     case CmdOp::kGet:
       rc_.get(cmd.rbuf, cmd.count, cmd.peer, cmd.offset, cmd.win);
-      pool_.complete(cmd.proxy, smpi::Status{});
-      ++stats_.completions;
-      trace::instant("done:publish", "offload");
-      completions_.signal();
+      complete_slot(cmd.proxy, smpi::Status{});
       return;
     case CmdOp::kIfence:
       track_inflight(rc_.ifence(cmd.win), cmd.proxy);
@@ -409,15 +496,48 @@ void OffloadChannel::drive_progress() {
     const bool flag = rc_.testany(scratch_reqs_, &idx, &st);
     if (!flag || idx < 0) break;
     const auto i = static_cast<std::size_t>(idx);
-    pool_.complete(inflight_[i].proxy, st);
-    ++stats_.completions;
+    complete_slot(inflight_[i].proxy, st);
     --live_inflight_;
-    trace::instant("done:publish", "offload");
     g_inflight_.set(static_cast<double>(live_inflight_));
-    completions_.signal();
     if (live_inflight_ == 0) break;
   }
   compact_inflight();
+}
+
+bool OffloadChannel::run_continuations() {
+  if (cont_ready_.empty()) return false;
+  const auto& p = rc_.profile();
+  // Bounded pass: callbacks may post follow-ups whose completions queue more
+  // callbacks (drive_progress can run inside a post when the pool is tight),
+  // so an unbounded drain could monopolize the engine. Leftovers run next
+  // pass; the engine re-drains before sleeping because this returns true.
+  std::size_t budget = opts_.cont_run_bound;
+  bool any = false;
+  while (budget-- > 0 && !cont_ready_.empty()) {
+    const std::uint32_t proxy = cont_ready_.front();
+    cont_ready_.pop_front();
+    ContFn fn = std::move(cont_fns_[proxy]);
+    cont_fns_[proxy] = nullptr;
+    const smpi::Status st = pool_.status(proxy);
+    // Free before running: the callback may post enough follow-ups to need
+    // this very slot, and the exactly-once claim already consumed it.
+    cont_.reset(proxy);
+    sim::advance(p.request_pool_op);
+    pool_.free(proxy);
+    completions_.signal();
+    {
+      trace::Scope tsc("cont:run", "offload");
+      fn(st);
+    }
+    // Signal again AFTER the callback: it may have set an application
+    // visible flag (cont_wait's Event), and a waiter that snapshotted the
+    // notifier mid-callback must not sleep past it.
+    completions_.signal();
+    ++stats_.cont_executed;
+    any = true;
+  }
+  stats_.cont_deferred += cont_ready_.size();
+  return any;
 }
 
 void OffloadChannel::compact_inflight() {
@@ -456,12 +576,18 @@ void OffloadChannel::watchdog_scan() {
 void OffloadChannel::engine_main() {
   const auto& p = rc_.profile();
   const bool faults_on = p.faults.enabled();
+  // Remember this fiber for the engine's whole life: continuations run here,
+  // and submit()/wait_done() route on current-fiber identity.
+  engine_fiber_ = sim::Engine::current()->current_fiber();
   std::uint64_t seen = rc_.arrivals().count();
   for (;;) {
     bool worked = drain_lanes_round();
     worked = drain_shared() || worked;
     drive_progress();
-    if (shutdown_requested_ && live_inflight_ == 0 && !submissions_pending()) {
+    worked = run_continuations() || worked;
+    if (shutdown_requested_ && live_inflight_ == 0 &&
+        !submissions_pending() && cont_ready_.empty()) {
+      engine_fiber_ = nullptr;
       return;
     }
     if (worked) {

@@ -18,7 +18,10 @@
 //      fairness bound: a saturating lane cannot starve its neighbours or
 //      postpone the progress pass), then drain the shared ring;
 //   2. drive progress on all in-flight operations with MPI_Testany,
-//      publishing done flags as they complete;
+//      publishing done flags as they complete and queueing any armed
+//      continuations (cont_table.hpp), then run up to
+//      ProxyOptions::cont_run_bound of those callbacks — callbacks may post
+//      follow-ups, which issue directly instead of re-entering the ring;
 //   3. when nothing is pending, wait adaptively: spin-poll a few times
 //      (cheapest wake), then yield the core a few times, then block on the
 //      rank's doorbell (a real offload thread spins; the simulator models the
@@ -26,12 +29,15 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/command.hpp"
+#include "core/cont_table.hpp"
 #include "core/mpsc_ring.hpp"
 #include "core/proxy_options.hpp"
 #include "core/request_pool.hpp"
@@ -41,6 +47,12 @@
 #include "trace/counters.hpp"
 
 namespace core {
+
+/// A completion continuation. Runs exactly once with the request's Status;
+/// may post follow-up nonblocking operations and attach further
+/// continuations, but must never block (the offload engine enforces this:
+/// a blocking wait from engine context throws).
+using ContFn = std::function<void(const smpi::Status&)>;
 
 struct OffloadStats {
   std::uint64_t commands = 0;
@@ -62,6 +74,13 @@ struct OffloadStats {
   std::uint64_t engine_spins = 0;   ///< idle spin polls
   std::uint64_t engine_yields = 0;  ///< idle yield polls
   std::uint64_t engine_sleeps = 0;  ///< doorbell blocks
+  // ---- continuation subsystem ----
+  std::uint64_t cont_armed = 0;     ///< continuations attached before completion
+  std::uint64_t cont_inline = 0;    ///< attach found the request already done
+  std::uint64_t cont_executed = 0;  ///< callbacks run by the engine
+  std::uint64_t cont_deferred = 0;  ///< ready callbacks pushed past a pass
+                                    ///  by the cont_run bound (cumulative)
+  std::uint64_t cont_posts = 0;     ///< commands posted from engine context
 };
 
 /// Per-lane occupancy/batching counters (see OffloadChannel::lane_stats).
@@ -115,8 +134,32 @@ class OffloadChannel {
   /// Nonblocking flag check; frees the slot when done.
   bool test_done(std::uint32_t proxy, smpi::Status* st = nullptr);
 
+  /// Bind `fn` to run exactly once when `proxy` completes. Consumes the
+  /// slot: the side that runs the callback frees it, so the caller must not
+  /// wait on or test the slot afterwards. When the request already
+  /// completed, the callback runs inline on the calling thread (returns
+  /// true); otherwise the engine runs it from its completion pass (returns
+  /// false). Continuations may submit follow-up work — from engine context
+  /// such posts bypass the lanes/ring and issue directly, so a full ring
+  /// can never deadlock a posting callback.
+  bool attach_continuation(std::uint32_t proxy, ContFn fn);
+
+  /// True when the calling fiber IS the offload engine (continuation
+  /// callbacks run there). Blocking completion calls are illegal in that
+  /// context and throw. Identity is per-fiber, not a global "engine is
+  /// running" bit: application fibers interleaving with a blocked engine
+  /// must keep taking the lane/ring path.
+  [[nodiscard]] bool in_engine() const {
+    sim::Engine* e = sim::Engine::current();
+    return engine_fiber_ != nullptr && e != nullptr &&
+           e->current_fiber() == engine_fiber_;
+  }
+
+  /// Continuations queued but not yet run by the engine.
+  [[nodiscard]] std::size_t cont_pending() const { return cont_ready_.size(); }
+
   /// Enqueue the shutdown command (engine exits after draining every lane,
-  /// the shared ring, and all in-flight requests).
+  /// the shared ring, all in-flight requests, and the continuation queue).
   void shutdown();
 
   // ---------------- engine side ----------------
@@ -141,17 +184,30 @@ class OffloadChannel {
   /// lanes disabled, or more submitting fibers than lanes).
   Lane* lane_for_caller();
   std::uint32_t alloc_slot();
+  /// Engine-context slot allocation: on exhaustion, drives progress (the
+  /// engine can never block on its own completions notifier).
+  std::uint32_t alloc_slot_engine();
+  /// Engine-context submit: no lane/ring, no doorbell — the command issues
+  /// directly. Used by continuations posting follow-ups.
+  std::uint32_t submit_from_engine(Command cmd);
   void push_lane(Lane& lane, const Command& cmd);
   void push_shared_locked(const Command& cmd);
 
   void issue(const Command& cmd);
   void track_inflight(smpi::Request real, std::uint32_t proxy);
+  /// Publish a completion: done flag, stats, doorbell — and hand the slot to
+  /// the continuation queue when one is armed.
+  void complete_slot(std::uint32_t proxy, const smpi::Status& st);
   bool drain_lanes_round();
   bool drain_shared();
   void process_command(const Command& cmd);
   [[nodiscard]] bool lanes_empty() const;
   [[nodiscard]] bool submissions_pending() const;
   void drive_progress();
+  /// Run up to ProxyOptions::cont_run_bound queued continuations; returns
+  /// true when any ran (the engine re-drains before sleeping: callbacks
+  /// post). Leftovers count into cont_deferred and run next pass.
+  bool run_continuations();
   void compact_inflight();
   void watchdog_scan();
 
@@ -173,6 +229,22 @@ class OffloadChannel {
   /// waiters use it to model their done-flag spin loop without event spam.
   sim::Notifier completions_;
   bool shutdown_requested_ = false;
+
+  // ---- continuation subsystem ----
+  /// Exactly-once arm/fire handoff, one slot per pool slot.
+  ContTable cont_;
+  /// Callback records, indexed by pool slot. Published to the engine by the
+  /// arm() claim's release; read under the fire()-failure acquire.
+  std::vector<ContFn> cont_fns_;
+  /// Fired slots whose callbacks the engine still owes. Bounded per pass by
+  /// ProxyOptions::cont_run_bound so a burst of completions cannot starve
+  /// the drain/testany loop.
+  std::deque<std::uint32_t> cont_ready_;
+  /// The engine fiber, set for the whole lifetime of engine_main: submits
+  /// from that fiber (continuation callbacks) take the direct-issue path and
+  /// blocking waits from it are errors. Compared against the CURRENT fiber —
+  /// other fibers interleave whenever the engine blocks in a sim wait.
+  sim::Fiber* engine_fiber_ = nullptr;
 
   struct Inflight {
     smpi::Request real;

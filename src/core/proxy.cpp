@@ -149,6 +149,7 @@ bool DirectProxy::test(PReq& r, smpi::Status* st) {
   return done;
 }
 void DirectProxy::waitall(std::span<PReq> rs) {
+  if (rs.empty()) return;  // MPI_Waitall(0, ...) is a no-op
   std::vector<smpi::Request> reqs;
   reqs.reserve(rs.size());
   for (PReq r : rs) reqs.push_back(unwrap(r));
@@ -156,6 +157,7 @@ void DirectProxy::waitall(std::span<PReq> rs) {
   for (std::size_t i = 0; i < rs.size(); ++i) rs[i] = wrap(reqs[i]);
 }
 int DirectProxy::waitany(std::span<PReq> rs, smpi::Status* st) {
+  if (rs.empty()) return -1;  // MPI_UNDEFINED for an empty list
   std::vector<smpi::Request> reqs;
   reqs.reserve(rs.size());
   for (PReq r : rs) reqs.push_back(unwrap(r));
@@ -164,6 +166,7 @@ int DirectProxy::waitany(std::span<PReq> rs, smpi::Status* st) {
   return idx;
 }
 bool DirectProxy::testall(std::span<PReq> rs) {
+  if (rs.empty()) return true;  // MPI_Testall(0, ...) sets flag = true
   std::vector<smpi::Request> reqs;
   reqs.reserve(rs.size());
   for (PReq r : rs) reqs.push_back(unwrap(r));
@@ -194,10 +197,74 @@ PReq DirectProxy::iallgather(const void* s, void* r, std::size_t n_per,
   return wrap(rc_.iallgather(s, r, n_per, dt, c));
 }
 
+void DirectProxy::attach_continuation(PReq& r, ContFn fn) {
+  if (r.is_null()) {
+    // Already-released handle: the continuation analogue of "waiting twice
+    // is safe" — treat it as complete and run inline with an empty Status.
+    fn(smpi::Status{});
+    return;
+  }
+  armed_.push_back({unwrap(r), std::move(fn)});
+  r = PReq{};
+  // A request that already completed fires right here, not at the next
+  // progress call — but arming must stay cheap (one test of THIS request,
+  // not a pump over everything armed, or when_all's post phase turns into
+  // a quadratic app-thread scan).
+  if (pumping_) return;  // the in-progress pump's scan reaches appendees
+  smpi::Status st;
+  if (rc_.test(armed_.back().req, &st)) {
+    ContFn f = std::move(armed_.back().fn);
+    armed_.pop_back();
+    trace::Scope tsc("cont:run", approach_name(approach()));
+    f(st);
+  }
+}
+
+void DirectProxy::pump_continuations() {
+  if (pumping_ || armed_.empty()) return;
+  pumping_ = true;  // callbacks re-enter via attach/test; they only append
+  std::size_t i = 0;
+  while (i < armed_.size()) {
+    smpi::Status st;
+    smpi::Request rq = armed_[i].req;
+    if (!rc_.test(rq, &st)) {
+      ++i;
+      continue;
+    }
+    // Retire the entry BEFORE running the callback: fn may grow armed_
+    // (posting follow-ups) and must not observe its own dead entry.
+    ContFn fn = std::move(armed_[i].fn);
+    armed_.erase(armed_.begin() + static_cast<std::ptrdiff_t>(i));
+    trace::Scope tsc("cont:run", approach_name(approach()));
+    fn(st);
+    // No ++i: erase shifted the next candidate into position i.
+  }
+  pumping_ = false;
+}
+
+void DirectProxy::cont_wait(const std::function<bool()>& done) {
+  trace::Scope tsc("cont:wait", approach_name(approach()));
+  pump_continuations();
+  // Exponential backoff between pumps: direct proxies have no engine fiber
+  // to wake us precisely, so poll the progress path, sleeping on the rank's
+  // arrival doorbell between polls.
+  sim::Time backoff = sim::Time::from_us(1);
+  while (!done()) {
+    const std::uint64_t seen = rc_.arrivals().count();
+    rc_.progress();
+    pump_continuations();
+    if (done()) break;
+    rc_.arrivals().wait_beyond_timeout(seen, backoff);
+    if (backoff.ns() < 100'000) backoff = sim::Time(backoff.ns() * 2);
+  }
+}
+
 // ------------------------------------------------------------ IprobeProxy ----
 
 void IprobeProxy::progress_hint() {
   rc_.iprobe(smpi::kAnySource, smpi::kAnyTag, smpi::kCommWorld, nullptr);
+  // The PROGRESS macro is exactly where armed continuations get cycles.
+  pump_continuations();
 }
 
 // ---------------------------------------------------------- CommSelfProxy ----
@@ -301,6 +368,7 @@ bool OffloadProxy::test(PReq& r, smpi::Status* st) {
   return true;
 }
 void OffloadProxy::waitall(std::span<PReq> rs) {
+  if (rs.empty()) return;  // no-op: no flags to scan, no doorbell to ring
   trace::Scope tsc("wait:all", "offload");
   const auto& p = rc_.profile();
   RequestPool& pool = channel_.pool();
@@ -458,6 +526,28 @@ PReq OffloadProxy::iallgather(const void* s, void* r, std::size_t n_per,
   cmd.count = n_per;
   cmd.dtype = dt;
   return preq_of(channel_.submit(cmd));
+}
+
+void OffloadProxy::attach_continuation(PReq& r, ContFn fn) {
+  if (r.is_null()) {
+    fn(smpi::Status{});  // released handle: complete by contract, run inline
+    return;
+  }
+  channel_.attach_continuation(slot_of(r), std::move(fn));
+  r = PReq{};
+}
+
+void OffloadProxy::cont_wait(const std::function<bool()>& done) {
+  trace::Scope tsc("cont:wait", "offload");
+  // The engine fiber runs the continuations; this thread only sleeps on the
+  // completion doorbell (same snapshot-then-wait pattern as waitall). When
+  // the waiter IS the engine (a callback calling Event::wait) this would
+  // self-deadlock — the engine forbids it.
+  while (!done()) {
+    const std::uint64_t seen = channel_.completions().count();
+    if (done()) break;
+    channel_.completions().wait_beyond(seen);
+  }
 }
 
 smpi::Win OffloadProxy::win_create(void* base, std::size_t bytes, smpi::Comm c) {

@@ -132,6 +132,23 @@ class Proxy {
   /// released and nulled; otherwise none are (and true for an all-null span).
   virtual bool testall(std::span<PReq> rs) = 0;
 
+  // ---- continuations (mpi/continuation.hpp wraps these in `.then()`) ----
+
+  /// Bind `fn` to run exactly once when `r` completes, consuming the handle
+  /// (it is nulled; do not wait on it afterwards). Who runs the callback is
+  /// approach-specific: the offload engine fiber for kOffload, the progress
+  /// path (test/progress_hint/cont_wait pumps) for the direct approaches. A
+  /// null handle is the released-request case and runs `fn` inline with an
+  /// empty Status — attaching twice is as safe as waiting twice. Callbacks
+  /// may post follow-ups and attach further continuations but must never
+  /// block.
+  virtual void attach_continuation(PReq& r, ContFn fn) = 0;
+
+  /// Block until `done()` returns true, driving whatever machinery runs this
+  /// proxy's continuations in the meantime. The standard pattern is an
+  /// Event/flag that the tail continuation of a graph sets.
+  virtual void cont_wait(const std::function<bool()>& done) = 0;
+
   // ---- collectives ----
   virtual void barrier(smpi::Comm c = smpi::kCommWorld);
   virtual PReq ibarrier(smpi::Comm c = smpi::kCommWorld) = 0;
@@ -211,6 +228,29 @@ class DirectProxy : public Proxy {
                  smpi::Comm c = smpi::kCommWorld) override;
   PReq iallgather(const void* s, void* r, std::size_t n_per, smpi::Datatype dt,
                   smpi::Comm c = smpi::kCommWorld) override;
+
+  /// Direct approaches have no engine fiber: armed continuations live in a
+  /// list the progress path pumps (each pump MPI_Tests the armed requests
+  /// and runs the callbacks of completed ones).
+  void attach_continuation(PReq& r, ContFn fn) override;
+  void cont_wait(const std::function<bool()>& done) override;
+  [[nodiscard]] std::size_t inflight() const override {
+    return armed_.size();
+  }
+
+ protected:
+  /// Test each armed request once; run + retire completed ones. Safe against
+  /// re-entry (callbacks posting follow-ups or attaching more continuations
+  /// land in armed_ and are picked up by the restarted scan).
+  void pump_continuations();
+
+ private:
+  struct Armed {
+    smpi::Request req;
+    ContFn fn;
+  };
+  std::vector<Armed> armed_;
+  bool pumping_ = false;
 };
 
 class IprobeProxy : public DirectProxy {
@@ -285,6 +325,12 @@ class OffloadProxy : public Proxy {
                  smpi::Comm c = smpi::kCommWorld) override;
   PReq iallgather(const void* s, void* r, std::size_t n_per, smpi::Datatype dt,
                   smpi::Comm c = smpi::kCommWorld) override;
+
+  /// Delegates to OffloadChannel::attach_continuation — the engine fiber
+  /// runs the callback from its completion pass (inline here only when the
+  /// request already completed).
+  void attach_continuation(PReq& r, ContFn fn) override;
+  void cont_wait(const std::function<bool()>& done) override;
 
  private:
   OffloadChannel channel_;

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
+#include <vector>
 
 namespace core {
 
 namespace {
 
 constexpr const char* kValidKeys =
-    "ring, pool, lanes, lane_cap, drain, batch, watchdog";
+    "ring, pool, lanes, lane_cap, drain, batch, watchdog, cont_run";
 
 std::size_t parse_count(const std::string& v, const std::string& key) {
   char* end = nullptr;
@@ -51,6 +52,7 @@ ProxyOptions ProxyOptions::defaults_for(const machine::Profile& p) {
 
 ProxyOptions ProxyOptions::parse(const std::string& spec, ProxyOptions base) {
   ProxyOptions o = base;
+  std::vector<std::string> seen_keys;
   std::size_t pos = 0;
   while (pos < spec.size()) {
     std::size_t comma = spec.find(',', pos);
@@ -65,6 +67,13 @@ ProxyOptions ProxyOptions::parse(const std::string& spec, ProxyOptions base) {
     }
     const std::string key = item.substr(0, eq);
     const std::string val = item.substr(eq + 1);
+    if (std::find(seen_keys.begin(), seen_keys.end(), key) !=
+        seen_keys.end()) {
+      throw std::invalid_argument("MPIOFF_PROXY: duplicate key '" + key +
+                                  "' (each of " + kValidKeys +
+                                  " may appear once)");
+    }
+    seen_keys.push_back(key);
     if (key == "ring") {
       o.ring_capacity = parse_count(val, key);
     } else if (key == "pool") {
@@ -79,14 +88,17 @@ ProxyOptions ProxyOptions::parse(const std::string& spec, ProxyOptions base) {
       o.batch_flush = parse_count(val, key);
     } else if (key == "watchdog") {
       o.watchdog_budget = parse_duration(val, key);
+    } else if (key == "cont_run") {
+      o.cont_run_bound = parse_count(val, key);
     } else {
       throw std::invalid_argument("MPIOFF_PROXY: unknown key '" + key +
                                   "' (valid: " + kValidKeys + ")");
     }
   }
-  if (o.lane_drain_bound == 0 || o.batch_flush == 0) {
+  if (o.lane_drain_bound == 0 || o.batch_flush == 0 ||
+      o.cont_run_bound == 0) {
     throw std::invalid_argument(
-        "MPIOFF_PROXY: 'drain' and 'batch' must be at least 1");
+        "MPIOFF_PROXY: 'drain', 'batch' and 'cont_run' must be at least 1");
   }
   return o;
 }

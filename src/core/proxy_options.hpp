@@ -17,6 +17,10 @@
 //   drain    engine fairness bound: max commands popped per lane per pass
 //   batch    flush threshold: max commands per one lane publish + doorbell
 //   watchdog in-flight age budget (duration: ns/us/ms/s suffix), 0 disables
+//   cont_run max continuation callbacks run per engine pass (>= 1)
+//
+// Repeating a key is rejected: a retuning wrapper script that appends to an
+// inherited spec should fail loudly, not silently last-write-win.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +40,9 @@ struct ProxyOptions {
   std::size_t lane_drain_bound = 16;  ///< engine pops per lane per pass
   std::size_t batch_flush = 8;        ///< max commands per batched publish
   sim::Time watchdog_budget{500'000'000};  ///< 0 disables the watchdog
+  /// Max continuation callbacks the engine runs per pass before returning to
+  /// the drain/testany loop; leftovers count into cont_deferred.
+  std::size_t cont_run_bound = 16;
 
   /// Profile-derived defaults: one lane per usable submitter core (capped),
   /// watchdog budget from the profile.

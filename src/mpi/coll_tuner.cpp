@@ -156,6 +156,11 @@ CollTuner CollTuner::defaults_for(const machine::Profile& p) {
 
 CollTuner CollTuner::parse(const std::string& spec, CollTuner base) {
   CollTuner t = std::move(base);
+  // Algo rules for the same collective stack by threshold (that is the
+  // grammar's way to build a size-tiered policy), but the scalar knobs are
+  // single-valued: a repeated seg/chains is a typo, not an override.
+  bool seen_seg = false;
+  bool seen_chains = false;
   std::size_t pos = 0;
   while (pos < spec.size()) {
     std::size_t comma = spec.find(',', pos);
@@ -172,10 +177,22 @@ CollTuner CollTuner::parse(const std::string& spec, CollTuner base) {
     const std::string key = item.substr(0, colon);
     const std::string val = item.substr(colon + 1);
     if (key == "seg") {
+      if (seen_seg) {
+        throw std::invalid_argument(
+            "MPIOFF_COLL: duplicate key 'seg' (seg and chains may appear once; "
+            "valid: " + std::string(kValidItems) + ")");
+      }
+      seen_seg = true;
       t.seg_bytes_ = std::max<std::size_t>(1, parse_bytes(val, item));
       continue;
     }
     if (key == "chains") {
+      if (seen_chains) {
+        throw std::invalid_argument(
+            "MPIOFF_COLL: duplicate key 'chains' (seg and chains may appear "
+            "once; valid: " + std::string(kValidItems) + ")");
+      }
+      seen_chains = true;
       const std::size_t n = parse_bytes(val, item);
       if (n < 1 || n > 64) {
         throw std::invalid_argument("MPIOFF_COLL: chains must be 1..64 in '" +

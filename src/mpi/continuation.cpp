@@ -1,0 +1,48 @@
+#include "mpi/continuation.hpp"
+
+#include <memory>
+
+namespace cont {
+
+Join::Join(core::Proxy& p, std::span<core::PReq> rs, EachFn each)
+    : proxy_(&p), each_(std::move(each)) {
+  reqs_.reserve(rs.size());
+  for (core::PReq& r : rs) {
+    reqs_.push_back(std::exchange(r, core::PReq{}));
+  }
+}
+
+Join when_all(core::Proxy& p, std::span<core::PReq> rs, EachFn each) {
+  return Join(p, rs, std::move(each));
+}
+
+void Join::then(ContFn fin) && {
+  std::size_t active = 0;
+  for (const core::PReq& r : reqs_) {
+    if (!r.is_null()) ++active;
+  }
+  if (active == 0) {
+    // Empty group or every handle already released: complete by contract,
+    // inline on the attaching thread (mirrors attach on a null handle).
+    fin(smpi::Status{});
+    return;
+  }
+  // Shared countdown. A plain size_t: all attached callbacks run on this
+  // rank's cooperatively scheduled fibers (see header).
+  struct State {
+    std::size_t remaining;
+    ContFn fin;
+  };
+  auto st = std::make_shared<State>(State{active, std::move(fin)});
+  const EachFn each = std::move(each_);
+  for (std::size_t i = 0; i < reqs_.size(); ++i) {
+    if (reqs_[i].is_null()) continue;
+    proxy_->attach_continuation(
+        reqs_[i], [st, each, i](const smpi::Status& s) {
+          if (each) each(i, s);
+          if (--st->remaining == 0) st->fin(s);
+        });
+  }
+}
+
+}  // namespace cont

@@ -100,6 +100,45 @@ TEST(CollTuner, ParseScalarKnobsAndSuffixes) {
   EXPECT_EQ(t.seg_bytes(), 1u);
 }
 
+TEST(CollTuner, ParseRejectsDuplicateScalarKnobs) {
+  // Algo rules stack by threshold (ThresholdStackingLargestWins), but the
+  // scalar knobs are single-valued — a repeat is a typo, and the message
+  // must say which key and teach the grammar.
+  const CollTuner base = base_tuner();
+  try {
+    CollTuner::parse("seg:4k,chains:8,seg:8k", base);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("duplicate"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'seg'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("chains"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(CollTuner::parse("chains:4,chains:4", base),
+               std::invalid_argument);
+  // Stacked algo rules for the same collective stay legal alongside the
+  // duplicate-knob check.
+  EXPECT_NO_THROW(
+      CollTuner::parse("seg:4k,allreduce:rdbl@0,allreduce:ring@64k", base));
+}
+
+TEST(CollTuner, ParseRejectsTruncatedItems) {
+  const CollTuner base = base_tuner();
+  // A key with no value, a rule with no algorithm, a threshold cut mid-way:
+  // each names the offending item so the env var is fixable.
+  EXPECT_THROW(CollTuner::parse("chains:", base), std::invalid_argument);
+  EXPECT_THROW(CollTuner::parse("allreduce:", base), std::invalid_argument);
+  EXPECT_THROW(CollTuner::parse("allreduce:ring@", base),
+               std::invalid_argument);
+  try {
+    CollTuner::parse("allreduce:ring@", base);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("allreduce:ring@"),
+              std::string::npos);
+  }
+}
+
 TEST(CollTuner, ThresholdStackingLargestWins) {
   const CollTuner t = CollTuner::parse("allreduce:rdbl@0,allreduce:ring@64k",
                                        base_tuner());

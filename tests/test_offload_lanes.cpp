@@ -313,7 +313,8 @@ TEST(OffloadLanes, DirectProxyWaitanyAndTestall) {
 
 TEST(ProxyOptions, ParseOverridesEveryKey) {
   const ProxyOptions o = ProxyOptions::parse(
-      "ring=2048,pool=128,lanes=4,lane_cap=32,drain=3,batch=4,watchdog=250us");
+      "ring=2048,pool=128,lanes=4,lane_cap=32,drain=3,batch=4,watchdog=250us,"
+      "cont_run=5");
   EXPECT_EQ(o.ring_capacity, 2048u);
   EXPECT_EQ(o.pool_capacity, 128u);
   EXPECT_EQ(o.lane_count, 4u);
@@ -321,6 +322,7 @@ TEST(ProxyOptions, ParseOverridesEveryKey) {
   EXPECT_EQ(o.lane_drain_bound, 3u);
   EXPECT_EQ(o.batch_flush, 4u);
   EXPECT_EQ(o.watchdog_budget.ns(), 250'000);
+  EXPECT_EQ(o.cont_run_bound, 5u);
 }
 
 TEST(ProxyOptions, ParseAcceptsDurationSuffixes) {
@@ -348,8 +350,25 @@ TEST(ProxyOptions, ParseRejectsBadValues) {
   EXPECT_THROW(ProxyOptions::parse("watchdog=2fortnights"),
                std::invalid_argument);
   EXPECT_THROW(ProxyOptions::parse("ring"), std::invalid_argument);
+  EXPECT_THROW(ProxyOptions::parse("ring="), std::invalid_argument);
   EXPECT_THROW(ProxyOptions::parse("drain=0"), std::invalid_argument);
   EXPECT_THROW(ProxyOptions::parse("batch=0"), std::invalid_argument);
+  EXPECT_THROW(ProxyOptions::parse("cont_run=0"), std::invalid_argument);
+}
+
+TEST(ProxyOptions, ParseRejectsDuplicateKeysNamingTheOffender) {
+  try {
+    ProxyOptions::parse("ring=64,lanes=2,ring=128");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("duplicate"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'ring'"), std::string::npos) << msg;
+    // The message must teach the full vocabulary, including the new knob.
+    EXPECT_NE(msg.find("cont_run"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(ProxyOptions::parse("cont_run=2,cont_run=3"),
+               std::invalid_argument);
 }
 
 TEST(ProxyOptions, DefaultsDeriveFromProfile) {

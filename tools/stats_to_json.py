@@ -12,10 +12,22 @@ and emits a JSON array of objects, one per line, preserving input order:
 Values are coerced to int, then float, then kept as strings. Tokens before
 the first key=value pair form the label (a trailing ':' is stripped).
 
+With --cont-summary the output is instead an object
+
+    {"entries": [...], "cont_summary": {"totals": {...},
+                                        "app_mpi_drop_by_approach": {...}}}
+
+where `totals` sums the continuation counters (armed/executed/deferred/
+inline/posts) across every `... cont` trailer and `app_mpi_drop_by_approach`
+collects the A9 ablation's per-approach app-thread MPI-time drop.
+
 Usage:  ./bench_foo --stats | python3 tools/stats_to_json.py > stats.json
+        ./bench_foo --stats | python3 tools/stats_to_json.py --cont-summary
 """
 import json
 import sys
+
+CONT_COUNTERS = ("armed", "executed", "deferred", "inline", "posts")
 
 
 def coerce(v: str):
@@ -40,16 +52,35 @@ def parse_line(line: str):
     return entry
 
 
-def main() -> int:
+def cont_summary(entries):
+    totals = {k: 0 for k in CONT_COUNTERS}
+    drops = {}
+    for e in entries:
+        label = e.get("label", "")
+        if label.endswith(" cont"):
+            for k in CONT_COUNTERS:
+                if isinstance(e.get(k), (int, float)):
+                    totals[k] += e[k]
+        # The A9 ablation rows: "[stats] a9 qcd: approach=... app_mpi_drop=..."
+        if label.startswith("a9") and "approach" in e:
+            drops[e["approach"]] = e.get("app_mpi_drop")
+    return {"totals": totals, "app_mpi_drop_by_approach": drops}
+
+
+def main(argv) -> int:
     entries = [
         parse_line(line)
         for line in sys.stdin
         if line.lstrip().startswith("[stats]")
     ]
-    json.dump(entries, sys.stdout, indent=2)
+    if "--cont-summary" in argv:
+        out = {"entries": entries, "cont_summary": cont_summary(entries)}
+    else:
+        out = entries
+    json.dump(out, sys.stdout, indent=2)
     sys.stdout.write("\n")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))
