@@ -22,6 +22,7 @@
 
 #include "core/proxy.hpp"
 #include "mpi/cluster.hpp"
+#include "util/env.hpp"
 
 using core::Approach;
 
@@ -90,8 +91,7 @@ RunResult pingpong(Approach a, const machine::FaultSpec& faults) {
 
 int main() {
   machine::FaultSpec faulty;
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, single-threaded here
-  if (const char* env = std::getenv("MPIOFF_FAULTS"); env != nullptr && *env != '\0') {
+  if (const char* env = env_util::get("MPIOFF_FAULTS"); env != nullptr && *env != '\0') {
     faulty = machine::FaultSpec::parse(env);
     // Consume the variable: Cluster would otherwise apply it to the "clean"
     // reference runs too, and the comparison would be faulty vs faulty.

@@ -8,8 +8,10 @@
 
 #include "core/proxy.hpp"
 #include "mpi/cluster.hpp"
+#include "san/san.hpp"
 #include "trace/scope.hpp"
 #include "trace/tracer.hpp"
+#include "util/env.hpp"
 
 namespace benchlib {
 
@@ -44,18 +46,10 @@ Runner::Runner(int argc, char** argv) {
       usage_and_exit(argv[0], a);
     }
   }
-  if (trace_path_.empty()) {
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before any threads
-    if (const char* e = std::getenv("MPIOFF_TRACE"); e != nullptr && *e != '\0') {
-      trace_path_ = e;
-    }
-  }
+  if (trace_path_.empty()) trace_path_ = env_util::get_or("MPIOFF_TRACE");
   if (!g_stats_enabled) {
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before any threads
-    if (const char* e = std::getenv("MPIOFF_STATS");
-        e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0) {
-      g_stats_enabled = true;
-    }
+    const std::string e = env_util::get_or("MPIOFF_STATS");
+    if (!e.empty() && e != "0") g_stats_enabled = true;
   }
   if (!trace_path_.empty()) trace::Tracer::set_enabled(true);
   g_active_runner = this;
@@ -92,10 +86,9 @@ bool Runner::stats_enabled() { return g_stats_enabled; }
 void Runner::set_stats_enabled(bool on) { g_stats_enabled = on; }
 
 bool Runner::smoke_enabled() {
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before any threads
   static const bool on = [] {
-    const char* e = std::getenv("MPIOFF_BENCH_SMOKE");
-    return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+    const std::string e = env_util::get_or("MPIOFF_BENCH_SMOKE");
+    return !e.empty() && e != "0";
   }();
   return on;
 }
@@ -287,6 +280,19 @@ void report_cluster_stats(smpi::Cluster& c) {
         static_cast<unsigned long long>(rel.dup_drops),
         static_cast<unsigned long long>(rel.ooo_drops),
         static_cast<unsigned long long>(rel.corrupt_drops));
+  }
+  // Sanitizer summary (only when a session is active, so sanitizer-off runs
+  // stay byte-identical to a pre-sanitizer build).
+  if (san::on()) {
+    const san::Stats& ss = san::stats();
+    std::printf(
+        "[stats] san: reports=%llu race_checks=%llu sync_edges=%llu "
+        "buffer_regs=%llu checksums=%llu\n",
+        static_cast<unsigned long long>(ss.reports),
+        static_cast<unsigned long long>(ss.race_checks),
+        static_cast<unsigned long long>(ss.sync_edges),
+        static_cast<unsigned long long>(ss.buffer_regs),
+        static_cast<unsigned long long>(ss.checksums));
   }
 }
 

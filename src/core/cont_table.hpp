@@ -30,6 +30,10 @@
 //  * reset: relaxed store — by reset time the slot has a single owner (the
 //    side that ran the callback), so no ordering is needed; publication of
 //    the recycled slot happens through RequestPool::free's release CAS.
+//
+// memorder-audit: relaxed=2 acquire=2 release=0 acq_rel=2 seq_cst=0
+// (tools/check_memorder.py fails CI when this line disagrees with the
+// std::memory_order_* tokens actually used below — update both together.)
 #pragma once
 
 #include <atomic>

@@ -27,6 +27,10 @@
 //    to the producers (next lap).
 // tail_ and head_ themselves only carry values, never payload visibility,
 // so all their accesses are relaxed.
+//
+// memorder-audit: relaxed=9 acquire=2 release=2 acq_rel=0 seq_cst=0
+// (tools/check_memorder.py fails CI when this line disagrees with the
+// std::memory_order_* tokens actually used below — update both together.)
 #pragma once
 
 #include <atomic>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "san/san.hpp"
 #include "trace/scope.hpp"
 
 namespace core {
@@ -78,6 +79,7 @@ std::uint32_t OffloadChannel::alloc_slot() {
     completions_.wait_beyond_timeout(seen, sim::Time::from_us(200));
     proxy = pool_.alloc();
   }
+  san::acquire(&pool_, proxy);  // HB edge from the releasing free()
   cont_.reset(proxy);  // recycle the slot's continuation state with it
   return proxy;
 }
@@ -101,6 +103,7 @@ std::uint32_t OffloadChannel::alloc_slot_engine() {
     sim::advance(sim::Time::from_us(1));
     proxy = pool_.alloc();
   }
+  san::acquire(&pool_, proxy);
   cont_.reset(proxy);
   return proxy;
 }
@@ -130,6 +133,7 @@ void OffloadChannel::push_lane(Lane& lane, const Command& cmd) {
     rc_.arrivals().signal();
     sim::advance(p.cmd_enqueue);  // retry cost
   }
+  san::channel_push(&lane);  // SPSC publish: tail store-release
   const std::size_t occ = lane.ring.size_approx();
   lane.stats.max_occupancy =
       std::max<std::uint64_t>(lane.stats.max_occupancy, occ);
@@ -152,6 +156,7 @@ void OffloadChannel::push_shared_locked(const Command& cmd) {
     rc_.arrivals().signal();
     sim::advance(p.cmd_enqueue);  // retry cost
   }
+  san::channel_push(&ring_);  // MPSC publish: seq store-release
   g_ring_.set(static_cast<double>(ring_.size_approx()));
 }
 
@@ -203,6 +208,7 @@ void OffloadChannel::submit_batch(std::span<Command> cmds) {
     int spins = 0;
     while (!rest.empty()) {
       const std::size_t n = lane->ring.try_push_n(rest);
+      if (n != 0) san::channel_push(lane, n);  // one release covers the group
       rest = rest.subspan(n);
       if (rest.empty()) break;
       if (++spins > kFullSpinBound) {
@@ -241,6 +247,7 @@ void OffloadChannel::submit_batch(std::span<Command> cmds) {
         rc_.arrivals().signal();
         sim::advance(p.cmd_enqueue);  // retry cost
       }
+      san::channel_push(&ring_);
     }
     g_ring_.set(static_cast<double>(ring_.size_approx()));
     stats_.shared_submits += cmds.size();
@@ -255,8 +262,7 @@ void OffloadChannel::submit_batch(std::span<Command> cmds) {
 void OffloadChannel::wait_done(std::uint32_t proxy, smpi::Status* st) {
   if (in_engine()) {
     throw std::logic_error(
-        "blocking wait from a continuation callback: continuations must not "
-        "block the offload engine (attach another continuation instead)");
+        san::engine_block_message("OffloadChannel::wait_done"));
   }
   trace::Scope tsc("wait:flag", "offload");
   const auto& p = rc_.profile();
@@ -267,8 +273,10 @@ void OffloadChannel::wait_done(std::uint32_t proxy, smpi::Status* st) {
     if (pool_.done(proxy)) break;
     completions_.wait_beyond(seen);
   }
+  san::acquire(&pool_, proxy);  // done-flag acquire: Status/payload visible
   if (st != nullptr) *st = pool_.status(proxy);
   sim::advance(p.request_pool_op);
+  san::release(&pool_, proxy);  // hand the slot to the next alloc()
   pool_.free(proxy);
   completions_.signal();  // a freed slot may unblock a pool-exhausted submit
 }
@@ -277,8 +285,10 @@ bool OffloadChannel::test_done(std::uint32_t proxy, smpi::Status* st) {
   const auto& p = rc_.profile();
   sim::advance(p.done_flag_check);
   if (!pool_.done(proxy)) return false;
+  san::acquire(&pool_, proxy);
   if (st != nullptr) *st = pool_.status(proxy);
   sim::advance(p.request_pool_op);
+  san::release(&pool_, proxy);
   pool_.free(proxy);
   completions_.signal();
   return true;
@@ -290,8 +300,10 @@ bool OffloadChannel::attach_continuation(std::uint32_t proxy, ContFn fn) {
   // visible to the engine. (From engine context — a callback chaining onto a
   // slot it just posted — the same protocol works: fire() for that slot can
   // only happen on this same fiber, later.)
+  san::check_write(&cont_fns_[proxy], sizeof(ContFn), "cont.fns[slot]");
   cont_fns_[proxy] = std::move(fn);
   sim::advance(p.request_pool_op);
+  san::release(&cont_, proxy);  // published before the claim CAS
   if (!cont_.arm(proxy)) {
     // Claim won: the completer will find kArmed and queue the callback.
     ++stats_.cont_armed;
@@ -299,11 +311,14 @@ bool OffloadChannel::attach_continuation(std::uint32_t proxy, ContFn fn) {
   }
   // Already fired: the completion's Status/payload are visible (failed-CAS
   // acquire), so run the callback inline on this thread and free the slot.
+  san::acquire(&cont_, proxy);  // completer's publish (failed-CAS acquire)
+  san::check_read(&cont_fns_[proxy], sizeof(ContFn), "cont.fns[slot]");
   ContFn f = std::move(cont_fns_[proxy]);
   cont_fns_[proxy] = nullptr;
   const smpi::Status st = pool_.status(proxy);
   cont_.reset(proxy);
   sim::advance(p.request_pool_op);
+  san::release(&pool_, proxy);
   pool_.free(proxy);
   completions_.signal();
   ++stats_.cont_inline;
@@ -323,6 +338,7 @@ void OffloadChannel::shutdown() {
   // keeps draining lanes until they are empty even after seeing it.
   sim::LockGuard g(shared_tail_line_);
   while (!ring_.try_push(c)) sim::advance(rc_.profile().cmd_enqueue);
+  san::channel_push(&ring_);
   rc_.arrivals().signal();
 }
 
@@ -333,13 +349,16 @@ void OffloadChannel::complete_slot(std::uint32_t proxy,
   // The payload/Status writes precede the fire() claim; an armed slot's
   // callback is therefore always entitled to read them.
   pool_.complete(proxy, st);
+  san::release(&pool_, proxy);  // done-flag release: payload published
   ++stats_.completions;
   trace::instant("done:publish", "offload");
   completions_.signal();
+  san::release(&cont_, proxy);  // published before the fire() claim
   if (cont_.fire(proxy)) {
     // A continuation is armed: its record is visible (failed-CAS acquire).
     // Queue it for the bounded run pass rather than running here so a burst
     // of completions cannot starve the testany sweep mid-loop.
+    san::acquire(&cont_, proxy);
     cont_ready_.push_back(proxy);
   }
 }
@@ -445,6 +464,7 @@ bool OffloadChannel::drain_lanes_round() {
     Command cmd;
     std::size_t popped = 0;
     while (popped < opts_.lane_drain_bound && lane.ring.try_pop(cmd)) {
+      san::channel_pop(&lane);  // SPSC consume: joins the producer's publish
       ++popped;
       ++lane.stats.drained;
       lane.gauge.set(static_cast<double>(lane.ring.size_approx()));
@@ -461,6 +481,7 @@ bool OffloadChannel::drain_shared() {
   bool any = false;
   Command cmd;
   while (ring_.try_pop(cmd)) {
+    san::channel_pop(&ring_);
     any = true;
     g_ring_.set(static_cast<double>(ring_.size_approx()));
     process_command(cmd);
@@ -516,6 +537,7 @@ bool OffloadChannel::run_continuations() {
   while (budget-- > 0 && !cont_ready_.empty()) {
     const std::uint32_t proxy = cont_ready_.front();
     cont_ready_.pop_front();
+    san::check_read(&cont_fns_[proxy], sizeof(ContFn), "cont.fns[slot]");
     ContFn fn = std::move(cont_fns_[proxy]);
     cont_fns_[proxy] = nullptr;
     const smpi::Status st = pool_.status(proxy);
@@ -523,6 +545,7 @@ bool OffloadChannel::run_continuations() {
     // this very slot, and the exactly-once claim already consumed it.
     cont_.reset(proxy);
     sim::advance(p.request_pool_op);
+    san::release(&pool_, proxy);
     pool_.free(proxy);
     completions_.signal();
     {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mpi/cluster.hpp"
+#include "san/san.hpp"
 #include "trace/scope.hpp"
 
 namespace core {
@@ -369,6 +370,9 @@ bool OffloadProxy::test(PReq& r, smpi::Status* st) {
 }
 void OffloadProxy::waitall(std::span<PReq> rs) {
   if (rs.empty()) return;  // no-op: no flags to scan, no doorbell to ring
+  if (channel_.in_engine()) {
+    throw std::logic_error(san::engine_block_message("OffloadProxy::waitall"));
+  }
   trace::Scope tsc("wait:all", "offload");
   const auto& p = rc_.profile();
   RequestPool& pool = channel_.pool();
@@ -392,12 +396,17 @@ void OffloadProxy::waitall(std::span<PReq> rs) {
   for (PReq& r : rs) {
     if (r.is_null()) continue;
     sim::advance(p.request_pool_op);
+    san::acquire(&pool, slot_of(r));  // completer's done-flag publish
+    san::release(&pool, slot_of(r));  // hand the slot to the next alloc()
     pool.free(slot_of(r));
     r = PReq{};
   }
   channel_.completions().signal();  // freed slots may unblock a full pool
 }
 int OffloadProxy::waitany(std::span<PReq> rs, smpi::Status* st) {
+  if (channel_.in_engine()) {
+    throw std::logic_error(san::engine_block_message("OffloadProxy::waitany"));
+  }
   trace::Scope tsc("wait:any", "offload");
   const auto& p = rc_.profile();
   RequestPool& pool = channel_.pool();
@@ -410,8 +419,10 @@ int OffloadProxy::waitany(std::span<PReq> rs, smpi::Status* st) {
       sim::advance(p.done_flag_check);
       const std::uint32_t slot = slot_of(rs[i]);
       if (!pool.done(slot)) continue;
+      san::acquire(&pool, slot);
       if (st != nullptr) *st = pool.status(slot);
       sim::advance(p.request_pool_op);
+      san::release(&pool, slot);
       pool.free(slot);
       channel_.completions().signal();
       rs[i] = PReq{};
@@ -434,6 +445,8 @@ bool OffloadProxy::testall(std::span<PReq> rs) {
   for (PReq& r : rs) {
     if (r.is_null()) continue;
     sim::advance(p.request_pool_op);
+    san::acquire(&pool, slot_of(r));
+    san::release(&pool, slot_of(r));
     pool.free(slot_of(r));
     r = PReq{};
     freed = true;
@@ -538,6 +551,10 @@ void OffloadProxy::attach_continuation(PReq& r, ContFn fn) {
 }
 
 void OffloadProxy::cont_wait(const std::function<bool()>& done) {
+  if (channel_.in_engine()) {
+    throw std::logic_error(
+        san::engine_block_message("OffloadProxy::cont_wait"));
+  }
   trace::Scope tsc("cont:wait", "offload");
   // The engine fiber runs the continuations; this thread only sleeps on the
   // completion doorbell (same snapshot-then-wait pattern as waitall). When

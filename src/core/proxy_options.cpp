@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/env.hpp"
+
 namespace core {
 
 namespace {
@@ -105,8 +107,7 @@ ProxyOptions ProxyOptions::parse(const std::string& spec, ProxyOptions base) {
 
 ProxyOptions ProxyOptions::from_env(const machine::Profile& p) {
   ProxyOptions o = defaults_for(p);
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before fibers spawn
-  if (const char* spec = std::getenv("MPIOFF_PROXY"); spec != nullptr) {
+  if (const char* spec = env_util::get("MPIOFF_PROXY"); spec != nullptr) {
     o = parse(spec, o);
   }
   return o;

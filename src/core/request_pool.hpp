@@ -29,6 +29,10 @@
 //    itself validates, so they are relaxed.
 //  * complete: done store (release) publishes the Status payload.
 //  * done: done load (acquire) makes the Status safe to read.
+//
+// memorder-audit: relaxed=8 acquire=5 release=2 acq_rel=0 seq_cst=0
+// (tools/check_memorder.py fails CI when this line disagrees with the
+// std::memory_order_* tokens actually used below — update both together.)
 #pragma once
 
 #include <atomic>

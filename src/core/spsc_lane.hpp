@@ -36,6 +36,10 @@
 // same-thread reads of an index only that thread writes, so they are
 // relaxed; size_approx() reads both indices relaxed (values only, never
 // payload visibility).
+//
+// memorder-audit: relaxed=5 acquire=3 release=3 acq_rel=0 seq_cst=0
+// (tools/check_memorder.py fails CI when this line disagrees with the
+// std::memory_order_* tokens actually used below — update both together.)
 #pragma once
 
 #include <atomic>

@@ -1,9 +1,10 @@
 #include "mpi/cluster.hpp"
 
-#include <cstdlib>
 #include <stdexcept>
 
+#include "san/san.hpp"
 #include "trace/tracer.hpp"
+#include "util/env.hpp"
 
 namespace smpi {
 
@@ -13,10 +14,8 @@ namespace {
 /// can be run under faults without a rebuild.
 ClusterConfig with_env_faults(ClusterConfig cfg) {
   if (!cfg.profile.faults.enabled()) {
-    // NOLINTNEXTLINE(concurrency-mt-unsafe)
-    if (const char* spec = std::getenv("MPIOFF_FAULTS")) {
-      if (*spec != '\0') cfg.profile.faults = machine::FaultSpec::parse(spec);
-    }
+    const std::string spec = env_util::get_or("MPIOFF_FAULTS");
+    if (!spec.empty()) cfg.profile.faults = machine::FaultSpec::parse(spec);
   }
   return cfg;
 }
@@ -46,9 +45,16 @@ Cluster::Cluster(ClusterConfig cfg)
     });
     trace::Tracer::instance().name_process(r, "rank " + std::to_string(r));
   }
+  // An explicit san_spec wins; otherwise the MPIOFF_SAN environment spec.
+  // Only the Cluster that actually opened the session closes it, so nested
+  // Clusters (rare, but tests do it) share one session cleanly.
+  san_session_ = san::begin_session(
+      cfg_.san_spec.empty() ? env_util::get_or("MPIOFF_SAN") : cfg_.san_spec);
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  if (san_session_) san::end_session();
+}
 
 bool Cluster::all_rel_drained() const {
   for (const auto& r : ranks_) {
@@ -101,6 +107,13 @@ sim::Time Cluster::run(std::function<void(RankCtx&)> rank_main) {
         (end >= cfg_.deadline ? "simulation deadline exceeded; stuck fibers:"
                               : "simulated deadlock; stuck fibers:") +
         who);
+  }
+  // Every rank_main returned: anything still active in a request table was
+  // posted and never waited/tested to release — a leak under the usage lint.
+  if (san::usage_on()) {
+    for (const auto& rc : ranks_) {
+      san::mpi_teardown(rc->rank(), rc->requests().active_count());
+    }
   }
   return end;
 }

@@ -31,6 +31,9 @@ struct ClusterConfig {
   /// mpi/coll_tuner.hpp). Empty -> the MPIOFF_COLL environment variable,
   /// which in turn falls back to the profile's thresholds.
   std::string coll_spec;
+  /// Sanitizer spec in MPIOFF_SAN grammar (see san/san.hpp). Empty -> the
+  /// MPIOFF_SAN environment variable; both empty -> sanitizer off.
+  std::string san_spec;
 };
 
 class Cluster {
@@ -68,6 +71,7 @@ class Cluster {
   sim::Engine engine_;
   machine::Network net_;
   std::vector<std::unique_ptr<RankCtx>> ranks_;
+  bool san_session_ = false;  ///< this Cluster opened the sanitizer session
 };
 
 // ------------------------------------------------------------------------

@@ -69,6 +69,7 @@ struct CollOp {
   std::uint64_t seq = 0;  ///< per-comm collective sequence number (tag base)
   CollectiveId kind = CollectiveId::kBarrier;
   CollAlgo algo = CollAlgo::kUnknown;  ///< set by the builder via the tuner
+  int root = -1;  ///< comm-rank root for rooted collectives (-1: unrooted)
   std::vector<CollChain> chains;
   /// Scratch buffers owned by the schedule (accumulators, pack buffers).
   std::vector<std::vector<std::byte>> temps;

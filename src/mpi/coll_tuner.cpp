@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/env.hpp"
+
 namespace smpi {
 
 namespace {
@@ -222,8 +224,7 @@ CollTuner CollTuner::parse(const std::string& spec, CollTuner base) {
 
 CollTuner CollTuner::from_env(const machine::Profile& p) {
   CollTuner t = defaults_for(p);
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before fibers spawn
-  if (const char* spec = std::getenv("MPIOFF_COLL"); spec != nullptr) {
+  if (const char* spec = env_util::get("MPIOFF_COLL"); spec != nullptr) {
     t = parse(spec, std::move(t));
   }
   return t;

@@ -296,6 +296,7 @@ Request RankCtx::ibcast(void* buf, std::size_t count, Datatype dt, int root,
   auto op = new_op(ci, comm, CollectiveId::kBcast,
                    coll_tuner().choose(CollectiveId::kBcast, bytes, count, p,
                                        true));
+  op->root = root;
   if (op->algo == CollAlgo::kPipeline) {
     // One chain per segment, each an independent binomial tree: the root
     // pushes segment c+1 into the wire while segment c propagates down.
@@ -334,6 +335,7 @@ Request RankCtx::ireduce(const void* sbuf, void* rbuf, std::size_t count,
   auto op = new_op(ci, comm, CollectiveId::kReduce,
                    coll_tuner().choose(CollectiveId::kReduce, bytes, count, p,
                                        op_commutative(rop)));
+  op->root = root;
   const std::size_t acc = add_temp(*op, store);
   sim::advance(profile().copy_cost(bytes));
   if (!phantom) std::memcpy(op->temps[acc].data(), sbuf, bytes);
@@ -634,6 +636,7 @@ Request RankCtx::igather(const void* sbuf, void* rbuf,
   auto op = new_op(ci, comm, CollectiveId::kGather,
                    coll_tuner().choose(CollectiveId::kGather, blk,
                                        count_per_rank, p, true));
+  op->root = root;
   if (me == root) {
     auto* rb = static_cast<std::byte*>(rbuf);
     sim::advance(profile().copy_cost(blk));
@@ -669,6 +672,7 @@ Request RankCtx::iscatter(const void* sbuf, void* rbuf,
   auto op = new_op(ci, comm, CollectiveId::kScatter,
                    coll_tuner().choose(CollectiveId::kScatter, blk,
                                        count_per_rank, p, true));
+  op->root = root;
   if (me == root) {
     const auto* sb = static_cast<const std::byte*>(sbuf);
     sim::advance(profile().copy_cost(blk));

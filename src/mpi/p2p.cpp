@@ -15,6 +15,7 @@
 #include "mpi/entry.hpp"
 #include "mpi/rank_ctx.hpp"
 #include "mpi/wire.hpp"
+#include "san/san.hpp"
 #include "trace/scope.hpp"
 
 namespace smpi {
@@ -125,6 +126,10 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
   net_send(std::move(m));
   pending_rndv_send_.push_back(&r);
   ++stats_.rndv_sends;
+  // Rendezvous keeps the payload in the user buffer until the CTS/DMA runs:
+  // that inflight window is exactly what the sanitizer's buffer lint guards.
+  // (Eager/loopback sends complete at post time — nothing stays inflight.)
+  if (!coll_posting_) san::mpi_post_send(rank_, r.idx, buf, bytes);
   return Request{r.idx};
 }
 
@@ -154,6 +159,7 @@ Request RankCtx::irecv_internal(void* buf, std::size_t bytes, int src_global,
       r.status.tag = um->env.tag;
       r.status.bytes = um->bytes;
       pending_rndv_recv_.push_back(&r);
+      if (!r.coll_internal) san::mpi_post_recv(rank_, r.idx, buf, bytes);
     } else {
       if (um->bytes > bytes) throw std::runtime_error("recv truncation");
       sim::advance(p.copy_cost(um->bytes));
@@ -169,6 +175,7 @@ Request RankCtx::irecv_internal(void* buf, std::size_t bytes, int src_global,
   }
 
   match_.post_recv(&r);
+  if (!r.coll_internal) san::mpi_post_recv(rank_, r.idx, buf, bytes);
   return Request{r.idx};
 }
 
@@ -249,6 +256,7 @@ void RankCtx::release_if_complete(Request& r, Status* st) {
   RequestImpl& impl = reqs_.get(r);
   if (!impl.complete) return;
   if (st != nullptr) *st = impl.status;
+  san::mpi_complete(rank_, impl.idx);  // verify checksum, drop registration
   reqs_.release(impl);
   r = kRequestNull;
 }
@@ -307,6 +315,11 @@ bool RankCtx::test(Request& r, Status* st) {
     if (st != nullptr) *st = Status{};
     return true;
   }
+  if (!san::mpi_handle_ok(rank_, r.idx, reqs_.get(r).active, "Test")) {
+    r = kRequestNull;  // stale handle: treat as complete, as a real wait would
+    if (st != nullptr) *st = Status{};
+    return true;
+  }
   progress_poll();
   RequestImpl& impl = reqs_.get(r);
   if (!impl.complete) return false;
@@ -317,6 +330,11 @@ bool RankCtx::test(Request& r, Status* st) {
 void RankCtx::wait(Request& r, Status* st) {
   MpiEntry entry(*this, false, "Wait");
   if (r.is_null()) return;
+  if (!san::mpi_handle_ok(rank_, r.idx, reqs_.get(r).active, "Wait")) {
+    r = kRequestNull;
+    if (st != nullptr) *st = Status{};
+    return;
+  }
   RequestImpl& impl = reqs_.get(r);
   wait_until(entry, [&] { return impl.complete; });
   release_if_complete(r, st);
@@ -324,6 +342,12 @@ void RankCtx::wait(Request& r, Status* st) {
 
 void RankCtx::waitall(std::span<Request> rs) {
   MpiEntry entry(*this, false, "Waitall");
+  for (Request& r : rs) {
+    if (!r.is_null() &&
+        !san::mpi_handle_ok(rank_, r.idx, reqs_.get(r).active, "Waitall")) {
+      r = kRequestNull;
+    }
+  }
   wait_until(entry, [&] {
     for (Request& r : rs) {
       if (!r.is_null() && !reqs_.get(r).complete) return false;
@@ -337,6 +361,12 @@ void RankCtx::waitall(std::span<Request> rs) {
 
 int RankCtx::waitany(std::span<Request> rs, Status* st) {
   MpiEntry entry(*this, false, "Waitany");
+  for (Request& r : rs) {
+    if (!r.is_null() &&
+        !san::mpi_handle_ok(rank_, r.idx, reqs_.get(r).active, "Waitany")) {
+      r = kRequestNull;
+    }
+  }
   int found = -1;
   wait_until(entry, [&] {
     bool any_active = false;
@@ -355,7 +385,19 @@ int RankCtx::waitany(std::span<Request> rs, Status* st) {
 }
 
 bool RankCtx::testany(std::span<Request> rs, int* index, Status* st) {
+  if (rs.empty()) {
+    // MPI_Testany(0, ...): flag = true, index = MPI_UNDEFINED — and no call
+    // overhead, matching implementations that short-circuit before entry.
+    *index = -1;
+    return true;
+  }
   MpiEntry entry(*this, false, "Testany");
+  for (Request& r : rs) {
+    if (!r.is_null() &&
+        !san::mpi_handle_ok(rank_, r.idx, reqs_.get(r).active, "Testany")) {
+      r = kRequestNull;
+    }
+  }
   progress_poll();
   bool any_active = false;
   for (std::size_t i = 0; i < rs.size(); ++i) {
@@ -373,6 +415,12 @@ bool RankCtx::testany(std::span<Request> rs, int* index, Status* st) {
 
 bool RankCtx::testall(std::span<Request> rs) {
   MpiEntry entry(*this, false, "Testall");
+  for (Request& r : rs) {
+    if (!r.is_null() &&
+        !san::mpi_handle_ok(rank_, r.idx, reqs_.get(r).active, "Testall")) {
+      r = kRequestNull;
+    }
+  }
   progress_poll();
   for (Request& r : rs) {
     if (!r.is_null() && !reqs_.get(r).complete) return false;
@@ -384,7 +432,14 @@ bool RankCtx::testall(std::span<Request> rs) {
 }
 
 std::vector<int> RankCtx::waitsome(std::span<Request> rs) {
+  if (rs.empty()) return {};  // MPI_Waitsome(0, ...): no entry overhead
   MpiEntry entry(*this, false, "Waitsome");
+  for (Request& r : rs) {
+    if (!r.is_null() &&
+        !san::mpi_handle_ok(rank_, r.idx, reqs_.get(r).active, "Waitsome")) {
+      r = kRequestNull;
+    }
+  }
   bool any_active = false;
   for (Request& r : rs) any_active = any_active || !r.is_null();
   if (!any_active) return {};

@@ -8,6 +8,7 @@
 #include "mpi/cluster.hpp"
 #include "mpi/rank_ctx.hpp"
 #include "mpi/wire.hpp"
+#include "san/san.hpp"
 #include "trace/scope.hpp"
 
 namespace smpi {
@@ -493,6 +494,11 @@ Request RankCtx::start_collective(std::unique_ptr<CollOp> op) {
   if (op->chains.size() > kCollMaxChains) {
     throw std::logic_error("collective schedule exceeds kCollMaxChains");
   }
+  // Cross-rank posting-order lint: every rank must post the same (kind, root)
+  // sequence per communicator context. Read the fields before op is moved.
+  san::mpi_coll_posted(rank_, comms_.get(op->comm).context,
+                       static_cast<int>(op->kind), op->root,
+                       coll_name(op->kind));
   RequestImpl& r = reqs_.alloc();
   r.kind = ReqKind::kColl;
   r.coll = std::move(op);

@@ -1,0 +1,86 @@
+// Vector clocks and shadow state for the fiber-aware race detector.
+//
+// Same FastTrack-style machinery as the model checker's chk::VectorClock
+// (src/check/clock.hpp), but dynamic-width: the checker bounds itself to 8
+// model threads, while a cluster run spawns one actor per fiber plus the
+// scheduler, with no a-priori bound. Components are indexed by *actor id*:
+// actor 0 is the scheduler context (fn-events, network delivery), actor
+// f.id()+1 is fiber f.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace san {
+
+class VClock {
+ public:
+  void ensure(std::size_t n) {
+    if (c_.size() < n) c_.resize(n, 0);
+  }
+  [[nodiscard]] std::uint32_t at(std::size_t i) const {
+    return i < c_.size() ? c_[i] : 0;
+  }
+  void set(std::size_t i, std::uint32_t v) {
+    ensure(i + 1);
+    c_[i] = v;
+  }
+  void tick(std::size_t i) {
+    ensure(i + 1);
+    ++c_[i];
+  }
+  void join(const VClock& o) {
+    ensure(o.c_.size());
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], o.c_[i]);
+    }
+  }
+  void clear() { c_.clear(); }
+  [[nodiscard]] bool empty() const { return c_.empty(); }
+
+  [[nodiscard]] std::string str() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (i > 0) s += ',';
+      s += std::to_string(c_[i]);
+    }
+    s += ']';
+    return s;
+  }
+
+ private:
+  std::vector<std::uint32_t> c_;
+};
+
+/// FastTrack epoch: one access, as (actor, actor's clock at the access).
+/// Epoch e happens-before actor a's current point iff e.clock <= C_a[e.actor]
+/// — clocks start at 1 on fork, so clock 0 means "no such access yet".
+struct Epoch {
+  std::uint32_t actor = 0;
+  std::uint32_t clock = 0;
+  [[nodiscard]] bool valid() const { return clock != 0; }
+  [[nodiscard]] bool before(const VClock& c) const {
+    return clock <= c.at(actor);
+  }
+};
+
+/// One recorded access: the epoch plus enough context to print both sides of
+/// a race (annotation site, fiber name, virtual timestamp).
+struct Access {
+  Epoch epoch;
+  const char* site = "";     ///< annotation-site literal (static storage)
+  std::string actor_name;    ///< fiber/scheduler name at access time
+  std::int64_t time_ns = 0;  ///< virtual time at access
+};
+
+/// Shadow state for one annotated variable. Writes keep the single last
+/// write; reads keep one access per actor since that write (a read "vector"),
+/// so a write racing ANY concurrent reader is caught, not just the latest.
+struct ShadowVar {
+  Access last_write;
+  std::vector<Access> reads;  ///< at most one entry per actor
+};
+
+}  // namespace san

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "san/san.hpp"
 #include "trace/tracer.hpp"
 
 namespace sim {
@@ -96,12 +97,14 @@ Fiber& Engine::spawn_at(Time start, std::string name, Fiber::Body body) {
                                             kDefaultStackBytes));
   ++stats_.fibers_spawned;
   Fiber& f = *fibers_.back();
+  san::on_fork(f.id() + 1, f.name().c_str());
   schedule_fiber(f, start);
   return f;
 }
 
 void Engine::call_at(Time when, std::function<void()> fn) {
   assert(when >= now_ && "scheduling into the past");
+  san::event_post(next_seq_);  // snapshot the poster's clock under this seq
   events_.push(Event{when, next_seq_++, nullptr, 0, std::move(fn)});
 }
 
@@ -141,6 +144,7 @@ void Engine::block() {
 
 void Engine::unblock(Fiber& f, Time delay) {
   if (f.state_ != FiberState::kBlocked) return;
+  san::on_wake(f.id() + 1);  // the waker's history reaches the woken fiber
   schedule_fiber(f, now_ + delay);
 }
 
@@ -160,9 +164,11 @@ void Engine::dispatch(Event& ev) {
       trace::Tracer::instance().instant(now_.ns(), ev.fiber->trace_pid(),
                                         ev.fiber->id() + 1, "ctx", "sim");
     }
+    san::on_switch(ev.fiber->id() + 1, ev.fiber->name().c_str(), now_.ns());
     ev.fiber->switch_in(&scheduler_ctx_);
     current_fiber_ = nullptr;
   } else {
+    san::event_fire(ev.seq, now_.ns());
     ev.fn();
   }
 }

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "san/san.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 
@@ -44,6 +45,7 @@ class Mutex {
     } else {
       holder_ = self;
     }
+    san::acquire(this);  // HB edge: everything before the last unlock()
     if (acquire_cost_ > Time::zero()) e->advance(acquire_cost_);
   }
 
@@ -52,6 +54,7 @@ class Mutex {
     Engine* e = Engine::current();
     if (holder_ != nullptr) return false;
     holder_ = e->current_fiber();
+    san::acquire(this);
     if (acquire_cost_ > Time::zero()) e->advance(acquire_cost_);
     return true;
   }
@@ -61,6 +64,7 @@ class Mutex {
     if (holder_ != e->current_fiber()) {
       throw std::logic_error("mutex unlocked by non-holder");
     }
+    san::release(this);  // publish the critical section to the next holder
     if (waiters_.empty()) {
       holder_ = nullptr;
     } else {
@@ -130,6 +134,11 @@ class Barrier {
   int arrive_and_wait() {
     Engine* e = Engine::current();
     if (entry_cost_ > Time::zero()) e->advance(entry_cost_);
+    // Every arrival joins all earlier arrivals and publishes itself; the
+    // releasing unblock()s then carry the joined clock to every waiter, so
+    // a barrier is a full HB fence across the team.
+    san::acquire(this);
+    san::release(this);
     int idx = arrived_++;
     if (arrived_ == parties_) {
       arrived_ = 0;
@@ -169,6 +178,7 @@ class Notifier {
 
   void signal() {
     ++count_;
+    san::release(this);  // a poller observing count() acquires this history
     Engine* e = Engine::current();
     for (Fiber* f : waiters_) e->unblock(*f, detect_latency_);
     waiters_.clear();
@@ -176,7 +186,10 @@ class Notifier {
 
   /// Current number of signals ever issued; consumers diff against their own
   /// cursor to detect novelty without blocking.
-  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t count() const {
+    san::acquire(this);
+    return count_;
+  }
 
   /// Block until count() exceeds `seen`. Returns the new count.
   std::uint64_t wait_beyond(std::uint64_t seen) {
@@ -185,6 +198,7 @@ class Notifier {
       waiters_.push_back(e->current_fiber());
       e->block();
     }
+    san::acquire(this);
     return count_;
   }
 
@@ -192,7 +206,10 @@ class Notifier {
   /// if a signal was observed (count() > seen).
   bool wait_beyond_timeout(std::uint64_t seen, Time timeout) {
     Engine* e = Engine::current();
-    if (count_ > seen) return true;
+    if (count_ > seen) {
+      san::acquire(this);
+      return true;
+    }
     Fiber* self = e->current_fiber();
     waiters_.push_back(self);
     auto live = std::make_shared<bool>(true);
@@ -203,7 +220,11 @@ class Notifier {
     *live = false;
     // If the timeout (not signal()) woke us, we are still registered.
     std::erase(waiters_, self);
-    return count_ > seen;
+    if (count_ > seen) {
+      san::acquire(this);
+      return true;
+    }
+    return false;
   }
 
   [[nodiscard]] Time detect_latency() const { return detect_latency_; }

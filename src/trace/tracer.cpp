@@ -1,9 +1,9 @@
 #include "trace/tracer.hpp"
 
-#include <cstdlib>
 #include <fstream>
 
 #include "trace/chrome_writer.hpp"
+#include "util/env.hpp"
 
 namespace trace {
 
@@ -12,11 +12,8 @@ std::size_t env_limit() {
   // In-memory cap; a full-length bench with tracing on stays well under it,
   // but a runaway loop must not eat the machine.
   constexpr std::size_t kDefault = 2'000'000;
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup
-  const char* s = std::getenv("MPIOFF_TRACE_LIMIT");
-  if (s == nullptr || *s == '\0') return kDefault;
-  const long long v = std::atoll(s);
-  return v > 0 ? static_cast<std::size_t>(v) : kDefault;
+  return static_cast<std::size_t>(
+      env_util::positive_or("MPIOFF_TRACE_LIMIT", kDefault));
 }
 }  // namespace
 

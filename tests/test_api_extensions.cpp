@@ -64,6 +64,28 @@ TEST(Waitsome, ReturnsCompletedSubset) {
   });
 }
 
+TEST(Waitsome, EmptySpanIsAFreeNoOp) {
+  Cluster c(cfg(1));
+  c.run([&](RankCtx& rc) {
+    std::vector<Request> none;
+    const std::int64_t before = sim::now().ns();
+    EXPECT_TRUE(rc.waitsome(none).empty());
+    EXPECT_EQ(sim::now().ns(), before);  // no MPI entry overhead charged
+  });
+}
+
+TEST(Testany, EmptySpanIsAFreeNoOp) {
+  Cluster c(cfg(1));
+  c.run([&](RankCtx& rc) {
+    std::vector<Request> none;
+    int index = 123;
+    const std::int64_t before = sim::now().ns();
+    EXPECT_TRUE(rc.testany(none, &index));
+    EXPECT_EQ(index, -1);                // MPI_UNDEFINED-style result
+    EXPECT_EQ(sim::now().ns(), before);  // no MPI entry overhead charged
+  });
+}
+
 TEST(Testall, AllOrNothing) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {

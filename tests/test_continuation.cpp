@@ -340,7 +340,7 @@ TEST(ContOffload, BlockingWaitFromCallbackThrows) {
     core::OffloadProxy p(rc, {});
     p.start();
     const int me = rc.rank(), peer = 1 - me;
-    std::vector<int> rbuf(8), sbuf(8, me);
+    std::vector<int> rbuf(8), rbuf2(8), sbuf(8, me);
     bool threw = false;
     cont::Event done;
     cont::irecv(p, rbuf.data(), rbuf.size(), Datatype::kInt, peer, 0)
@@ -356,7 +356,7 @@ TEST(ContOffload, BlockingWaitFromCallbackThrows) {
           done.set();
         });
     PReq s = p.isend(sbuf.data(), sbuf.size(), Datatype::kInt, peer, 0);
-    PReq r2 = p.irecv(rbuf.data(), rbuf.size(), Datatype::kInt, peer, 1);
+    PReq r2 = p.irecv(rbuf2.data(), rbuf2.size(), Datatype::kInt, peer, 1);
     p.wait(s);
     done.wait(p);
     EXPECT_TRUE(threw);
