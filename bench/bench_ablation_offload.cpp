@@ -15,7 +15,11 @@
 //      over the message-size sweep (the CollTuner's whole reason to exist);
 //   A9 completion discovery — the polling waitall vs the continuation graph
 //      (when_all -> engine-run callbacks), as application-thread MPI time
-//      (post + wait phases) per Dslash iteration across all four approaches.
+//      (post + wait phases) per Dslash iteration across all four approaches;
+//   A10 sharded progress engine — message rate vs proxy count (1/2/4 engine
+//      fibers) under a skewed (every submitter hits one peer) and a uniform
+//      (submitters spread over four peers) distribution; the skewed column
+//      is what bounded work stealing exists for.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -489,13 +493,122 @@ void a9_continuations() {
   benchlib::finish_table(t);
 }
 
+struct A10Cell {
+  double rate = 0;          ///< completed messages per us of the send window
+  std::uint64_t stolen = 0; ///< commands siblings drained from the hot engine
+};
+
+/// One (proxy-count, distribution) cell: rank 0 runs 8 submitter fibers, each
+/// posting 64 small isends and waiting them out; ranks 1..4 pre-post the
+/// matching receives. Skewed sends everything to peer 1 (the peer-hash
+/// partition lands the full stream on ONE engine — only stealing can spread
+/// it); uniform spreads submitters over all four peers (the partition itself
+/// shards the load). The figure of merit is end-to-end: first post to last
+/// completed waitall, so engine drain/issue/completion throughput — not the
+/// submission front-end A7 already measures — dominates.
+A10Cell a10_run(std::size_t proxies, bool skewed) {
+  constexpr int kThreads = 8, kPerThread = 64, kPeers = 4;
+  smpi::ClusterConfig cc;
+  cc.nranks = 1 + kPeers;
+  cc.deadline = sim::Time::from_sec(120);
+  smpi::Cluster cluster(cc);
+  A10Cell cell;
+  cluster.run([&](smpi::RankCtx& rc) {
+    core::ProxyOptions opts;
+    opts.ring_capacity = 4096;
+    opts.pool_capacity = 1u << 15;
+    opts.lane_count = 16;
+    opts.lane_capacity = 256;
+    opts.proxy_count = proxies;
+    opts.steal_bound = 8;
+    core::OffloadProxy p(rc, opts);
+    p.start();
+    if (rc.rank() == 0) {
+      auto done = std::make_shared<int>(0);
+      auto done_n = std::make_shared<sim::Notifier>(sim::Time(200));
+      auto t_min = std::make_shared<sim::Time>(sim::Time::max());
+      auto t_max = std::make_shared<sim::Time>(sim::Time::zero());
+      auto submit = [&p, done, done_n, t_min, t_max, skewed](int tid) {
+        const int peer = skewed ? 1 : 1 + (tid % kPeers);
+        std::vector<core::PReq> reqs(kPerThread);
+        const sim::Time t0 = sim::now();
+        for (int i = 0; i < kPerThread; ++i) {
+          reqs[static_cast<std::size_t>(i)] = p.isend(
+              nullptr, 8, smpi::Datatype::kByte, peer, tid * 1000 + i);
+        }
+        p.waitall(reqs);
+        const sim::Time t1 = sim::now();
+        *t_min = std::min(*t_min, t0);
+        *t_max = std::max(*t_max, t1);
+        ++*done;
+        done_n->signal();
+      };
+      for (int t = 1; t < kThreads; ++t) {
+        rc.cluster().spawn_on(0, "sub" + std::to_string(t),
+                              [submit, t]() { submit(t); });
+      }
+      submit(0);
+      for (std::uint64_t seen = 0; *done < kThreads;) {
+        seen = done_n->wait_beyond(seen);
+      }
+      cell.rate = kThreads * kPerThread /
+                  std::max((*t_max - *t_min).us(), 1e-9);
+      cell.stolen = p.channel().stats().steal_commands;
+    } else {
+      std::vector<core::PReq> reqs;
+      for (int t = 0; t < kThreads; ++t) {
+        const int peer = skewed ? 1 : 1 + (t % kPeers);
+        if (peer != rc.rank()) continue;
+        for (int i = 0; i < kPerThread; ++i) {
+          reqs.push_back(
+              p.irecv(nullptr, 8, smpi::Datatype::kByte, 0, t * 1000 + i));
+        }
+      }
+      p.waitall(reqs);
+    }
+    p.barrier();
+    p.stop();
+  });
+  return cell;
+}
+
+void a10_proxy_scaling() {
+  std::printf("\nA10: sharded progress engine — message rate vs proxy count, "
+              "8 submitter threads x 64 isends, skewed (all->peer 1) vs "
+              "uniform (4 peers)\n");
+  Table t({"proxies", "skew rate(msg/us)", "uniform rate(msg/us)",
+           "skew speedup", "stolen"});
+  double skew1 = 0;
+  for (std::size_t n : {1u, 2u, 4u}) {
+    const A10Cell s = a10_run(n, /*skewed=*/true);
+    const A10Cell u = a10_run(n, /*skewed=*/false);
+    if (n == 1) skew1 = s.rate;
+    const double speedup = s.rate / std::max(skew1, 1e-12);
+    char sr[16], ur[16], spd[16];
+    std::snprintf(sr, sizeof sr, "%.3f", s.rate);
+    std::snprintf(ur, sizeof ur, "%.3f", u.rate);
+    std::snprintf(spd, sizeof spd, "%.2fx", speedup);
+    t.row({fmt_int(static_cast<long long>(n)), sr, ur, spd,
+           fmt_int(static_cast<long long>(s.stolen))});
+    if (Runner::stats_enabled()) {
+      std::printf(
+          "[stats] a10 proxies: n=%zu skew_rate=%.3f uniform_rate=%.3f "
+          "skew_speedup=%.2f stolen=%llu\n",
+          n, s.rate, u.rate, speedup,
+          static_cast<unsigned long long>(s.stolen));
+    }
+  }
+  benchlib::finish_table(t);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchlib::Runner runner(argc, argv);
   // Smoke mode (MPIOFF_BENCH_SMOKE=1, CI) runs only the A7 front-end
-  // ablation (reduced thread sweep), the A8 collective-algorithm ablation
-  // and the A9 continuation ablation; the full run does everything.
+  // ablation (reduced thread sweep), the A8 collective-algorithm ablation,
+  // the A9 continuation ablation and the A10 proxy-count scaling sweep; the
+  // full run does everything.
   if (!Runner::smoke_enabled()) {
     a1_eager_threshold();
     a2_pipeline_depth();
@@ -510,5 +623,6 @@ int main(int argc, char** argv) {
   a7_submission_lanes();
   a8_coll_algorithms();
   a9_continuations();
+  a10_proxy_scaling();
   return 0;
 }

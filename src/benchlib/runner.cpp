@@ -127,6 +127,10 @@ void report_proxy_stats(core::Proxy& p) {
                static_cast<double>(s.lane_submits));
     tr.counter(ts, rank, "offload.shared_submits",
                static_cast<double>(s.shared_submits));
+    tr.counter(ts, rank, "offload.overflow_submits",
+               static_cast<double>(s.overflow_submits));
+    tr.counter(ts, rank, "offload.steal_commands",
+               static_cast<double>(s.steal_commands));
     tr.counter(ts, rank, "offload.batches", static_cast<double>(s.batches));
     tr.counter(ts, rank, "offload.lane_full_stalls",
                static_cast<double>(s.lane_full_stalls));
@@ -147,19 +151,31 @@ void report_proxy_stats(core::Proxy& p) {
         static_cast<unsigned long long>(s.ring_full_stalls),
         static_cast<unsigned long long>(s.pool_full_stalls),
         static_cast<unsigned long long>(s.watchdog_flags));
+    // overflow_submits is deliberately NOT folded into the per-lane numbers:
+    // lane-table overflow falling back to the shared ring used to inflate
+    // per-lane throughput in this trailer.
     std::printf(
-        "[stats] offload rank0 frontend: lanes=%zu lane_submits=%llu "
-        "shared_submits=%llu batches=%llu batched=%llu lane_full_stalls=%llu "
+        "[stats] offload rank0 frontend: engines=%zu lanes=%zu "
+        "lane_submits=%llu shared_submits=%llu overflow_submits=%llu "
+        "batches=%llu batched=%llu lane_full_stalls=%llu "
         "spins=%llu yields=%llu sleeps=%llu\n",
-        op->channel().lane_count(),
+        op->channel().engine_count(), op->channel().lane_count(),
         static_cast<unsigned long long>(s.lane_submits),
         static_cast<unsigned long long>(s.shared_submits),
+        static_cast<unsigned long long>(s.overflow_submits),
         static_cast<unsigned long long>(s.batches),
         static_cast<unsigned long long>(s.batched_commands),
         static_cast<unsigned long long>(s.lane_full_stalls),
         static_cast<unsigned long long>(s.engine_spins),
         static_cast<unsigned long long>(s.engine_yields),
         static_cast<unsigned long long>(s.engine_sleeps));
+    if (s.steal_rounds + s.steal_commands != 0) {
+      std::printf(
+          "[stats] offload rank0 steal: steal_rounds=%llu "
+          "steal_commands=%llu\n",
+          static_cast<unsigned long long>(s.steal_rounds),
+          static_cast<unsigned long long>(s.steal_commands));
+    }
     // Continuation summary (only when callbacks were armed, so benchmarks
     // that never chain keep their legacy output).
     if (s.cont_armed + s.cont_inline + s.cont_posts != 0) {

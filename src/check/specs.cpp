@@ -7,6 +7,7 @@
 #include <span>
 
 #include "core/cont_table.hpp"
+#include "core/drain_claim.hpp"
 #include "core/mpsc_ring.hpp"
 #include "core/request_pool.hpp"
 #include "core/spsc_lane.hpp"
@@ -231,12 +232,143 @@ Result check_cont(const Options& opt) {
   });
 }
 
+Result check_mring(const Options& opt, const MringCfg& cfg) {
+  return explore(opt, [&cfg](Sim& sim) {
+    core::MpscRing<RingCmd, ModelAtomics> ring(cfg.capacity);
+    core::DrainClaimT<ModelAtomics> claim;
+    const int total = cfg.producers * cfg.items_per_producer;
+    // Consumer-side matching state — plain cells ON PURPOSE. The production
+    // analogues are the engine's per-peer bookkeeping, the lanes' plain
+    // cached_tail_, and the MPSC head's single-consumer protocol: all handed
+    // between consumers ONLY by the claim's release/acquire pair. Weaken
+    // either side and the race detector fires on these cells (or the ring
+    // double-pops and the FIFO check fires).
+    std::vector<var<int>> next_seq(static_cast<std::size_t>(cfg.producers));
+    for (std::size_t p = 0; p < next_seq.size(); ++p) {
+      ModelAtomics::set_name(next_seq[p], "mring.next", p);
+    }
+    var<int> drained;
+    ModelAtomics::set_name(drained, "mring.drained");
+    drained.ref_w() = 0;  // ordered before the threads by the spawn edge
+
+    std::vector<std::function<void()>> bodies;
+    bodies.reserve(static_cast<std::size_t>(cfg.producers + cfg.consumers));
+    for (int p = 0; p < cfg.producers; ++p) {
+      bodies.emplace_back([&ring, &cfg, p] {
+        for (int s = 0; s < cfg.items_per_producer; ++s) {
+          while (!ring.try_push(RingCmd{p, s})) Sim::yield();
+        }
+      });
+    }
+    for (int c = 0; c < cfg.consumers; ++c) {
+      bodies.emplace_back([&ring, &claim, &next_seq, &drained, total] {
+        for (;;) {
+          if (!claim.try_claim()) {
+            Sim::yield();  // owner or a sibling thief is on it
+            continue;
+          }
+          // Claim held: we are THE consumer of record until release.
+          if (drained.ref_r() == total) {
+            claim.release();
+            return;
+          }
+          RingCmd cmd;
+          while (ring.try_pop(cmd)) {
+            const auto p = static_cast<std::size_t>(cmd.producer);
+            check(cmd.seqno == next_seq[p].ref_r(),
+                  "per-producer FIFO survives the consumer handoff");
+            next_seq[p].ref_w() = cmd.seqno + 1;
+            drained.ref_w() = drained.ref_r() + 1;
+            Sim::yield();  // hold the claim across an interleaving, as the
+                           // engine holds it across the issue() yield
+          }
+          claim.release();
+          Sim::yield();
+        }
+      });
+    }
+    sim.threads(std::move(bodies));
+
+    check(drained.ref_r() == total, "every command popped exactly once");
+    for (std::size_t p = 0; p < next_seq.size(); ++p) {
+      check(next_seq[p].ref_r() == cfg.items_per_producer,
+            "each producer's stream fully consumed in order");
+    }
+    check(ring.empty_approx(), "ring drained");
+  });
+}
+
+Result check_doorbell(const Options& opt, bool buggy) {
+  return explore(opt, [buggy](Sim& sim) {
+    core::MpscRing<int, ModelAtomics> ring(2);
+    atomic<std::uint64_t> doorbell{0};
+    ModelAtomics::set_name(doorbell, "doorbell");
+    // Engine-local sleep decision, read by the main body after join.
+    bool slept = false;
+    std::uint64_t armed = 0;
+
+    sim.threads({
+        // Producer: publish the command, THEN ring the doorbell — the
+        // engine-side sleep protocol is sound only against this order.
+        [&ring, &doorbell] {
+          while (!ring.try_push(7)) Sim::yield();
+          doorbell.store(1, std::memory_order_release);
+        },
+        // Engine at the sleep transition (its spin/yield polls all came up
+        // empty); the two orderings under test differ only in which of
+        // {snapshot doorbell, re-check queues} runs first.
+        [&ring, &doorbell, &slept, &armed, buggy] {
+          if (buggy) {
+            // BUG (the lost-doorbell window): re-check the queues FIRST,
+            // then snapshot the doorbell to arm the sleep. A command
+            // published between the two is counted INSIDE the snapshot —
+            // the engine sleeps waiting for a count the doorbell already
+            // reached.
+            const bool empty = ring.empty_approx();
+            Sim::yield();  // the preemption window this ordering leaves open
+            const std::uint64_t cur =
+                doorbell.load(std::memory_order_acquire);
+            if (empty) {
+              slept = true;
+              armed = cur;
+            }
+          } else {
+            // FIX (the production ordering): snapshot FIRST, then re-check.
+            // If the re-check missed a push, that push's signal necessarily
+            // lands after the snapshot, so wait_beyond(armed) returns. And
+            // if the snapshot saw the signal, the acquire edge makes the
+            // push visible to the re-check — the engine cannot sleep at all.
+            const std::uint64_t cur =
+                doorbell.load(std::memory_order_acquire);
+            Sim::yield();
+            const bool empty = ring.empty_approx();
+            if (empty) {
+              slept = true;
+              armed = cur;
+            }
+          }
+        },
+    });
+
+    // Post-join invariant (the join stands in for wait_beyond returning):
+    // sleeping while a command is pending is only sound if the doorbell's
+    // final count exceeds the armed snapshot — otherwise the sleep never
+    // wakes and the command is stranded.
+    if (slept && !ring.empty_approx()) {
+      check(doorbell.load(std::memory_order_acquire) > armed,
+            "a pending command's signal lands beyond the armed snapshot");
+    }
+  });
+}
+
 Result run_spec(const std::string& spec, const Options& opt) {
   if (spec == "ring") return check_ring(opt);
   if (spec == "pool") return check_pool(opt);
   if (spec == "lane") return check_lane(opt);
   if (spec == "handshake") return check_handshake(opt);
   if (spec == "cont") return check_cont(opt);
+  if (spec == "mring") return check_mring(opt);
+  if (spec == "sleep") return check_doorbell(opt);
   throw std::invalid_argument("unknown spec: " + spec);
 }
 
@@ -268,6 +400,12 @@ std::vector<MutationCase> mutation_matrix() {
       // is what lets the loser read it before running the callback.
       {{"cont.state", OpKind::kRmw, Side::kAcquire}, "cont"},
       {{"cont.state", OpKind::kRmw, Side::kRelease}, "cont"},
+      // DrainClaim consumer handoff: the successful try_claim's acquire
+      // joins the previous holder's release, carrying the queues'
+      // consumer-side plain state between engines. Only the multi-consumer
+      // spec exercises two holders, so only it can catch a weakening.
+      {{"claim.state", OpKind::kRmw, Side::kAcquire}, "mring"},
+      {{"claim.state", OpKind::kStore, Side::kRelease}, "mring"},
   };
 }
 
@@ -277,7 +415,8 @@ std::vector<Site> collect_sites() {
   opt.iterations = 8;
   opt.seed = 12345;
   std::set<Site> all;
-  for (const char* spec : {"ring", "pool", "lane", "handshake", "cont"}) {
+  for (const char* spec :
+       {"ring", "pool", "lane", "handshake", "cont", "mring", "sleep"}) {
     const Result r = run_spec(spec, opt);
     if (r.failed) {
       throw std::logic_error(std::string("collect_sites: spec '") + spec +

@@ -65,8 +65,36 @@ Result check_handshake(const Options& opt);
 /// visible to the runner under every interleaving.
 Result check_cont(const Options& opt);
 
-/// Run a spec by name ("ring" | "pool" | "lane" | "handshake" | "cont")
-/// with its default cfg.
+/// Multi-consumer ring under the DrainClaim protocol (the multi-proxy
+/// engine's work-stealing shape): N producers push FIFO streams into the
+/// production MpscRing, and M consumers alternate as THE consumer by taking
+/// the claim, holding it across pop + bookkeeping (as the engine holds it
+/// across pop + issue). The per-producer sequence cells and the drained
+/// tally are plain chk::vars handed between consumers only by the claim's
+/// release/acquire pair — exactly the role it plays for the lanes' plain
+/// cached_tail_ and the MPSC head's single-consumer protocol — so weakening
+/// either side of the claim races immediately.
+struct MringCfg {
+  int producers = 2;
+  int items_per_producer = 2;
+  std::size_t capacity = 2;  ///< power of two, < total items (full/empty edges)
+  int consumers = 2;
+};
+Result check_mring(const Options& opt, const MringCfg& cfg = {});
+
+/// The engine's sleep transition (the lost-doorbell window): a producer
+/// pushes then signals; the engine, with all polls empty, decides to sleep.
+/// `buggy=false` models the production ordering — snapshot the doorbell,
+/// THEN re-check the queues, sleep beyond the snapshot — and must hold under
+/// every interleaving (a push missed by the re-check implies its signal
+/// lands after the snapshot). `buggy=true` swaps the two steps,
+/// re-introducing the window where a command pushed between re-check and
+/// snapshot is counted inside the armed snapshot: the checker finds the
+/// interleaving where the engine sleeps on a doorbell that already rang.
+Result check_doorbell(const Options& opt, bool buggy = false);
+
+/// Run a spec by name ("ring" | "pool" | "lane" | "handshake" | "cont" |
+/// "mring" | "sleep") with its default cfg.
 Result run_spec(const std::string& spec, const Options& opt);
 
 /// One row of the mutation suite: weakening `site` must be caught by `spec`.

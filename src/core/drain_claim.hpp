@@ -1,0 +1,78 @@
+// DrainClaim — consumer-ownership token for the offload channel's queues.
+//
+// MpscRing::try_pop and SpscLane::try_pop are single-consumer protocols:
+// the ring's head_ is relaxed (only one consumer ever advances it) and the
+// lane keeps a *plain* cached_tail_ on the consumer side. With one engine
+// fiber per rank that was true by construction. The multi-proxy engine
+// (PR 8) breaks it: an engine's private queues may be drained either by
+// their owner or by a stealing sibling engine.
+//
+// A DrainClaim restores the invariant. Exactly one fiber holds the claim
+// covering a queue set at a time; the holder may run the single-consumer
+// pop protocol and must keep the claim across the whole pop+issue sequence
+// (issuing a command yields in the simulator, and releasing between pop and
+// issue would let two fibers interleave same-envelope sends out of posted
+// order). The claim's CAS-acquire / store-release pair is also the
+// happens-before edge that hands the consumer-side plain state
+// (SpscLane::cached_tail_, the thief's view of ring cells) from one
+// consumer to the next:
+//  * try_claim CAS (acquire on success): synchronizes with the previous
+//    holder's release so this fiber sees every head_/cached_tail_ update
+//    the previous holder made. Failure ordering is relaxed — a failed
+//    claim reads nothing it acts on.
+//  * release store (release): publishes this holder's consumer-side state
+//    to the next claimant.
+// held() is a relaxed value-only read (monitoring/asserts, never payload
+// visibility).
+//
+// Like the rings, the class is templated over an atomics policy so the
+// src/check/ model checker can instantiate it with chk::ModelAtomics; the
+// "mring" spec (chk::specs::check_mring) runs the production MpscRing under
+// two alternating consumers bracketed by this claim and its mutation rows
+// prove both orderings above are load-bearing.
+//
+// memorder-audit: relaxed=2 acquire=1 release=1 acq_rel=0 seq_cst=0
+// (tools/check_memorder.py fails CI when this line disagrees with the
+// std::memory_order_* tokens actually used below — update both together.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/atomics_policy.hpp"
+
+namespace core {
+
+template <typename Atomics = StdAtomics>
+class DrainClaimT {
+ public:
+  DrainClaimT() { Atomics::set_name(state_, "claim.state"); }
+
+  DrainClaimT(const DrainClaimT&) = delete;
+  DrainClaimT& operator=(const DrainClaimT&) = delete;
+
+  /// Try to become the queues' consumer. True = this fiber now holds the
+  /// claim and may run the single-consumer pop protocol until release().
+  bool try_claim() {
+    std::uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  /// Hand the queues (and their consumer-side plain state) to the next
+  /// claimant.
+  void release() { state_.store(0, std::memory_order_release); }
+
+  /// Value-only snapshot for stats/asserts; never guards a payload read.
+  [[nodiscard]] bool held() const {
+    return state_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  typename Atomics::template atomic<std::uint32_t> state_{0};
+};
+
+using DrainClaim = DrainClaimT<>;
+
+}  // namespace core

@@ -12,50 +12,131 @@ namespace {
 // A producer spinning this long on a full lane/ring means the engine is
 // stuck or dead, not merely behind — fail loudly instead of hanging.
 constexpr int kFullSpinBound = 1 << 16;
-// lane_of_slot_ sentinels: slot not yet bound / bound to the shared ring.
+// lane_of_slot_ sentinels: slot not yet bound / bound to the shared rings.
 constexpr std::uint32_t kNoLane = 0xffffffffu;
 constexpr std::uint32_t kSharedRing = 0xfffffffeu;
+
+// Fibonacci multiplicative mix: spreads consecutive peer/communicator keys
+// across engines without clustering.
+std::uint64_t mix64(std::uint64_t x) {
+  return (x ^ (x >> 31)) * 0x9E3779B97F4A7C15ull;
+}
 }  // namespace
 
 OffloadChannel::OffloadChannel(smpi::RankCtx& rc, const ProxyOptions& opts)
     : rc_(rc),
       opts_(opts),
-      ring_(opts.ring_capacity),
       pool_(opts.pool_capacity),
-      shared_tail_line_(rc.profile().mpsc_line_transfer),
       completions_(rc.profile().done_flag_detect),
       cont_(opts.pool_capacity),
-      cont_fns_(opts.pool_capacity),
-      g_ring_(rc.rank(), "ring_occupancy"),
-      g_inflight_(rc.rank(), "inflight") {
-  lanes_.reserve(opts_.lane_count);
-  for (std::size_t i = 0; i < opts_.lane_count; ++i) {
-    lanes_.push_back(
-        std::make_unique<Lane>(opts_.lane_capacity, rc_.rank(), i));
+      cont_fns_(opts.pool_capacity) {
+  const std::size_t n = std::max<std::size_t>(1, opts_.proxy_count);
+  engines_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    engines_.push_back(std::make_unique<Engine>(opts_.ring_capacity, rc_, i));
+  }
+  // Row-major lane grid: one row per potential submitter, one column per
+  // engine, so every (producer, consumer) pair has a private SPSC ring.
+  lanes_.reserve(opts_.lane_count * n);
+  for (std::size_t row = 0; row < opts_.lane_count; ++row) {
+    for (std::size_t e = 0; e < n; ++e) {
+      lanes_.push_back(std::make_unique<Lane>(opts_.lane_capacity, rc_.rank(),
+                                              row * n + e));
+    }
+  }
+}
+
+// --------------------------------------------------------------- routing ----
+
+std::size_t OffloadChannel::engine_of(const Command& cmd) {
+  const std::size_t n = engines_.size();
+  if (n == 1) return 0;
+  const auto by = [n](std::uint64_t key) {
+    return static_cast<std::size_t>(mix64(key) >> 32) % n;
+  };
+  // Key construction: peer-addressed traffic mixes (peer, comm) so one hot
+  // peer's envelopes serialize on one engine while different peers spread;
+  // communicator-scoped traffic (collectives, wildcard receives) mixes only
+  // the communicator; RMA mixes the window (RMA ops block at the proxy
+  // level, so any stable function is order-safe).
+  const auto peer_key = [&cmd] {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cmd.comm.idx))
+            << 32) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cmd.peer));
+  };
+  const auto comm_key = [&cmd] {
+    return 0x636f6d6dull ^
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cmd.comm.idx))
+            << 16);
+  };
+  switch (cmd.op) {
+    case CmdOp::kIsend:
+      return by(peer_key());
+    case CmdOp::kIrecv: {
+      const int ci = cmd.comm.idx;
+      if (cmd.peer == smpi::kAnySource) {
+        // Wildcard: pin this communicator to hash(comm) routing, stickily.
+        // Every later receive on it follows, so a wildcard can neither
+        // overtake nor be overtaken by a same-communicator receive posted
+        // after it. (Specific receives already in a sibling's queue when
+        // the first wildcard arrives are the one documented relaxation —
+        // see DESIGN.md §15.)
+        if (std::find(wildcard_comms_.begin(), wildcard_comms_.end(), ci) ==
+            wildcard_comms_.end()) {
+          wildcard_comms_.push_back(ci);
+        }
+        return by(comm_key());
+      }
+      if (std::find(wildcard_comms_.begin(), wildcard_comms_.end(), ci) !=
+          wildcard_comms_.end()) {
+        return by(comm_key());
+      }
+      return by(peer_key());
+    }
+    case CmdOp::kPut:
+    case CmdOp::kGet:
+    case CmdOp::kIfence:
+      return by(0x776e0000ull ^
+                static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(cmd.win.idx)));
+    case CmdOp::kShutdown:
+      return 0;  // never routed: shutdown() broadcasts to every engine
+    default:
+      // Collectives and window management: same communicator -> same engine
+      // preserves the rank's collective posting order.
+      return by(comm_key());
   }
 }
 
 // ------------------------------------------------------ application side ----
 
-OffloadChannel::Lane* OffloadChannel::lane_for_caller() {
-  if (lanes_.empty()) return nullptr;
+OffloadChannel::Lane* OffloadChannel::lane_for_caller(std::size_t engine_idx,
+                                                      bool& overflow) {
+  overflow = false;
+  if (opts_.lane_count == 0) return nullptr;
   const int slot = rc_.thread_slot();
   const auto s = static_cast<std::size_t>(slot);
   if (s >= lane_of_slot_.size()) lane_of_slot_.resize(s + 1, kNoLane);
-  std::uint32_t li = lane_of_slot_[s];
-  if (li == kNoLane) {
-    if (next_lane_ < lanes_.size()) {
-      li = static_cast<std::uint32_t>(next_lane_++);
-      lane_of_slot_[s] = li;
-      lanes_[li]->owner_slot = slot;
+  std::uint32_t row = lane_of_slot_[s];
+  if (row == kNoLane) {
+    if (next_lane_ < opts_.lane_count) {
+      row = static_cast<std::uint32_t>(next_lane_++);
+      lane_of_slot_[s] = row;
+      for (std::size_t e = 0; e < engines_.size(); ++e) {
+        lanes_[row * engines_.size() + e]->owner_slot = slot;
+      }
     } else {
-      // More submitting fibers than lanes: overflow to the shared ring.
+      // More submitting fibers than lane rows: overflow to the shared rings.
       lane_of_slot_[s] = kSharedRing;
+      overflow = true;
       return nullptr;
     }
   }
-  if (li == kSharedRing) return nullptr;
-  return lanes_[li].get();
+  if (row == kSharedRing) {
+    overflow = true;
+    return nullptr;
+  }
+  return lanes_[row * engines_.size() + engine_idx].get();
 }
 
 std::uint32_t OffloadChannel::alloc_slot() {
@@ -84,14 +165,14 @@ std::uint32_t OffloadChannel::alloc_slot() {
   return proxy;
 }
 
-std::uint32_t OffloadChannel::alloc_slot_engine() {
+std::uint32_t OffloadChannel::alloc_slot_engine(Engine& e) {
   const auto& p = rc_.profile();
   sim::advance(p.request_pool_op);
   std::uint32_t proxy = pool_.alloc();
   for (int retries = 0; proxy == RequestPool::kNil; ++retries) {
-    // Engine context: blocking on completions_ would deadlock (the engine is
-    // its only signaller). Complete in-flight work instead, and advance the
-    // clock so application fibers get a chance to free finished slots.
+    // Engine context: blocking on completions_ would deadlock (the engines
+    // are its only signallers). Complete in-flight work instead, and advance
+    // the clock so application fibers get a chance to free finished slots.
     if (retries > 64) {
       throw std::runtime_error(
           "offload request pool exhausted while posting from a continuation "
@@ -99,7 +180,7 @@ std::uint32_t OffloadChannel::alloc_slot_engine() {
     }
     ++stats_.pool_full_stalls;
     trace::instant("stall:pool-full", "offload");
-    drive_progress();
+    drive_progress(e);
     sim::advance(sim::Time::from_us(1));
     proxy = pool_.alloc();
   }
@@ -108,14 +189,16 @@ std::uint32_t OffloadChannel::alloc_slot_engine() {
   return proxy;
 }
 
-std::uint32_t OffloadChannel::submit_from_engine(Command cmd) {
+std::uint32_t OffloadChannel::submit_from_engine(Engine& e, Command cmd) {
   // A continuation posting a follow-up: no lane, no ring, no doorbell — the
-  // engine IS the consumer, so the command issues directly. This is also the
-  // no-deadlock rule: a full ring can never wedge a posting callback.
+  // posting engine IS a consumer, so the command issues directly (and its
+  // in-flight lands on this engine, whatever engine_of would have said).
+  // This is also the no-deadlock rule: a full ring can never wedge a
+  // posting callback.
   trace::Scope tsc("cont:post", "offload");
-  cmd.proxy = alloc_slot_engine();
+  cmd.proxy = alloc_slot_engine(e);
   ++stats_.cont_posts;
-  process_command(cmd);
+  process_command(e, cmd);
   return cmd.proxy;
 }
 
@@ -125,7 +208,7 @@ void OffloadChannel::push_lane(Lane& lane, const Command& cmd) {
     if (spins > kFullSpinBound) {
       throw std::runtime_error(
           "offload submission lane stuck full: engine is not draining "
-          "(increase lane_capacity or check the offload fiber is running)");
+          "(increase lane_capacity or check the offload fibers are running)");
     }
     ++stats_.lane_full_stalls;
     ++lane.stats.full_stalls;
@@ -140,43 +223,47 @@ void OffloadChannel::push_lane(Lane& lane, const Command& cmd) {
   lane.gauge.set(static_cast<double>(occ));
 }
 
-void OffloadChannel::push_shared_locked(const Command& cmd) {
+void OffloadChannel::push_shared_locked(Engine& e, const Command& cmd) {
   const auto& p = rc_.profile();
-  // The shared ring's tail cache line: concurrent producers serialize here,
+  // The target ring's tail cache line: concurrent producers serialize here,
   // each acquisition charging Profile::mpsc_line_transfer.
-  sim::LockGuard g(shared_tail_line_);
-  for (int spins = 0; !ring_.try_push(cmd); ++spins) {
+  sim::LockGuard g(e.tail_line);
+  for (int spins = 0; !e.ring.try_push(cmd); ++spins) {
     if (spins > kFullSpinBound) {
       throw std::runtime_error(
           "offload command ring stuck full: engine is not draining "
-          "(increase ring_capacity or check the offload fiber is running)");
+          "(increase ring_capacity or check the offload fibers are running)");
     }
     ++stats_.ring_full_stalls;
     trace::instant("stall:ring-full", "offload");
     rc_.arrivals().signal();
     sim::advance(p.cmd_enqueue);  // retry cost
   }
-  san::channel_push(&ring_);  // MPSC publish: seq store-release
-  g_ring_.set(static_cast<double>(ring_.size_approx()));
+  san::channel_push(&e.ring);  // MPSC publish: seq store-release
+  e.g_ring.set(static_cast<double>(e.ring.size_approx()));
 }
 
 std::uint32_t OffloadChannel::submit(Command cmd) {
-  if (in_engine()) return submit_from_engine(cmd);
+  if (Engine* e = engine_for_current_fiber(); e != nullptr) {
+    return submit_from_engine(*e, cmd);
+  }
   trace::Scope tsc("cmd:enqueue", "offload");
   const auto& p = rc_.profile();
   cmd.proxy = alloc_slot();
   // Serialize parameters + lock-free enqueue.
   sim::advance(p.cmd_enqueue);
-  if (Lane* lane = lane_for_caller(); lane != nullptr) {
+  const std::size_t eidx = engine_of(cmd);
+  bool overflow = false;
+  if (Lane* lane = lane_for_caller(eidx, overflow); lane != nullptr) {
     push_lane(*lane, cmd);
     ++stats_.lane_submits;
     ++lane->stats.submits;
   } else {
-    push_shared_locked(cmd);
-    ++stats_.shared_submits;
+    push_shared_locked(*engines_[eidx], cmd);
+    ++(overflow ? stats_.overflow_submits : stats_.shared_submits);
   }
-  // Ring the doorbell: the offload thread's poll loop notices new work after
-  // its detection latency.
+  // Ring the doorbell: the offload fibers' poll loops notice new work after
+  // their detection latency.
   trace::instant("doorbell", "offload");
   rc_.arrivals().signal();
   return cmd.proxy;
@@ -184,11 +271,11 @@ std::uint32_t OffloadChannel::submit(Command cmd) {
 
 void OffloadChannel::submit_batch(std::span<Command> cmds) {
   if (cmds.empty()) return;
-  if (in_engine()) {
+  if (Engine* eng = engine_for_current_fiber(); eng != nullptr) {
     // Engine context keeps the batch's FIFO order but issues directly; the
-    // batching win (one doorbell, one publish) is moot when the engine is
+    // batching win (one doorbell, one publish) is moot when an engine is
     // already awake running the posting callback.
-    for (Command& c : cmds) c.proxy = submit_from_engine(c);
+    for (Command& c : cmds) c.proxy = submit_from_engine(*eng, c);
     ++stats_.batches;
     stats_.batched_commands += cmds.size();
     return;
@@ -203,54 +290,72 @@ void OffloadChannel::submit_batch(std::span<Command> cmds) {
     sim::advance(sim::Time(p.cmd_enqueue_batch.ns() *
                            static_cast<std::int64_t>(cmds.size() - 1)));
   }
-  if (Lane* lane = lane_for_caller(); lane != nullptr) {
-    std::span<Command> rest = cmds;
-    int spins = 0;
-    while (!rest.empty()) {
-      const std::size_t n = lane->ring.try_push_n(rest);
-      if (n != 0) san::channel_push(lane, n);  // one release covers the group
-      rest = rest.subspan(n);
-      if (rest.empty()) break;
-      if (++spins > kFullSpinBound) {
-        throw std::runtime_error(
-            "offload submission lane stuck full: engine is not draining "
-            "(increase lane_capacity or check the offload fiber is running)");
-      }
-      ++stats_.lane_full_stalls;
-      ++lane->stats.full_stalls;
-      trace::instant("stall:lane-full", "offload");
-      rc_.arrivals().signal();
-      sim::advance(p.cmd_enqueue);  // retry cost
-    }
-    const std::size_t occ = lane->ring.size_approx();
-    lane->stats.max_occupancy =
-        std::max<std::uint64_t>(lane->stats.max_occupancy, occ);
-    lane->gauge.set(static_cast<double>(occ));
-    lane->stats.submits += cmds.size();
-    ++lane->stats.batches;
-    lane->stats.batched_commands += cmds.size();
-    stats_.lane_submits += cmds.size();
-  } else {
-    // No lane: the batch still amortizes the doorbell and pays the tail
-    // cache-line transfer once for the whole group.
-    sim::LockGuard g(shared_tail_line_);
-    for (const Command& c : cmds) {
-      for (int spins = 0; !ring_.try_push(c); ++spins) {
-        if (spins > kFullSpinBound) {
+  // Route once per command, in order (wildcard stickiness in engine_of is
+  // order-sensitive), then publish each run of same-engine commands as one
+  // group: relative order within an engine — the only order matching can
+  // observe — is exactly the batch's.
+  std::vector<std::size_t> target(cmds.size());
+  for (std::size_t k = 0; k < cmds.size(); ++k) target[k] = engine_of(cmds[k]);
+  std::size_t i = 0;
+  while (i < cmds.size()) {
+    std::size_t j = i + 1;
+    while (j < cmds.size() && target[j] == target[i]) ++j;
+    std::span<Command> group = cmds.subspan(i, j - i);
+    const std::size_t eidx = target[i];
+    bool overflow = false;
+    if (Lane* lane = lane_for_caller(eidx, overflow); lane != nullptr) {
+      std::span<Command> rest = group;
+      int spins = 0;
+      while (!rest.empty()) {
+        const std::size_t n = lane->ring.try_push_n(rest);
+        if (n != 0) san::channel_push(lane, n);  // one release covers the group
+        rest = rest.subspan(n);
+        if (rest.empty()) break;
+        if (++spins > kFullSpinBound) {
           throw std::runtime_error(
-              "offload command ring stuck full: engine is not draining "
-              "(increase ring_capacity or check the offload fiber is "
+              "offload submission lane stuck full: engine is not draining "
+              "(increase lane_capacity or check the offload fibers are "
               "running)");
         }
-        ++stats_.ring_full_stalls;
-        trace::instant("stall:ring-full", "offload");
+        ++stats_.lane_full_stalls;
+        ++lane->stats.full_stalls;
+        trace::instant("stall:lane-full", "offload");
         rc_.arrivals().signal();
         sim::advance(p.cmd_enqueue);  // retry cost
       }
-      san::channel_push(&ring_);
+      const std::size_t occ = lane->ring.size_approx();
+      lane->stats.max_occupancy =
+          std::max<std::uint64_t>(lane->stats.max_occupancy, occ);
+      lane->gauge.set(static_cast<double>(occ));
+      lane->stats.submits += group.size();
+      ++lane->stats.batches;
+      lane->stats.batched_commands += group.size();
+      stats_.lane_submits += group.size();
+    } else {
+      // No lane: the group still amortizes the doorbell and pays the tail
+      // cache-line transfer once per engine touched.
+      Engine& e = *engines_[eidx];
+      sim::LockGuard g(e.tail_line);
+      for (const Command& c : group) {
+        for (int spins = 0; !e.ring.try_push(c); ++spins) {
+          if (spins > kFullSpinBound) {
+            throw std::runtime_error(
+                "offload command ring stuck full: engine is not draining "
+                "(increase ring_capacity or check the offload fibers are "
+                "running)");
+          }
+          ++stats_.ring_full_stalls;
+          trace::instant("stall:ring-full", "offload");
+          rc_.arrivals().signal();
+          sim::advance(p.cmd_enqueue);  // retry cost
+        }
+        san::channel_push(&e.ring);
+      }
+      e.g_ring.set(static_cast<double>(e.ring.size_approx()));
+      (overflow ? stats_.overflow_submits : stats_.shared_submits) +=
+          group.size();
     }
-    g_ring_.set(static_cast<double>(ring_.size_approx()));
-    stats_.shared_submits += cmds.size();
+    i = j;
   }
   ++stats_.batches;
   stats_.batched_commands += cmds.size();
@@ -297,9 +402,9 @@ bool OffloadChannel::test_done(std::uint32_t proxy, smpi::Status* st) {
 bool OffloadChannel::attach_continuation(std::uint32_t proxy, ContFn fn) {
   const auto& p = rc_.profile();
   // Publish the callback record first; the arm() claim's release makes it
-  // visible to the engine. (From engine context — a callback chaining onto a
-  // slot it just posted — the same protocol works: fire() for that slot can
-  // only happen on this same fiber, later.)
+  // visible to the engines. (From engine context — a callback chaining onto
+  // a slot it just posted — the same protocol works: fire() for that slot
+  // can only happen on the fiber that tracks it, later.)
   san::check_write(&cont_fns_[proxy], sizeof(ContFn), "cont.fns[slot]");
   cont_fns_[proxy] = std::move(fn);
   sim::advance(p.request_pool_op);
@@ -334,17 +439,33 @@ void OffloadChannel::shutdown() {
   Command c;
   c.op = CmdOp::kShutdown;
   sim::advance(rc_.profile().cmd_enqueue);
-  // Shutdown goes through the shared ring regardless of lanes: the engine
-  // keeps draining lanes until they are empty even after seeing it.
-  sim::LockGuard g(shared_tail_line_);
-  while (!ring_.try_push(c)) sim::advance(rc_.profile().cmd_enqueue);
-  san::channel_push(&ring_);
+  // One shutdown per engine, each through that engine's shared ring
+  // regardless of lanes: an engine keeps draining its lanes until they are
+  // empty even after seeing it, and a stolen shutdown still sets the
+  // channel-wide flag — every engine exits once its own share is drained.
+  for (auto& ep : engines_) {
+    Engine& e = *ep;
+    sim::LockGuard g(e.tail_line);
+    while (!e.ring.try_push(c)) sim::advance(rc_.profile().cmd_enqueue);
+    san::channel_push(&e.ring);
+  }
   rc_.arrivals().signal();
 }
 
 // ------------------------------------------------------------ engine side ----
 
-void OffloadChannel::complete_slot(std::uint32_t proxy,
+OffloadChannel::Engine* OffloadChannel::engine_for_current_fiber() {
+  sim::Engine* eng = sim::Engine::current();
+  if (eng == nullptr) return nullptr;
+  const sim::Fiber* f = eng->current_fiber();
+  if (f == nullptr) return nullptr;
+  for (auto& e : engines_) {
+    if (e->fiber == f) return e.get();
+  }
+  return nullptr;
+}
+
+void OffloadChannel::complete_slot(Engine& e, std::uint32_t proxy,
                                    const smpi::Status& st) {
   // The payload/Status writes precede the fire() claim; an armed slot's
   // callback is therefore always entitled to read them.
@@ -356,36 +477,37 @@ void OffloadChannel::complete_slot(std::uint32_t proxy,
   san::release(&cont_, proxy);  // published before the fire() claim
   if (cont_.fire(proxy)) {
     // A continuation is armed: its record is visible (failed-CAS acquire).
-    // Queue it for the bounded run pass rather than running here so a burst
-    // of completions cannot starve the testany sweep mid-loop.
+    // Queue it on the DISCOVERING engine for the bounded run pass rather
+    // than running here so a burst of completions cannot starve the testany
+    // sweep mid-loop.
     san::acquire(&cont_, proxy);
-    cont_ready_.push_back(proxy);
+    e.cont_ready.push_back(proxy);
   }
 }
 
-void OffloadChannel::issue(const Command& cmd) {
+void OffloadChannel::issue(Engine& e, const Command& cmd) {
   using smpi::Datatype;
   smpi::Request real{};
   // Ops with no (or immediate) MPI-level completion are finished inline.
   switch (cmd.op) {
     case CmdOp::kWinCreate:
       *cmd.win_out = rc_.win_create(cmd.rbuf, cmd.count, cmd.comm);
-      complete_slot(cmd.proxy, smpi::Status{});
+      complete_slot(e, cmd.proxy, smpi::Status{});
       return;
     case CmdOp::kWinFree:
       rc_.win_free(cmd.win);
-      complete_slot(cmd.proxy, smpi::Status{});
+      complete_slot(e, cmd.proxy, smpi::Status{});
       return;
     case CmdOp::kPut:
       rc_.put(cmd.sbuf, cmd.count, cmd.peer, cmd.offset, cmd.win);
-      complete_slot(cmd.proxy, smpi::Status{});
+      complete_slot(e, cmd.proxy, smpi::Status{});
       return;
     case CmdOp::kGet:
       rc_.get(cmd.rbuf, cmd.count, cmd.peer, cmd.offset, cmd.win);
-      complete_slot(cmd.proxy, smpi::Status{});
+      complete_slot(e, cmd.proxy, smpi::Status{});
       return;
     case CmdOp::kIfence:
-      track_inflight(rc_.ifence(cmd.win), cmd.proxy);
+      track_inflight(e, rc_.ifence(cmd.win), cmd.proxy);
       return;
     default:
       break;
@@ -427,40 +549,49 @@ void OffloadChannel::issue(const Command& cmd) {
       break;
     case CmdOp::kShutdown:
       throw std::logic_error("shutdown reached issue()");
+    default:  // RMA ops return from the inline-completion switch above
+      throw std::logic_error("inline-completed op fell through to issue()");
   }
-  track_inflight(real, cmd.proxy);
+  track_inflight(e, real, cmd.proxy);
 }
 
-void OffloadChannel::track_inflight(smpi::Request real, std::uint32_t proxy) {
-  inflight_.push_back({real, proxy, sim::now(), false});
-  scratch_reqs_.push_back(real);
-  ++live_inflight_;
+void OffloadChannel::track_inflight(Engine& e, smpi::Request real,
+                                    std::uint32_t proxy) {
+  e.inflight.push_back({real, proxy, sim::now(), false});
+  e.scratch_reqs.push_back(real);
+  ++e.live_inflight;
+  std::size_t live_total = 0;
+  for (const auto& ep : engines_) live_total += ep->live_inflight;
   stats_.max_inflight =
-      std::max<std::uint64_t>(stats_.max_inflight, live_inflight_);
-  g_inflight_.set(static_cast<double>(live_inflight_));
+      std::max<std::uint64_t>(stats_.max_inflight, live_total);
+  e.g_inflight.set(static_cast<double>(e.live_inflight));
 }
 
-void OffloadChannel::process_command(const Command& cmd) {
+void OffloadChannel::process_command(Engine& e, const Command& cmd) {
   // One span per command covering dequeue + issue, named after the op.
   trace::Scope tsc(cmd_op_name(cmd.op), "offload");
   sim::advance(rc_.profile().cmd_dequeue);
   if (cmd.op == CmdOp::kShutdown) {
+    // Channel-wide: shutdown() broadcasts one per engine, and a stolen copy
+    // must still stop the victim once its queues drain.
     shutdown_requested_ = true;
     return;
   }
   ++stats_.commands;
-  issue(cmd);
+  issue(e, cmd);
 }
 
-bool OffloadChannel::drain_lanes_round() {
-  // One round-robin pass, at most lane_drain_bound commands per lane: the
-  // fairness bound keeps a saturating lane from starving its neighbours or
-  // postponing the testany pass indefinitely.
+bool OffloadChannel::drain_lanes_round(Engine& e) {
+  // One round-robin pass over this engine's lane column, at most
+  // lane_drain_bound commands per lane: the fairness bound keeps a
+  // saturating lane from starving its neighbours or postponing the testany
+  // pass indefinitely. Caller holds e.claim.
   bool any = false;
-  const std::size_t n = lanes_.size();
-  if (n == 0) return false;
-  for (std::size_t k = 0; k < n; ++k) {
-    Lane& lane = *lanes_[(drain_cursor_ + k) % n];
+  const std::size_t rows = opts_.lane_count;
+  if (rows == 0) return false;
+  const std::size_t n = engines_.size();
+  for (std::size_t k = 0; k < rows; ++k) {
+    Lane& lane = *lanes_[((e.drain_cursor + k) % rows) * n + e.index];
     Command cmd;
     std::size_t popped = 0;
     while (popped < opts_.lane_drain_bound && lane.ring.try_pop(cmd)) {
@@ -468,65 +599,121 @@ bool OffloadChannel::drain_lanes_round() {
       ++popped;
       ++lane.stats.drained;
       lane.gauge.set(static_cast<double>(lane.ring.size_approx()));
-      process_command(cmd);
+      process_command(e, cmd);
     }
     any = any || popped != 0;
   }
   // Rotate the starting lane so equal backlogs drain at equal rates.
-  drain_cursor_ = (drain_cursor_ + 1) % n;
+  e.drain_cursor = (e.drain_cursor + 1) % rows;
   return any;
 }
 
-bool OffloadChannel::drain_shared() {
+bool OffloadChannel::drain_shared(Engine& e) {
+  // Caller holds e.claim.
   bool any = false;
   Command cmd;
-  while (ring_.try_pop(cmd)) {
-    san::channel_pop(&ring_);
+  while (e.ring.try_pop(cmd)) {
+    san::channel_pop(&e.ring);
     any = true;
-    g_ring_.set(static_cast<double>(ring_.size_approx()));
-    process_command(cmd);
+    e.g_ring.set(static_cast<double>(e.ring.size_approx()));
+    process_command(e, cmd);
   }
   return any;
 }
 
-bool OffloadChannel::lanes_empty() const {
-  for (const auto& lane : lanes_) {
-    if (!lane->ring.empty_approx()) return false;
+bool OffloadChannel::steal_round(Engine& e) {
+  const std::size_t n = engines_.size();
+  if (n < 2 || opts_.steal_bound == 0) return false;
+  for (std::size_t k = 1; k < n; ++k) {
+    Engine& v = *engines_[(e.index + k) % n];
+    if (!submissions_pending(v)) continue;
+    if (!v.claim.try_claim()) continue;  // owner (or another thief) is on it
+    san::acquire(&v.claim, 0);  // previous holder's consumer-side state
+    // Claim held across the WHOLE pop+issue sequence: issuing yields, and
+    // releasing between pop and issue would let the owner interleave
+    // same-envelope traffic out of posted order.
+    std::size_t budget = opts_.steal_bound;
+    std::size_t stolen = 0;
+    Command cmd;
+    const std::size_t rows = opts_.lane_count;
+    for (std::size_t row = 0; row < rows && budget > 0; ++row) {
+      Lane& lane = *lanes_[row * n + v.index];
+      while (budget > 0 && lane.ring.try_pop(cmd)) {
+        san::channel_pop(&lane);
+        ++lane.stats.drained;
+        lane.gauge.set(static_cast<double>(lane.ring.size_approx()));
+        process_command(e, cmd);
+        --budget;
+        ++stolen;
+      }
+    }
+    while (budget > 0 && v.ring.try_pop(cmd)) {
+      san::channel_pop(&v.ring);
+      v.g_ring.set(static_cast<double>(v.ring.size_approx()));
+      process_command(e, cmd);
+      --budget;
+      ++stolen;
+    }
+    san::release(&v.claim, 0);  // hand consumer-side state to the next holder
+    v.claim.release();
+    if (stolen == 0) continue;
+    ++stats_.steal_rounds;
+    stats_.steal_commands += stolen;
+    if (submissions_pending(v)) {
+      // Leftovers: the owner may have armed its doorbell against a count
+      // taken before our pops — re-ring so it cannot sleep past them.
+      rc_.arrivals().signal();
+    }
+    return true;  // one victim per pass: stay fair to our own queues
   }
-  return true;
+  return false;
 }
 
-bool OffloadChannel::submissions_pending() const {
-  return !ring_.empty_approx() || !lanes_empty();
+bool OffloadChannel::submissions_pending(const Engine& e) const {
+  if (!e.ring.empty_approx()) return true;
+  const std::size_t rows = opts_.lane_count;
+  const std::size_t n = engines_.size();
+  for (std::size_t row = 0; row < rows; ++row) {
+    if (!lanes_[row * n + e.index]->ring.empty_approx()) return true;
+  }
+  return false;
 }
 
-void OffloadChannel::drive_progress() {
-  watchdog_scan();
-  if (live_inflight_ == 0) return;
+bool OffloadChannel::steal_work_available(const Engine& e) const {
+  if (engines_.size() < 2 || opts_.steal_bound == 0) return false;
+  for (const auto& v : engines_) {
+    if (v.get() != &e && submissions_pending(*v)) return true;
+  }
+  return false;
+}
+
+void OffloadChannel::drive_progress(Engine& e) {
+  watchdog_scan(e);
+  if (e.live_inflight == 0) return;
   trace::Scope tsc("testany:sweep", "offload");
-  // MPI_Testany over the in-flight set; publish done flags as they complete.
-  // Loop until a pass makes no progress (a real offload thread would call
-  // Testany repeatedly while its queue is empty). Testany nulls the span
-  // entry of the request it completes — that null is the dead-slot marker,
-  // so no per-completion rebuild or erase is needed and the remaining
-  // entries keep their FIFO positions.
+  // MPI_Testany over this engine's in-flight set; publish done flags as they
+  // complete. Loop until a pass makes no progress (a real offload thread
+  // would call Testany repeatedly while its queue is empty). Testany nulls
+  // the span entry of the request it completes — that null is the dead-slot
+  // marker, so no per-completion rebuild or erase is needed and the
+  // remaining entries keep their FIFO positions.
   for (;;) {
     int idx = -1;
     smpi::Status st;
     ++stats_.testany_calls;
-    const bool flag = rc_.testany(scratch_reqs_, &idx, &st);
+    const bool flag = rc_.testany(e.scratch_reqs, &idx, &st);
     if (!flag || idx < 0) break;
     const auto i = static_cast<std::size_t>(idx);
-    complete_slot(inflight_[i].proxy, st);
-    --live_inflight_;
-    g_inflight_.set(static_cast<double>(live_inflight_));
-    if (live_inflight_ == 0) break;
+    complete_slot(e, e.inflight[i].proxy, st);
+    --e.live_inflight;
+    e.g_inflight.set(static_cast<double>(e.live_inflight));
+    if (e.live_inflight == 0) break;
   }
-  compact_inflight();
+  compact_inflight(e);
 }
 
-bool OffloadChannel::run_continuations() {
-  if (cont_ready_.empty()) return false;
+bool OffloadChannel::run_continuations(Engine& e) {
+  if (e.cont_ready.empty()) return false;
   const auto& p = rc_.profile();
   // Bounded pass: callbacks may post follow-ups whose completions queue more
   // callbacks (drive_progress can run inside a post when the pool is tight),
@@ -534,9 +721,9 @@ bool OffloadChannel::run_continuations() {
   // pass; the engine re-drains before sleeping because this returns true.
   std::size_t budget = opts_.cont_run_bound;
   bool any = false;
-  while (budget-- > 0 && !cont_ready_.empty()) {
-    const std::uint32_t proxy = cont_ready_.front();
-    cont_ready_.pop_front();
+  while (budget-- > 0 && !e.cont_ready.empty()) {
+    const std::uint32_t proxy = e.cont_ready.front();
+    e.cont_ready.pop_front();
     san::check_read(&cont_fns_[proxy], sizeof(ContFn), "cont.fns[slot]");
     ContFn fn = std::move(cont_fns_[proxy]);
     cont_fns_[proxy] = nullptr;
@@ -559,58 +746,91 @@ bool OffloadChannel::run_continuations() {
     ++stats_.cont_executed;
     any = true;
   }
-  stats_.cont_deferred += cont_ready_.size();
+  stats_.cont_deferred += e.cont_ready.size();
   return any;
 }
 
-void OffloadChannel::compact_inflight() {
+void OffloadChannel::compact_inflight(Engine& e) {
   // Skipping dead slots during the Testany scan is cheap; reclaim them only
   // once they dominate so a steady stream of completions stays O(1) each.
-  if (scratch_reqs_.size() <= 32 || live_inflight_ * 2 > scratch_reqs_.size()) {
+  if (e.scratch_reqs.size() <= 32 ||
+      e.live_inflight * 2 > e.scratch_reqs.size()) {
     return;
   }
   std::size_t w = 0;
-  for (std::size_t r = 0; r < scratch_reqs_.size(); ++r) {
-    if (scratch_reqs_[r].is_null()) continue;
-    scratch_reqs_[w] = scratch_reqs_[r];
-    inflight_[w] = inflight_[r];
+  for (std::size_t r = 0; r < e.scratch_reqs.size(); ++r) {
+    if (e.scratch_reqs[r].is_null()) continue;
+    e.scratch_reqs[w] = e.scratch_reqs[r];
+    e.inflight[w] = e.inflight[r];
     ++w;
   }
-  scratch_reqs_.resize(w);
-  inflight_.resize(w);
+  e.scratch_reqs.resize(w);
+  e.inflight.resize(w);
 }
 
-void OffloadChannel::watchdog_scan() {
+void OffloadChannel::watchdog_scan(Engine& e) {
   const sim::Time budget = opts_.watchdog_budget;
-  if (budget.ns() <= 0 || live_inflight_ == 0) return;
+  if (budget.ns() <= 0 || e.live_inflight == 0) return;
   const sim::Time now = sim::now();
-  if (now < next_watchdog_scan_) return;
-  next_watchdog_scan_ = now + sim::Time(budget.ns() / 8 + 1);
-  for (std::size_t i = 0; i < inflight_.size(); ++i) {
-    if (scratch_reqs_[i].is_null() || inflight_[i].flagged) continue;
-    if (now - inflight_[i].issued_at > budget) {
-      inflight_[i].flagged = true;
+  if (now < e.next_watchdog_scan) return;
+  e.next_watchdog_scan = now + sim::Time(budget.ns() / 8 + 1);
+  for (std::size_t i = 0; i < e.inflight.size(); ++i) {
+    if (e.scratch_reqs[i].is_null() || e.inflight[i].flagged) continue;
+    if (now - e.inflight[i].issued_at > budget) {
+      e.inflight[i].flagged = true;
       ++stats_.watchdog_flags;
       trace::instant("watchdog:stuck", "offload");
     }
   }
 }
 
-void OffloadChannel::engine_main() {
+void OffloadChannel::engine_main(std::size_t idx) {
+  Engine& e = *engines_.at(idx);
   const auto& p = rc_.profile();
   const bool faults_on = p.faults.enabled();
-  // Remember this fiber for the engine's whole life: continuations run here,
-  // and submit()/wait_done() route on current-fiber identity.
-  engine_fiber_ = sim::Engine::current()->current_fiber();
+  sim::Fiber* self = sim::Engine::current()->current_fiber();
+  // Stale-identity guard: a previous run of this engine that exited without
+  // clearing its fiber (impossible via the RAII below, but the assert keeps
+  // it that way) would let a RECYCLED fiber pointer inherit engine identity
+  // and silently route application submits down the engine-only path.
+  if (e.fiber != nullptr) {
+    throw std::logic_error(
+        "offload engine re-entered while a previous run still owns it "
+        "(engine identity was never cleared)");
+  }
+  e.fiber = self;
+  // Engine fibers share the rank's progress engine: progress_poll runs
+  // single-flight across them instead of throwing on re-entry.
+  rc_.register_progress_sharer(self);
+  // Identity and registration must clear on EVERY exit path — clean return,
+  // exception unwind, Cluster teardown — not just the happy one.
+  struct IdentityGuard {
+    smpi::RankCtx& rc;
+    Engine& eng;
+    sim::Fiber* f;
+    ~IdentityGuard() {
+      rc.unregister_progress_sharer(f);
+      eng.fiber = nullptr;
+    }
+  } guard{rc_, e, self};
+
   std::uint64_t seen = rc_.arrivals().count();
   for (;;) {
-    bool worked = drain_lanes_round();
-    worked = drain_shared() || worked;
-    drive_progress();
-    worked = run_continuations() || worked;
-    if (shutdown_requested_ && live_inflight_ == 0 &&
-        !submissions_pending() && cont_ready_.empty()) {
-      engine_fiber_ = nullptr;
+    bool worked = false;
+    if (e.claim.try_claim()) {
+      san::acquire(&e.claim, 0);  // previous holder's consumer-side state
+      worked = drain_lanes_round(e);
+      worked = drain_shared(e) || worked;
+      san::release(&e.claim, 0);
+      e.claim.release();
+    }
+    // else: a thief holds our queues; progress/continuations still run, and
+    // the spin polls below keep virtual time moving until it releases.
+    drive_progress(e);
+    worked = run_continuations(e) || worked;
+    if (!worked) worked = steal_round(e);
+    if (shutdown_requested_ && e.live_inflight == 0 &&
+        !submissions_pending(e) && e.cont_ready.empty()) {
       return;
     }
     if (worked) {
@@ -631,28 +851,48 @@ void OffloadChannel::engine_main() {
     for (int i = 0; i < p.engine_spin_polls && !woke; ++i) {
       ++stats_.engine_spins;
       sim::advance(p.cmd_detect);
-      woke = submissions_pending() || rc_.arrivals().count() > seen;
+      woke = submissions_pending(e) || steal_work_available(e) ||
+             rc_.arrivals().count() > seen;
     }
     for (int i = 0; i < p.engine_yield_polls && !woke; ++i) {
       ++stats_.engine_yields;
       sim::yield();
       sim::advance(p.cmd_detect);
-      woke = submissions_pending() || rc_.arrivals().count() > seen;
+      woke = submissions_pending(e) || steal_work_available(e) ||
+             rc_.arrivals().count() > seen;
     }
     if (woke) continue;
     ++stats_.engine_sleeps;
+    // Sleep transition, lost-doorbell hardened: snapshot the doorbell FIRST,
+    // only then re-check every queue, and sleep beyond the snapshot. A
+    // producer publishes (push) before it signals; if our re-check missed
+    // the push, the signal necessarily lands after our snapshot, so the
+    // wait below returns instead of stranding the command. (The buggy
+    // ordering — re-check, THEN snapshot — leaves a window where the push
+    // lands between the two and the signal is already counted in the
+    // snapshot: armed equals the final count and the sleep never wakes. The
+    // check-layer doorbell spec forces exactly that interleaving.)
+    const std::uint64_t armed = rc_.arrivals().count();
+    if (submissions_pending(e) || !e.cont_ready.empty() ||
+        steal_work_available(e)) {
+      // Own work re-checked under the armed snapshot — or a sibling still
+      // has a backlog, which nothing would ring OUR doorbell for: keep
+      // polling and retrying the steal instead of sleeping past it.
+      seen = armed;
+      continue;
+    }
     if (faults_on) {
       // Under faults the wake we are waiting for may have been lost with the
       // frame that carried it. Sleep with a bound and run a progress pass so
       // the reliability layer's retransmit timers keep firing — the offload
       // thread is exactly the "always inside MPI" context the paper's
       // software-progress model promises.
-      if (!rc_.arrivals().wait_beyond_timeout(seen, p.faults.rto_base)) {
+      if (!rc_.arrivals().wait_beyond_timeout(armed, p.faults.rto_base)) {
         rc_.progress();
       }
       seen = rc_.arrivals().count();
     } else {
-      seen = rc_.arrivals().wait_beyond(seen);
+      seen = rc_.arrivals().wait_beyond(armed);
     }
   }
 }

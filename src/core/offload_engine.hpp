@@ -1,31 +1,48 @@
 // The MPI offload engine (paper Section 3).
 //
-// One dedicated fiber per rank — "the offload thread" — is the only execution
-// context that ever enters the MPI library. Application threads interact with
-// it exclusively through:
-//   * sharded per-thread SPSC submission lanes (the fast path: each
-//     submitting fiber is bound to its own lane, so concurrent submitters
-//     never touch each other's cache lines),
-//   * the shared lock-free MPSC command ring (fallback when lanes are
+// One or more dedicated fibers per rank — "the offload proxies" — are the
+// only execution contexts that ever enter the MPI library. Application
+// threads interact with them exclusively through:
+//   * sharded per-(thread, engine) SPSC submission lanes (the fast path:
+//     each submitting fiber owns a private lane per engine, so concurrent
+//     submitters never touch each other's cache lines),
+//   * per-engine lock-free MPSC command rings (fallback when lanes are
 //     disabled or more fibers submit than lanes exist; producers contend on
-//     its tail cache line, modeled by a mutex charging
+//     a ring's tail cache line, modeled by a mutex charging
 //     Profile::mpsc_line_transfer per acquisition),
-//   * the lock-free request pool (completion flags).
+//   * the shared lock-free request pool (completion flags).
 //
-// Engine loop:
-//   1. drain the submission lanes round-robin, at most
+// Multi-proxy sharding (ProxyOptions::proxy_count, default one per NUMA
+// domain): commands are partitioned across engines by a peer/communicator
+// hash (engine_of) so everything whose relative order MPI matching can
+// observe — sends to one peer on one communicator, receives for one
+// envelope, collectives on one communicator — lands in ONE engine's queues
+// and is issued in submission order. Each engine owns a DrainClaim covering
+// its lane column + ring; an idle engine may steal up to
+// ProxyOptions::steal_bound commands from a sibling per pass by taking that
+// sibling's claim, which both serializes the single-consumer pop protocols
+// and carries the happens-before edge for the lanes' consumer-side state
+// (see core/drain_claim.hpp). The claim is held across the whole pop+issue
+// sequence: issuing yields, and releasing in between would let two engines
+// interleave same-envelope traffic out of posted order.
+//
+// Engine loop (each engine fiber):
+//   1. claim own queues; drain own lane column round-robin, at most
 //      ProxyOptions::lane_drain_bound commands per lane per pass (the
 //      fairness bound: a saturating lane cannot starve its neighbours or
-//      postpone the progress pass), then drain the shared ring;
-//   2. drive progress on all in-flight operations with MPI_Testany,
+//      postpone the progress pass), then drain own ring; release;
+//   2. drive progress on own in-flight operations with MPI_Testany,
 //      publishing done flags as they complete and queueing any armed
 //      continuations (cont_table.hpp), then run up to
 //      ProxyOptions::cont_run_bound of those callbacks — callbacks may post
 //      follow-ups, which issue directly instead of re-entering the ring;
-//   3. when nothing is pending, wait adaptively: spin-poll a few times
+//   3. if that found nothing, try one bounded steal pass from a busy
+//      sibling;
+//   4. when nothing is pending, wait adaptively: spin-poll a few times
 //      (cheapest wake), then yield the core a few times, then block on the
-//      rank's doorbell (a real offload thread spins; the simulator models the
-//      detection latency on wake instead of burning events).
+//      rank's doorbell — after snapshotting the doorbell and re-checking
+//      every queue, so a command published between the last empty poll and
+//      the sleep transition can never be stranded.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +55,7 @@
 
 #include "core/command.hpp"
 #include "core/cont_table.hpp"
+#include "core/drain_claim.hpp"
 #include "core/mpsc_ring.hpp"
 #include "core/proxy_options.hpp"
 #include "core/request_pool.hpp"
@@ -59,17 +77,26 @@ struct OffloadStats {
   std::uint64_t testany_calls = 0;
   std::uint64_t completions = 0;
   std::uint64_t max_inflight = 0;
-  std::uint64_t ring_full_stalls = 0;  ///< submit spun on the full shared ring
+  std::uint64_t ring_full_stalls = 0;  ///< submit spun on a full shared ring
   std::uint64_t pool_full_stalls = 0;  ///< submit waited on an exhausted pool
   /// In-flight requests seen exceeding ProxyOptions::watchdog_budget
   /// (counted once per request; diagnostic only, never alters timing).
   std::uint64_t watchdog_flags = 0;
   // ---- submission front-end ----
   std::uint64_t lane_submits = 0;    ///< commands entering via a SPSC lane
-  std::uint64_t shared_submits = 0;  ///< commands entering via the shared ring
+  std::uint64_t shared_submits = 0;  ///< commands entering via a shared ring
+                                     ///  because lanes are disabled
+  /// Commands from fibers that could not bind a lane (more submitters than
+  /// lanes) and fell back to a shared ring. Kept out of shared_submits so
+  /// the lane trailer's per-lane throughput is not inflated by overflow
+  /// traffic that never touched a lane.
+  std::uint64_t overflow_submits = 0;
   std::uint64_t batches = 0;         ///< submit_batch publishes
   std::uint64_t batched_commands = 0;  ///< commands carried by those batches
   std::uint64_t lane_full_stalls = 0;  ///< producer spun on its full lane
+  // ---- multi-proxy work stealing ----
+  std::uint64_t steal_rounds = 0;    ///< passes that stole from some sibling
+  std::uint64_t steal_commands = 0;  ///< commands drained from a sibling
   // ---- adaptive engine wait policy ----
   std::uint64_t engine_spins = 0;   ///< idle spin polls
   std::uint64_t engine_yields = 0;  ///< idle yield polls
@@ -90,10 +117,10 @@ struct LaneStats {
   std::uint64_t batched_commands = 0; ///< commands carried by those batches
   std::uint64_t full_stalls = 0;      ///< producer spun on the full lane
   std::uint64_t max_occupancy = 0;    ///< high-water mark of queued commands
-  std::uint64_t drained = 0;          ///< commands popped by the engine
+  std::uint64_t drained = 0;          ///< commands popped by an engine
 };
 
-/// Shared state between application threads and the offload engine of one
+/// Shared state between application threads and the offload engines of one
 /// rank. Application-facing calls live in OffloadProxy (core/proxy.hpp);
 /// this class is the engine side plus the submission primitives.
 class OffloadChannel {
@@ -105,11 +132,14 @@ class OffloadChannel {
   [[nodiscard]] const RequestPool& pool() const { return pool_; }
   [[nodiscard]] const OffloadStats& stats() const { return stats_; }
   [[nodiscard]] const ProxyOptions& options() const { return opts_; }
+  /// Offload engine fibers serving this channel.
+  [[nodiscard]] std::size_t engine_count() const { return engines_.size(); }
+  /// Total lanes in the grid (lane rows x engines; one row per submitter).
   [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
   [[nodiscard]] const LaneStats& lane_stats(std::size_t i) const {
     return lanes_[i]->stats;
   }
-  /// Signalled whenever the engine publishes a done flag (or a waiter frees
+  /// Signalled whenever an engine publishes a done flag (or a waiter frees
   /// a slot); exposed so the proxy's waitany/testall can sleep on it.
   sim::Notifier& completions() { return completions_; }
 
@@ -119,12 +149,14 @@ class OffloadChannel {
   /// enqueue cost; spins (virtually) if the lane/ring is momentarily full.
   std::uint32_t submit(Command cmd);
 
-  /// Enqueue a whole batch through the caller's lane with ONE publish and
-  /// ONE doorbell, writing each command's allocated proxy slot back into
-  /// `cmds[i].proxy`. The first command pays the full cmd_enqueue cost,
-  /// subsequent ones only Profile::cmd_enqueue_batch. FIFO order within the
-  /// batch is preserved. Falls back to the shared ring (still one doorbell,
-  /// one tail-line transfer) when the caller has no lane.
+  /// Enqueue a whole batch through the caller's lanes with one publish and
+  /// ONE doorbell per engine touched, writing each command's allocated
+  /// proxy slot back into `cmds[i].proxy`. The first command pays the full
+  /// cmd_enqueue cost, subsequent ones only Profile::cmd_enqueue_batch.
+  /// FIFO order within the batch is preserved per engine (and engine_of
+  /// keeps everything order-sensitive on one engine). Falls back to the
+  /// shared rings (still one tail-line transfer per engine run) when the
+  /// caller has no lane.
   void submit_batch(std::span<Command> cmds);
 
   /// Spin on the done flag of `proxy` (the paper's optimized MPI_Wait: no
@@ -138,34 +170,46 @@ class OffloadChannel {
   /// slot: the side that runs the callback frees it, so the caller must not
   /// wait on or test the slot afterwards. When the request already
   /// completed, the callback runs inline on the calling thread (returns
-  /// true); otherwise the engine runs it from its completion pass (returns
-  /// false). Continuations may submit follow-up work — from engine context
-  /// such posts bypass the lanes/ring and issue directly, so a full ring
-  /// can never deadlock a posting callback.
+  /// true); otherwise the discovering engine runs it from its completion
+  /// pass (returns false). Continuations may submit follow-up work — from
+  /// engine context such posts bypass the lanes/rings and issue directly,
+  /// so a full ring can never deadlock a posting callback.
   bool attach_continuation(std::uint32_t proxy, ContFn fn);
 
-  /// True when the calling fiber IS the offload engine (continuation
-  /// callbacks run there). Blocking completion calls are illegal in that
-  /// context and throw. Identity is per-fiber, not a global "engine is
-  /// running" bit: application fibers interleaving with a blocked engine
-  /// must keep taking the lane/ring path.
+  /// True when the calling fiber is ONE OF the offload engines
+  /// (continuation callbacks run there). Blocking completion calls are
+  /// illegal in that context and throw. Identity is per-fiber, not a global
+  /// "engine is running" bit: application fibers interleaving with a
+  /// blocked engine must keep taking the lane/ring path.
   [[nodiscard]] bool in_engine() const {
-    sim::Engine* e = sim::Engine::current();
-    return engine_fiber_ != nullptr && e != nullptr &&
-           e->current_fiber() == engine_fiber_;
+    sim::Engine* eng = sim::Engine::current();
+    if (eng == nullptr) return false;
+    const sim::Fiber* f = eng->current_fiber();
+    if (f == nullptr) return false;
+    for (const auto& e : engines_) {
+      if (e->fiber == f) return true;
+    }
+    return false;
   }
 
-  /// Continuations queued but not yet run by the engine.
-  [[nodiscard]] std::size_t cont_pending() const { return cont_ready_.size(); }
+  /// Continuations queued but not yet run by their engine.
+  [[nodiscard]] std::size_t cont_pending() const {
+    std::size_t n = 0;
+    for (const auto& e : engines_) n += e->cont_ready.size();
+    return n;
+  }
 
-  /// Enqueue the shutdown command (engine exits after draining every lane,
-  /// the shared ring, all in-flight requests, and the continuation queue).
+  /// Enqueue one shutdown command per engine (each engine exits after
+  /// draining its lanes, its ring, its in-flight requests, and its
+  /// continuation queue).
   void shutdown();
 
   // ---------------- engine side ----------------
 
-  /// Body of the offload fiber.
-  void engine_main();
+  /// Body of offload fiber `idx` (one per ProxyOptions::proxy_count).
+  /// Re-entering an engine whose previous run never cleared its identity
+  /// throws — a recycled fiber pointer must never inherit engine identity.
+  void engine_main(std::size_t idx = 0);
 
  private:
   struct Lane {
@@ -175,57 +219,145 @@ class OffloadChannel {
           gauge(rank, gauge_name.c_str()) {}
     SpscLane<Command> ring;
     LaneStats stats;
-    int owner_slot = -1;     ///< thread-registry slot bound to this lane
+    int owner_slot = -1;     ///< thread-registry slot bound to this lane row
     std::string gauge_name;  ///< stable storage for the gauge's name
     trace::Gauge gauge;
   };
 
-  /// The caller's lane, binding one on first use (nullptr = shared ring:
-  /// lanes disabled, or more submitting fibers than lanes).
-  Lane* lane_for_caller();
-  std::uint32_t alloc_slot();
-  /// Engine-context slot allocation: on exhaustion, drives progress (the
-  /// engine can never block on its own completions notifier).
-  std::uint32_t alloc_slot_engine();
-  /// Engine-context submit: no lane/ring, no doorbell — the command issues
-  /// directly. Used by continuations posting follow-ups.
-  std::uint32_t submit_from_engine(Command cmd);
-  void push_lane(Lane& lane, const Command& cmd);
-  void push_shared_locked(const Command& cmd);
+  struct Inflight {
+    smpi::Request real;
+    std::uint32_t proxy;
+    sim::Time issued_at;   ///< for the stuck-request watchdog
+    bool flagged = false;  ///< already reported by the watchdog
+  };
 
-  void issue(const Command& cmd);
-  void track_inflight(smpi::Request real, std::uint32_t proxy);
-  /// Publish a completion: done flag, stats, doorbell — and hand the slot to
-  /// the continuation queue when one is armed.
-  void complete_slot(std::uint32_t proxy, const smpi::Status& st);
-  bool drain_lanes_round();
-  bool drain_shared();
-  void process_command(const Command& cmd);
-  [[nodiscard]] bool lanes_empty() const;
-  [[nodiscard]] bool submissions_pending() const;
-  void drive_progress();
+  /// One engine fiber's private state. Everything here is touched only by
+  /// the fiber currently acting as this engine's consumer: the owner, or a
+  /// thief holding `claim` (queues), or the owning fiber itself (inflight
+  /// tracking, cont_ready — a thief issues stolen commands into ITS OWN
+  /// Engine, never the victim's).
+  struct Engine {
+    Engine(std::size_t ring_capacity, smpi::RankCtx& rc, std::size_t idx)
+        : index(idx),
+          ring(ring_capacity),
+          tail_line(rc.profile().mpsc_line_transfer),
+          ring_gauge_name(idx == 0 ? std::string("ring_occupancy")
+                                   : "ring" + std::to_string(idx) +
+                                         "_occupancy"),
+          inflight_gauge_name(idx == 0 ? std::string("inflight")
+                                       : "inflight" + std::to_string(idx)),
+          g_ring(rc.rank(), ring_gauge_name.c_str()),
+          g_inflight(rc.rank(), inflight_gauge_name.c_str()) {}
+
+    std::size_t index;
+    MpscRing<Command> ring;
+    /// Models this ring's tail cache line: producers pushing to it
+    /// serialize here, each paying Profile::mpsc_line_transfer. Lane
+    /// submitters never touch it — that is the point of the lanes.
+    sim::Mutex tail_line;
+    /// Consumer-ownership token over this engine's lane column + ring.
+    DrainClaim claim;
+    /// Fired slots whose callbacks this engine still owes. Bounded per pass
+    /// by ProxyOptions::cont_run_bound so a burst of completions cannot
+    /// starve the drain/testany loop.
+    std::deque<std::uint32_t> cont_ready;
+    /// In-flight tracking, kept incrementally: inflight and scratch_reqs
+    /// are parallel arrays appended by issue(). A completion nulls its
+    /// scratch_reqs entry in place (testany does this as a side effect), so
+    /// the Testany span never has to be rebuilt and FIFO scan order — hence
+    /// completion fairness — is preserved. Dead slots are reclaimed lazily
+    /// by compact_inflight() once they outnumber live ones.
+    std::vector<Inflight> inflight;
+    std::vector<smpi::Request> scratch_reqs;
+    std::size_t live_inflight = 0;
+    std::size_t drain_cursor = 0;  ///< round-robin fairness cursor
+    sim::Time next_watchdog_scan{0};
+    /// This engine's fiber, set for the whole lifetime of engine_main:
+    /// submits from it (continuation callbacks) take the direct-issue path
+    /// and blocking waits from it are errors. Compared against the CURRENT
+    /// fiber — other fibers interleave whenever the engine blocks. Cleared
+    /// on EVERY exit path (RAII in engine_main), clean or unwinding.
+    sim::Fiber* fiber = nullptr;
+    std::string ring_gauge_name;      ///< stable storage for the gauge name
+    std::string inflight_gauge_name;  ///< stable storage for the gauge name
+    trace::Gauge g_ring;
+    trace::Gauge g_inflight;
+  };
+
+  /// Which engine's queues carry `cmd`. Peer/communicator hash, chosen so
+  /// per-envelope order survives sharding (see DESIGN.md §15): sends and
+  /// specific receives go by (peer, comm); wildcard receives pin their
+  /// communicator to hash(comm) — and stick: later receives on that
+  /// communicator follow, so a wildcard can never overtake (or be overtaken
+  /// by) a same-communicator receive posted around it; collectives and
+  /// window management go by comm; RMA by window.
+  std::size_t engine_of(const Command& cmd);
+
+  /// The caller's lane for `engine_idx`, binding a lane row on first use.
+  /// nullptr = shared ring; `overflow` reports WHY (true = more submitting
+  /// fibers than lane rows, false = lanes disabled).
+  Lane* lane_for_caller(std::size_t engine_idx, bool& overflow);
+  std::uint32_t alloc_slot();
+  /// Engine-context slot allocation: on exhaustion, drives progress (an
+  /// engine can never block on its own completions notifier).
+  std::uint32_t alloc_slot_engine(Engine& e);
+  /// Engine-context submit: no lane/ring, no doorbell — the command issues
+  /// directly on the posting engine. Used by continuations posting
+  /// follow-ups.
+  std::uint32_t submit_from_engine(Engine& e, Command cmd);
+  void push_lane(Lane& lane, const Command& cmd);
+  void push_shared_locked(Engine& e, const Command& cmd);
+
+  /// The Engine owned by the calling fiber, or nullptr.
+  Engine* engine_for_current_fiber();
+
+  void issue(Engine& e, const Command& cmd);
+  void track_inflight(Engine& e, smpi::Request real, std::uint32_t proxy);
+  /// Publish a completion: done flag, stats, doorbell — and hand the slot
+  /// to the discovering engine's continuation queue when one is armed.
+  void complete_slot(Engine& e, std::uint32_t proxy, const smpi::Status& st);
+  /// Queue drains. Contract: the caller holds `owner.claim` (as owner or
+  /// thief) across the whole call — pops and the issues they feed must not
+  /// interleave with another consumer of the same queues. `e` is the engine
+  /// doing the work (tracks the resulting in-flights).
+  bool drain_lanes_round(Engine& e);
+  bool drain_shared(Engine& e);
+  /// One bounded steal pass: take one busy sibling's claim, drain at most
+  /// ProxyOptions::steal_bound of its commands (issued as OUR in-flights),
+  /// release, and re-ring the doorbell if leftovers remain.
+  bool steal_round(Engine& e);
+  void process_command(Engine& e, const Command& cmd);
+  /// This engine's own backlog (its lane column + its ring).
+  [[nodiscard]] bool submissions_pending(const Engine& e) const;
+  /// True when stealing is enabled and some OTHER engine has a backlog: an
+  /// idle engine must keep polling (and retrying the steal) instead of
+  /// sleeping — nothing rings our doorbell for a sibling's queue.
+  [[nodiscard]] bool steal_work_available(const Engine& e) const;
+  void drive_progress(Engine& e);
   /// Run up to ProxyOptions::cont_run_bound queued continuations; returns
   /// true when any ran (the engine re-drains before sleeping: callbacks
   /// post). Leftovers count into cont_deferred and run next pass.
-  bool run_continuations();
-  void compact_inflight();
-  void watchdog_scan();
+  bool run_continuations(Engine& e);
+  void compact_inflight(Engine& e);
+  void watchdog_scan(Engine& e);
 
   smpi::RankCtx& rc_;
   ProxyOptions opts_;
-  MpscRing<Command> ring_;
   RequestPool pool_;
-  /// Sharded per-thread submission lanes (unique_ptr: Lane owns the stable
-  /// string its trace gauge points into, so Lane must not relocate).
+  /// The engines (unique_ptr: Engine owns the stable strings its trace
+  /// gauges point into, so Engine must not relocate).
+  std::vector<std::unique_ptr<Engine>> engines_;
+  /// Sharded per-(thread, engine) submission lanes, a row-major grid:
+  /// lanes_[row * engines_.size() + engine]. A submitting fiber binds a row
+  /// on first use; engine e drains column e. (unique_ptr: Lane owns the
+  /// stable string its trace gauge points into.)
   std::vector<std::unique_ptr<Lane>> lanes_;
-  std::vector<std::uint32_t> lane_of_slot_;  ///< thread slot -> lane index
-  std::size_t next_lane_ = 0;                ///< next unbound lane
-  std::size_t drain_cursor_ = 0;             ///< round-robin fairness cursor
-  /// Models the shared ring's tail cache line: producers pushing to the
-  /// shared ring serialize here, each paying Profile::mpsc_line_transfer.
-  /// Lane submitters never touch it — that is the point of the lanes.
-  sim::Mutex shared_tail_line_;
-  /// Signalled by the engine whenever it publishes a done flag; application
+  std::vector<std::uint32_t> lane_of_slot_;  ///< thread slot -> lane row
+  std::size_t next_lane_ = 0;                ///< next unbound lane row
+  /// Communicators pinned to hash(comm) routing because a wildcard receive
+  /// was posted on them (sticky; see engine_of).
+  std::vector<int> wildcard_comms_;
+  /// Signalled by an engine whenever it publishes a done flag; application
   /// waiters use it to model their done-flag spin loop without event spam.
   sim::Notifier completions_;
   bool shutdown_requested_ = false;
@@ -236,35 +368,8 @@ class OffloadChannel {
   /// Callback records, indexed by pool slot. Published to the engine by the
   /// arm() claim's release; read under the fire()-failure acquire.
   std::vector<ContFn> cont_fns_;
-  /// Fired slots whose callbacks the engine still owes. Bounded per pass by
-  /// ProxyOptions::cont_run_bound so a burst of completions cannot starve
-  /// the drain/testany loop.
-  std::deque<std::uint32_t> cont_ready_;
-  /// The engine fiber, set for the whole lifetime of engine_main: submits
-  /// from that fiber (continuation callbacks) take the direct-issue path and
-  /// blocking waits from it are errors. Compared against the CURRENT fiber —
-  /// other fibers interleave whenever the engine blocks in a sim wait.
-  sim::Fiber* engine_fiber_ = nullptr;
 
-  struct Inflight {
-    smpi::Request real;
-    std::uint32_t proxy;
-    sim::Time issued_at;   ///< for the stuck-request watchdog
-    bool flagged = false;  ///< already reported by the watchdog
-  };
-  /// In-flight tracking, kept incrementally: inflight_ and scratch_reqs_ are
-  /// parallel arrays appended by issue(). A completion nulls its
-  /// scratch_reqs_ entry in place (testany does this as a side effect), so
-  /// the Testany span never has to be rebuilt and FIFO scan order — hence
-  /// completion fairness — is preserved. Dead slots are reclaimed lazily by
-  /// compact_inflight() once they outnumber live ones.
-  std::vector<Inflight> inflight_;
-  std::vector<smpi::Request> scratch_reqs_;
-  std::size_t live_inflight_ = 0;
-  sim::Time next_watchdog_scan_{0};
   OffloadStats stats_;
-  trace::Gauge g_ring_;
-  trace::Gauge g_inflight_;
 };
 
 }  // namespace core

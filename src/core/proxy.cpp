@@ -316,15 +316,24 @@ std::uint32_t slot_of(PReq r) { return static_cast<std::uint32_t>(r.v - 1); }
 
 void OffloadProxy::start() {
   auto* ch = &channel_;
-  engine_fiber_ = &rc_.cluster().spawn_on(
-      rc_.rank(), "rank" + std::to_string(rc_.rank()) + ".offload",
-      [ch]() { ch->engine_main(); });
+  const std::size_t n = channel_.engine_count();
+  engine_fibers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Engine 0 keeps the classic fiber name; siblings get a suffix so traces
+    // and the fiber registry distinguish them.
+    std::string name = "rank" + std::to_string(rc_.rank()) + ".offload";
+    if (i != 0) name += std::to_string(i);
+    engine_fibers_.push_back(&rc_.cluster().spawn_on(
+        rc_.rank(), name, [ch, i]() { ch->engine_main(i); }));
+  }
 }
 
 void OffloadProxy::stop() {
   channel_.shutdown();
-  while (engine_fiber_ != nullptr && !engine_fiber_->done()) {
-    sim::advance(sim::Time::from_ns(100));
+  for (sim::Fiber* f : engine_fibers_) {
+    while (f != nullptr && !f->done()) {
+      sim::advance(sim::Time::from_ns(100));
+    }
   }
 }
 

@@ -334,7 +334,8 @@ class OffloadProxy : public Proxy {
 
  private:
   OffloadChannel channel_;
-  sim::Fiber* engine_fiber_ = nullptr;
+  /// One fiber per engine (ProxyOptions::proxy_count), in engine order.
+  std::vector<sim::Fiber*> engine_fibers_;
 };
 
 /// Factory; caller picks the approach per rank (all ranks should agree).

@@ -12,7 +12,8 @@ namespace core {
 namespace {
 
 constexpr const char* kValidKeys =
-    "ring, pool, lanes, lane_cap, drain, batch, watchdog, cont_run";
+    "ring, pool, lanes, lane_cap, drain, batch, watchdog, cont_run, "
+    "proxies, steal";
 
 std::size_t parse_count(const std::string& v, const std::string& key) {
   char* end = nullptr;
@@ -49,6 +50,9 @@ ProxyOptions ProxyOptions::defaults_for(const machine::Profile& p) {
   o.lane_count = static_cast<std::size_t>(
       std::clamp(p.cores_per_rank - 1, 1, 16));
   o.watchdog_budget = p.offload_watchdog_budget;
+  // One engine fiber per NUMA domain: each proxy serves its socket's
+  // submitters; rank-per-socket profiles stay single-engine.
+  o.proxy_count = static_cast<std::size_t>(std::clamp(p.numa_domains, 1, 8));
   return o;
 }
 
@@ -62,7 +66,9 @@ ProxyOptions ProxyOptions::parse(const std::string& spec, ProxyOptions base) {
     const std::string item = spec.substr(pos, comma - pos);
     pos = comma + 1;
     if (item.empty()) continue;
-    const std::size_t eq = item.find('=');
+    // Both separators are accepted (proxies:4 reads naturally next to the
+    // MPIOFF_SAN-style specs; key=value stays valid everywhere).
+    const std::size_t eq = item.find_first_of("=:");
     if (eq == std::string::npos) {
       throw std::invalid_argument("MPIOFF_PROXY: expected key=value, got '" +
                                   item + "'");
@@ -92,6 +98,10 @@ ProxyOptions ProxyOptions::parse(const std::string& spec, ProxyOptions base) {
       o.watchdog_budget = parse_duration(val, key);
     } else if (key == "cont_run") {
       o.cont_run_bound = parse_count(val, key);
+    } else if (key == "proxies") {
+      o.proxy_count = parse_count(val, key);
+    } else if (key == "steal") {
+      o.steal_bound = parse_count(val, key);
     } else {
       throw std::invalid_argument("MPIOFF_PROXY: unknown key '" + key +
                                   "' (valid: " + kValidKeys + ")");
@@ -101,6 +111,9 @@ ProxyOptions ProxyOptions::parse(const std::string& spec, ProxyOptions base) {
       o.cont_run_bound == 0) {
     throw std::invalid_argument(
         "MPIOFF_PROXY: 'drain', 'batch' and 'cont_run' must be at least 1");
+  }
+  if (o.proxy_count == 0) {
+    throw std::invalid_argument("MPIOFF_PROXY: 'proxies' must be at least 1");
   }
   return o;
 }

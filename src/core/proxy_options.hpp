@@ -9,8 +9,8 @@
 //
 //   MPIOFF_PROXY="lanes=8,lane_cap=128,batch=16,watchdog=200ms" ./bench_...
 //
-// Keys (all optional, comma-separated key=value):
-//   ring     shared MPSC command-ring capacity (power of two)
+// Keys (all optional, comma-separated key=value or key:value):
+//   ring     shared MPSC command-ring capacity (power of two), per engine
 //   pool     request-pool capacity (done-flag slots)
 //   lanes    per-thread SPSC submission lane count; 0 = single shared ring
 //   lane_cap capacity of each lane (power of two)
@@ -18,6 +18,10 @@
 //   batch    flush threshold: max commands per one lane publish + doorbell
 //   watchdog in-flight age budget (duration: ns/us/ms/s suffix), 0 disables
 //   cont_run max continuation callbacks run per engine pass (>= 1)
+//   proxies  offload engine fibers per rank (>= 1); traffic is partitioned
+//            by peer/communicator hash so per-peer matching order holds
+//   steal    work-steal budget: max commands one engine drains from a
+//            sibling's queues per pass; 0 disables stealing
 //
 // Repeating a key is rejected: a retuning wrapper script that appends to an
 // inherited spec should fail loudly, not silently last-write-win.
@@ -43,9 +47,16 @@ struct ProxyOptions {
   /// Max continuation callbacks the engine runs per pass before returning to
   /// the drain/testany loop; leftovers count into cont_deferred.
   std::size_t cont_run_bound = 16;
+  /// Offload engine fibers per rank. The struct default stays 1 (explicit
+  /// aggregate options get the classic single-engine channel); defaults_for
+  /// derives it from the profile's NUMA-domain count.
+  std::size_t proxy_count = 1;
+  /// Max commands an idle engine drains from one sibling's queues per steal
+  /// pass (0 disables work stealing between engine fibers).
+  std::size_t steal_bound = 8;
 
   /// Profile-derived defaults: one lane per usable submitter core (capped),
-  /// watchdog budget from the profile.
+  /// one engine fiber per NUMA domain, watchdog budget from the profile.
   static ProxyOptions defaults_for(const machine::Profile& p);
 
   /// Parse a "key=value,key=value" spec on top of `base`. Throws

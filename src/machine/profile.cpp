@@ -13,6 +13,7 @@ Profile xeon_phi() {
   Profile p;
   p.name = "xeon_phi";
   p.cores_per_rank = 60;  // 61 cores, one reserved for the OS
+  p.numa_domains = 1;     // single-die coprocessor (ring bus, one domain)
   // In-order 1.1 GHz cores: scalar software paths run ~5x slower than the
   // Haswell Xeon, single-thread copy bandwidth is much lower.
   p.copy_bytes_per_ns = 2.0;
@@ -50,6 +51,7 @@ Profile aries() {
   Profile p;
   p.name = "aries";
   p.cores_per_rank = 12;  // Edison: dual-socket 12-core IvyBridge, rank/socket
+  p.numa_domains = 1;     // rank-per-socket: one domain per rank
   p.net_latency = sim::Time(500);
   p.net_bytes_per_ns = 8.0;
   p.mpi_call_overhead = sim::Time(300);

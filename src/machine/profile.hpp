@@ -26,6 +26,11 @@ struct Profile {
   /// the paper's 1-5% internal-compute slowdown.
   int cores_per_rank = 28;
 
+  /// NUMA domains spanned by one rank. One offload engine fiber per domain
+  /// is the natural default (each proxy drains the lanes of its socket's
+  /// submitters); rank-per-socket layouts have exactly one.
+  int numa_domains = 2;
+
   /// CPU copy bandwidth in bytes per nanosecond (single thread). Governs the
   /// eager-protocol internal memcpy cost that dominates MPI_Isend issue time
   /// below the rendezvous threshold.

@@ -71,14 +71,18 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
 
   // Collective stages batch their sends on one doorbell (see
   // post_coll_stage): the first descriptor rings, the rest only pay the
-  // already-charged enqueue work.
+  // already-charged enqueue work. The coll_* flags are state of the LIVE
+  // progress pass; a send issued by a sibling engine fiber interleaving with
+  // that pass must not inherit its batching or registered-buffer treatment.
+  const bool stage_post = coll_posting_ && progress_pass_current();
   const auto charge_doorbell = [&] {
-    if (coll_doorbell_batch_ && coll_doorbell_rung_) {
+    const bool batching = coll_doorbell_batch_ && progress_pass_current();
+    if (batching && coll_doorbell_rung_) {
       ++coll_stats_.doorbells_amortized;
       return;
     }
     sim::advance(p.nic_doorbell);
-    coll_doorbell_rung_ = true;
+    if (batching) coll_doorbell_rung_ = true;
   };
 
   if (bytes <= p.eager_threshold) {
@@ -87,7 +91,7 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
     // until the stage completes, so the NIC serializes straight from them —
     // no CPU bounce copy (the simulation memcpy below is bookkeeping only).
     trace::Scope tsc("send:eager", "mpi");
-    if (!coll_posting_) sim::advance(p.copy_cost(bytes));
+    if (!stage_post) sim::advance(p.copy_cost(bytes));
     charge_doorbell();
     machine::NetMessage m;
     m.src = rank_;
@@ -129,7 +133,7 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
   // Rendezvous keeps the payload in the user buffer until the CTS/DMA runs:
   // that inflight window is exactly what the sanitizer's buffer lint guards.
   // (Eager/loopback sends complete at post time — nothing stays inflight.)
-  if (!coll_posting_) san::mpi_post_send(rank_, r.idx, buf, bytes);
+  if (!stage_post) san::mpi_post_send(rank_, r.idx, buf, bytes);
   return Request{r.idx};
 }
 
@@ -144,7 +148,7 @@ Request RankCtx::irecv_internal(void* buf, std::size_t bytes, int src_global,
   r.src_global = src_global;
   r.tag = tag;
   r.comm = comm;
-  r.coll_internal = coll_posting_;
+  r.coll_internal = coll_posting_ && progress_pass_current();
 
   // First look in the unexpected queue (MPI ordering requires it).
   if (auto um = match_.match_unexpected(ctx, src_global, tag)) {

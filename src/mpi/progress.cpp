@@ -201,12 +201,19 @@ void RankCtx::deliver(machine::NetMessage&& m) {
 // ------------------------------------------------------------- software ----
 
 void RankCtx::progress_poll() {
-  // Reentry would mean two fibers are inside the library concurrently
-  // without the big lock — a violation of the declared thread level.
   if (in_progress_) {
+    // Registered progress sharers (the offload engine fibers) legitimately
+    // interleave inside the library at yield points. The pass already
+    // running does every piece of software work this one would — inbox,
+    // rendezvous, collectives, reliability — so the late arrival just skips
+    // (single-flight). Covers recursive entry by the pass owner too.
+    if (progress_sharer_current()) return;
+    // Anyone else: two fibers inside the library concurrently without the
+    // big lock — a violation of the declared thread level.
     throw std::logic_error("concurrent MPI entry under non-MULTIPLE level");
   }
   in_progress_ = true;
+  in_progress_fiber_ = sim::Engine::current()->current_fiber();
   ++stats_.progress_passes;
   trace::Scope tsc("progress", "mpi");
   const auto& p = profile();
@@ -231,6 +238,7 @@ void RankCtx::progress_poll() {
     if (r->cts_received && r->dma_delivered >= r->sbytes) {
       sim::advance(p.mpi_match_cost);
       r->complete = true;
+      arrivals_.signal();  // wake the fiber tracking this request (see below)
       pending_rndv_send_[i] = pending_rndv_send_.back();
       pending_rndv_send_.pop_back();
     } else {
@@ -242,6 +250,7 @@ void RankCtx::progress_poll() {
     if (r->data_arrived) {
       sim::advance(p.mpi_match_cost);
       r->complete = true;
+      arrivals_.signal();
       pending_rndv_recv_[i] = pending_rndv_recv_.back();
       pending_rndv_recv_.pop_back();
     } else {
@@ -252,6 +261,7 @@ void RankCtx::progress_poll() {
   advance_collectives();
   if (rel_on_) rel_poll();
   in_progress_ = false;
+  in_progress_fiber_ = nullptr;
 }
 
 void RankCtx::process_inbox_message(machine::NetMessage&& m) {
@@ -291,6 +301,17 @@ void RankCtx::handle_eager(machine::NetMessage&& m) {
     r->status.tag = env.tag;
     r->status.bytes = declared;
     r->complete = true;
+    // Completion is a wake event of its own, distinct from the deliver-time
+    // doorbell: the copy above yields, and with several engine fibers sharing
+    // this progress engine (single-flight progress_poll), the fiber that
+    // tracks this request may poll during that yield, take the busy
+    // fast-path, observe the request still incomplete, and arm its doorbell
+    // against an arrivals count that already includes the deliver signal. If
+    // the transition to complete did not re-ring, that fiber would sleep past
+    // its own request forever. With one consumer the completer and the
+    // scanner were the same fiber and this signal was redundant — one of the
+    // single-consumer assumptions sharding exposes (DESIGN.md §15).
+    arrivals_.signal();
     return;
   }
   UnexpectedMsg um;

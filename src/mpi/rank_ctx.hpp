@@ -15,6 +15,7 @@
 // offload thread closes.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -89,6 +90,22 @@ class RankCtx {
   void register_thread(const sim::Fiber& f) { slot_for(f.id()); }
   [[nodiscard]] int thread_slots() const {
     return static_cast<int>(fiber_slots_.size());
+  }
+
+  // ---------------- progress sharing ----------------
+  /// Declare `f` a progress sharer: a fiber (an offload engine) that may
+  /// enter the library concurrently with its siblings even below
+  /// THREAD_MULTIPLE. For sharers, progress_poll runs single-flight — a
+  /// sharer arriving while a pass is live skips it (the running pass does
+  /// the same software work it would have) instead of tripping the
+  /// reentrancy invariant. Unregistered fibers keep the strict guarantee:
+  /// concurrent entry under non-MULTIPLE still throws.
+  void register_progress_sharer(const sim::Fiber* f) {
+    progress_sharers_.push_back(f);
+  }
+  void unregister_progress_sharer(const sim::Fiber* f) {
+    auto it = std::find(progress_sharers_.begin(), progress_sharers_.end(), f);
+    if (it != progress_sharers_.end()) progress_sharers_.erase(it);
   }
 
   // ---------------- point-to-point ----------------
@@ -239,6 +256,23 @@ class RankCtx {
 
   [[nodiscard]] bool software_work_pending() const;
 
+  /// True when the calling fiber is a registered progress sharer.
+  [[nodiscard]] bool progress_sharer_current() const {
+    const sim::Fiber* f = sim::Engine::current()->current_fiber();
+    return f != nullptr &&
+           std::find(progress_sharers_.begin(), progress_sharers_.end(), f) !=
+               progress_sharers_.end();
+  }
+  /// True when the calling fiber is the one running the live progress pass.
+  /// The collective-posting flags below (coll_posting_, coll_doorbell_*) are
+  /// pass-local state: with several engine fibers interleaving inside the
+  /// library, a send issued by a sibling while a pass posts a collective
+  /// stage must NOT inherit the pass's batching/registered-buffer treatment.
+  [[nodiscard]] bool progress_pass_current() const {
+    return in_progress_ &&
+           in_progress_fiber_ == sim::Engine::current()->current_fiber();
+  }
+
   /// Slot lookup/assignment for the thread registry. Linear scan: a rank
   /// hosts a handful of fibers, and the offload channel caches the result.
   int slot_for(std::uint64_t fiber_id) {
@@ -277,6 +311,11 @@ class RankCtx {
   /// Hardware-side RMA delivery; true if the message was RMA traffic.
   bool rma_deliver(machine::NetMessage& m);
   bool in_progress_ = false;  ///< reentrancy guard (debug invariant)
+  /// The fiber running the live progress pass (meaningful while
+  /// in_progress_); identifies the pass owner for progress_pass_current().
+  const sim::Fiber* in_progress_fiber_ = nullptr;
+  /// Fibers allowed to skip (rather than fail) a concurrent progress pass.
+  std::vector<const sim::Fiber*> progress_sharers_;
   int blocked_in_mpi_ = 0;    ///< threads currently inside a blocking wait
 
   // ------- reliability sublayer (active only when profile faults are on) ----

@@ -1,0 +1,71 @@
+// Model-checking the engine's sleep transition (the lost-doorbell window).
+// The production ordering — snapshot the doorbell, re-check every queue,
+// sleep beyond the snapshot — must hold under EVERY interleaving; swapping
+// the first two steps re-opens the window where a command published between
+// them is counted inside the armed snapshot and the engine sleeps forever.
+// The checker forces exactly that preemption, which no cooperative-fiber
+// unit test can reach (the two steps have no yield point between them in
+// the simulator — the spec is the preemption the fiber scheduler can't do).
+#include <gtest/gtest.h>
+
+#include "check/specs.hpp"
+
+namespace {
+
+using chk::Mode;
+using chk::Options;
+using chk::Result;
+using chk::specs::check_doorbell;
+
+TEST(CheckDoorbell, FixedOrderingHoldsExhaustively) {
+  // Snapshot-then-recheck: under every interleaving, either the re-check
+  // sees the push (no sleep), or the signal lands beyond the snapshot (the
+  // sleep wakes). The space is tiny; require exhaustion.
+  Options opt;
+  opt.mode = Mode::kExhaustive;
+  const Result r = check_doorbell(opt, /*buggy=*/false);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_TRUE(r.complete) << "state space not exhausted in " << r.executions;
+}
+
+TEST(CheckDoorbell, BuggyOrderingIsCaughtWithReplay) {
+  // Recheck-then-snapshot: the checker must find the interleaving where the
+  // producer's push+signal lands between the two steps — the engine arms
+  // against a count the doorbell already reached and the command strands.
+  Options opt;
+  opt.mode = Mode::kExhaustive;
+  const Result r = check_doorbell(opt, /*buggy=*/true);
+  ASSERT_TRUE(r.failed) << "lost-doorbell window not found in "
+                        << r.executions << " executions";
+  EXPECT_FALSE(r.trace.empty());
+  ASSERT_FALSE(r.failing_trail.empty());
+
+  // The reported trail replays the identical failure.
+  Options replay;
+  replay.mode = Mode::kExhaustive;
+  replay.replay_trail = r.failing_trail;
+  const Result again = check_doorbell(replay, /*buggy=*/true);
+  ASSERT_TRUE(again.failed);
+  EXPECT_EQ(again.executions, 1u);
+  EXPECT_EQ(again.message, r.message);
+}
+
+TEST(CheckDoorbell, BuggyOrderingIsCaughtByRandomSweep) {
+  Options opt;
+  opt.mode = Mode::kRandom;
+  opt.iterations = 2000;
+  opt.seed = 11;
+  const Result r = check_doorbell(opt, /*buggy=*/true);
+  EXPECT_TRUE(r.failed) << "random sweep missed the lost-doorbell window";
+}
+
+TEST(CheckDoorbell, FixedOrderingSurvivesRandomSweep) {
+  Options opt;
+  opt.mode = Mode::kRandom;
+  opt.iterations = 2000;
+  opt.seed = 11;
+  const Result r = check_doorbell(opt, /*buggy=*/false);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <random>
 #include <span>
 #include <vector>
@@ -193,6 +194,27 @@ TEST(Differential, SecondSeedAlsoAgrees) {
   const RunOut ref = run_workload(Approach::kBaseline, 7, nullptr);
   const RunOut got = run_workload(Approach::kOffload, 7, nullptr);
   EXPECT_EQ(got.digests, ref.digests);
+}
+
+TEST(Differential, ProxyCountSweepIsBitIdentical) {
+  // The engine-shard count is a pure performance knob: 1, 2, and 4 engines
+  // (stealing on where it can matter) must deliver bit-identical payloads —
+  // clean AND through a faulted fabric — and drain all bookkeeping, or the
+  // partition/steal protocol has observably reordered per-peer traffic.
+  static const char* kFaults =
+      "drop=0.03,dup=0.02,corrupt=0.005,delay=0.08:20us,reorder=0.03,seed=11";
+  const RunOut ref = run_workload(Approach::kBaseline, 42, nullptr);
+  for (const char* spec :
+       {"proxies:1,steal:0", "proxies:2,steal:4", "proxies:4,steal:4"}) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded test
+    setenv("MPIOFF_PROXY", spec, 1);
+    const RunOut clean = run_workload(Approach::kOffload, 42, nullptr);
+    EXPECT_EQ(clean.digests, ref.digests) << spec << " (clean)";
+    const RunOut faulted = run_workload(Approach::kOffload, 42, kFaults);
+    EXPECT_EQ(faulted.digests, ref.digests) << spec << " (faulted)";
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    unsetenv("MPIOFF_PROXY");
+  }
 }
 
 TEST(Differential, FaultedFabricDeliversTheSameBytes) {

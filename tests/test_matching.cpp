@@ -1,6 +1,12 @@
-// Unit tests for the tag-matching engine (wildcards, FIFO order).
+// Unit tests for the tag-matching engine (wildcards, FIFO order), plus the
+// cluster-level per-peer ordering contract under the sharded offload engine.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
+#include "core/proxy.hpp"
+#include "mpi/cluster.hpp"
 #include "mpi/matching.hpp"
 #include "mpi/request.hpp"
 
@@ -97,6 +103,50 @@ TEST(Matching, PeekDoesNotRemove) {
   EXPECT_EQ(p->env.src_global, 4);
   EXPECT_EQ(m.unexpected_count(), 1u);
   EXPECT_EQ(m.peek_unexpected(2, 5, 8), nullptr);
+}
+
+TEST(Matching, PerPeerFifoSurvivesMultiProxy) {
+  // Four engine fibers on the sender: the peer-hash partition spreads
+  // different peers across engines and work stealing may move a backlog
+  // between them, but the same-envelope stream to EACH peer must still
+  // match that peer's posted receives in submission order. Sends are
+  // round-robined across peers so adjacent submissions target different
+  // engines — the interleaving most likely to expose a cross-engine
+  // reordering of one peer's stream.
+  constexpr int kPeers = 3, kPer = 48;
+  ClusterConfig cc;
+  cc.nranks = kPeers + 1;
+  cc.thread_level = ThreadLevel::kFunneled;
+  cc.deadline = sim::Time::from_sec(60);
+  Cluster c(cc);
+  c.run([&](RankCtx& rc) {
+    core::OffloadProxy p(rc, core::ProxyOptions{.lane_count = 2,
+                                                .proxy_count = 4,
+                                                .steal_bound = 4});
+    p.start();
+    if (rc.rank() == 0) {
+      std::vector<int> vals(kPeers * kPer);
+      std::vector<core::PReq> reqs;
+      for (int i = 0; i < kPer; ++i) {
+        for (int peer = 1; peer <= kPeers; ++peer) {
+          const std::size_t k =
+              static_cast<std::size_t>(i * kPeers + (peer - 1));
+          vals[k] = i;
+          reqs.push_back(p.isend(&vals[k], 1, Datatype::kInt, peer, 7));
+        }
+      }
+      p.waitall(reqs);
+    } else {
+      for (int i = 0; i < kPer; ++i) {
+        int v = -1;
+        p.recv(&v, 1, Datatype::kInt, 0, 7);
+        ASSERT_EQ(v, i) << "per-peer FIFO broken: rank " << rc.rank()
+                        << " message " << i;
+      }
+    }
+    p.barrier();
+    p.stop();
+  });
 }
 
 TEST(RequestTable, AllocRecyclesSlots) {

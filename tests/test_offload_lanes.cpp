@@ -199,7 +199,11 @@ TEST(OffloadLanes, OverflowThreadsFallBackToSharedRing) {
       while (*done < kThreads) sim::advance(sim::Time::from_us(1));
       const OffloadStats& s = p.channel().stats();
       EXPECT_GT(s.lane_submits, 0u);
-      EXPECT_GT(s.shared_submits, 0u);
+      // Lane-table overflow is its own counter now: shared_submits stays
+      // reserved for the lanes-disabled configuration, so a capacity-planning
+      // dashboard can tell "ran out of lanes" from "chose no lanes".
+      EXPECT_GT(s.overflow_submits, 0u);
+      EXPECT_EQ(s.shared_submits, 0u);
     } else {
       std::vector<PReq> reqs;
       std::vector<int> got(kThreads * kPer, -1);
@@ -314,7 +318,7 @@ TEST(OffloadLanes, DirectProxyWaitanyAndTestall) {
 TEST(ProxyOptions, ParseOverridesEveryKey) {
   const ProxyOptions o = ProxyOptions::parse(
       "ring=2048,pool=128,lanes=4,lane_cap=32,drain=3,batch=4,watchdog=250us,"
-      "cont_run=5");
+      "cont_run=5,proxies=2,steal=4");
   EXPECT_EQ(o.ring_capacity, 2048u);
   EXPECT_EQ(o.pool_capacity, 128u);
   EXPECT_EQ(o.lane_count, 4u);
@@ -323,6 +327,22 @@ TEST(ProxyOptions, ParseOverridesEveryKey) {
   EXPECT_EQ(o.batch_flush, 4u);
   EXPECT_EQ(o.watchdog_budget.ns(), 250'000);
   EXPECT_EQ(o.cont_run_bound, 5u);
+  EXPECT_EQ(o.proxy_count, 2u);
+  EXPECT_EQ(o.steal_bound, 4u);
+}
+
+TEST(ProxyOptions, ParseAcceptsColonSeparator) {
+  // proxies:4 reads naturally next to the MPIOFF_SAN-style specs; both
+  // separators must work, mixed freely within one spec.
+  const ProxyOptions o = ProxyOptions::parse("proxies:4,steal:0,lanes=2");
+  EXPECT_EQ(o.proxy_count, 4u);
+  EXPECT_EQ(o.steal_bound, 0u);  // steal=0 is valid: disables stealing
+  EXPECT_EQ(o.lane_count, 2u);
+}
+
+TEST(ProxyOptions, ParseRejectsZeroProxies) {
+  EXPECT_THROW(ProxyOptions::parse("proxies=0"), std::invalid_argument);
+  EXPECT_THROW(ProxyOptions::parse("proxies:0"), std::invalid_argument);
 }
 
 TEST(ProxyOptions, ParseAcceptsDurationSuffixes) {
@@ -377,8 +397,16 @@ TEST(ProxyOptions, DefaultsDeriveFromProfile) {
   ProxyOptions o = ProxyOptions::defaults_for(p);
   EXPECT_EQ(o.lane_count, 16u);  // 27 usable submitters, capped at 16
   EXPECT_EQ(o.watchdog_budget.ns(), p.offload_watchdog_budget.ns());
+  EXPECT_EQ(o.proxy_count, 2u);  // one engine fiber per NUMA domain
   p.cores_per_rank = 4;
   EXPECT_EQ(ProxyOptions::defaults_for(p).lane_count, 3u);
+  // Single-domain profiles stay single-engine: the sharded paths must never
+  // switch on for a machine that cannot benefit from them.
+  EXPECT_EQ(ProxyOptions::defaults_for(machine::xeon_phi()).proxy_count, 1u);
+  EXPECT_EQ(ProxyOptions::defaults_for(machine::aries()).proxy_count, 1u);
+  // The plain struct default is also 1: explicit aggregate options in tests
+  // and benches keep the classic single-engine channel unless asked.
+  EXPECT_EQ(ProxyOptions{}.proxy_count, 1u);
 }
 
 TEST(ProxyOptions, FromEnvAppliesSpecOnTopOfDefaults) {
@@ -391,4 +419,105 @@ TEST(ProxyOptions, FromEnvAppliesSpecOnTopOfDefaults) {
   EXPECT_EQ(o.batch_flush, 16u);
   // Untouched keys keep their profile-derived defaults.
   EXPECT_EQ(o.ring_capacity, 1024u);
+}
+
+TEST(OffloadLanes, MultiProxyShardsTrafficAcrossEngines) {
+  // Four engine fibers on the submitting rank: traffic to four distinct
+  // peers is partitioned by peer hash, every message still lands, and the
+  // lane table becomes a grid with one column per engine.
+  constexpr int kPeers = 4, kPer = 16;
+  Cluster c(cfg(kPeers + 1));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc, ProxyOptions{.lane_count = 2,
+                                    .proxy_count = 4,
+                                    .steal_bound = 0});
+    p.start();
+    EXPECT_EQ(p.channel().engine_count(), 4u);
+    EXPECT_EQ(p.channel().lane_count(), 8u);  // 2 rows x 4 engine columns
+    if (rc.rank() == 0) {
+      std::vector<int> vals(kPeers * kPer);
+      std::vector<PReq> reqs;
+      for (int peer = 1; peer <= kPeers; ++peer) {
+        for (int i = 0; i < kPer; ++i) {
+          const std::size_t k =
+              static_cast<std::size_t>((peer - 1) * kPer + i);
+          vals[k] = peer * 1000 + i;
+          reqs.push_back(p.isend(&vals[k], 1, Datatype::kInt, peer, i));
+        }
+      }
+      p.waitall(reqs);
+      const OffloadStats& s = p.channel().stats();
+      EXPECT_EQ(s.commands, static_cast<std::uint64_t>(kPeers * kPer));
+    } else {
+      for (int i = 0; i < kPer; ++i) {
+        int v = -1;
+        p.recv(&v, 1, Datatype::kInt, 0, i);
+        EXPECT_EQ(v, rc.rank() * 1000 + i)
+            << "peer " << rc.rank() << " message " << i;
+      }
+    }
+    p.barrier();
+    p.stop();
+  });
+}
+
+TEST(OffloadLanes, IdleEnginesStealSkewedTraffic) {
+  // All traffic targets one peer, so the peer-hash partition lands every
+  // command on a single engine; its three idle siblings must pick up part of
+  // the backlog through the bounded claim-protected steal path — and the
+  // per-peer wire order must survive them doing so.
+  constexpr int kN = 96;
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc, ProxyOptions{.lane_count = 2,
+                                    .batch_flush = 16,
+                                    .proxy_count = 4,
+                                    .steal_bound = 4});
+    p.start();
+    if (rc.rank() == 0) {
+      std::vector<int> vals(kN);
+      std::vector<BatchOp> ops;
+      for (int i = 0; i < kN; ++i) {
+        vals[static_cast<std::size_t>(i)] = i;
+        ops.push_back(BatchOp::isend(&vals[static_cast<std::size_t>(i)], 1,
+                                     Datatype::kInt, 1, 7));
+      }
+      std::vector<PReq> reqs(kN);
+      p.post_batch(ops, reqs);
+      p.waitall(reqs);
+      const OffloadStats& s = p.channel().stats();
+      EXPECT_GT(s.steal_rounds, 0u);
+      EXPECT_GT(s.steal_commands, 0u);
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        int v = -1;
+        p.recv(&v, 1, Datatype::kInt, 0, 7);
+        EXPECT_EQ(v, i) << "stealing broke same-peer FIFO at message " << i;
+      }
+    }
+    p.barrier();
+    p.stop();
+  });
+}
+
+TEST(OffloadLanes, EngineIdentityGuardsReentryAndClearsOnExit) {
+  // While the proxy runs, every engine slot is owned by a live fiber:
+  // re-entering any of them must fail loudly instead of silently corrupting
+  // the owner's identity. After stop(), the identity has been cleared on the
+  // exit path, so a fresh run of the drained engine is legal and returns
+  // immediately (shutdown is already latched).
+  Cluster c(cfg(2));
+  c.run([&](RankCtx& rc) {
+    OffloadProxy p(rc, ProxyOptions{.proxy_count = 2});
+    p.start();
+    // start() only spawns the engine fibers; let them run far enough to take
+    // ownership of their slots before poking at the re-entry guard.
+    sim::advance(sim::Time::from_us(10));
+    EXPECT_THROW(p.channel().engine_main(0), std::logic_error);
+    EXPECT_THROW(p.channel().engine_main(1), std::logic_error);
+    p.barrier();
+    p.stop();
+    p.channel().engine_main(0);
+    p.channel().engine_main(1);
+  });
 }

@@ -25,6 +25,7 @@ FILES = [
     "src/core/mpsc_ring.hpp",
     "src/core/request_pool.hpp",
     "src/core/cont_table.hpp",
+    "src/core/drain_claim.hpp",
 ]
 
 ORDERS = ["relaxed", "acquire", "release", "acq_rel", "seq_cst"]

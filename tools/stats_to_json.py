@@ -12,6 +12,16 @@ and emits a JSON array of objects, one per line, preserving input order:
 Values are coerced to int, then float, then kept as strings. Tokens before
 the first key=value pair form the label (a trailing ':' is stripped).
 
+Known trailer families (all share the generic key=value grammar):
+  "offload rank0 frontend"  engines/lanes/lane_submits/shared_submits/
+                            overflow_submits/... — overflow_submits counts
+                            lane-table-overflow fallbacks to the shared ring
+                            separately so per-lane throughput stays honest;
+  "offload rank0 steal"     steal_rounds/steal_commands (multi-proxy work
+                            stealing, only printed when stealing happened);
+  "a10 proxies"             the proxy-count scaling ablation rows
+                            (n/skew_rate/uniform_rate/skew_speedup/stolen).
+
 With --cont-summary the output is instead an object
 
     {"entries": [...], "cont_summary": {"totals": {...},
