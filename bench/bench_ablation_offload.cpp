@@ -19,7 +19,11 @@
 //   A10 sharded progress engine — message rate vs proxy count (1/2/4 engine
 //      fibers) under a skewed (every submitter hits one peer) and a uniform
 //      (submitters spread over four peers) distribution; the skewed column
-//      is what bounded work stealing exists for.
+//      is what bounded work stealing exists for;
+//   A11 persistent requests — init-once/start-many send windows vs one-shot
+//      isend at 8 submitter threads: every generation replays the cached
+//      envelope for a slot-index re-arm (cmd_enqueue_persist) instead of
+//      paying full serialization (cmd_enqueue) per message.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -117,7 +121,7 @@ void a5_ring_capacity() {
       // ring_full_stalls — the knob this ablation sweeps.
       core::OffloadProxy p(rc, core::ProxyOptions{.ring_capacity = cap,
                                                   .lane_count = 0});
-      p.start();
+      p.start_engine();
       const int peer = 1 - rc.rank();
       std::vector<core::PReq> reqs;
       const sim::Time t0 = sim::now();
@@ -178,7 +182,7 @@ A6Cell a6_run(Approach a, double drop) {
   constexpr int kWarmup = 2, kIters = 8;
   cluster.run([&](smpi::RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int peer = 1 - rc.rank();
     std::vector<char> sbig(kBig), rbig(kBig), ssmall(kSmall), rsmall(kSmall);
     std::uint64_t digest = 14695981039346656037ull;
@@ -282,7 +286,7 @@ A7Cell a7_run(std::size_t lanes, bool batch, int threads) {
     opts.lane_capacity = 256;
     opts.batch_flush = 8;
     core::OffloadProxy p(rc, opts);
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       auto done = std::make_shared<int>(0);
       auto done_n = std::make_shared<sim::Notifier>(sim::Time(200));
@@ -382,7 +386,7 @@ A8Cell a8_run(const std::string& spec, bool batch, std::size_t bytes) {
   constexpr int kWarmup = 1, kIters = 4;
   cluster.run([&](smpi::RankCtx& rc) {
     auto p = core::make_proxy(Approach::kOffload, rc);
-    p->start();
+    p->start_engine();
     const std::size_t count = bytes / sizeof(float);
     sim::Time acc = sim::Time::zero();
     for (int i = 0; i < kWarmup + kIters; ++i) {
@@ -522,7 +526,7 @@ A10Cell a10_run(std::size_t proxies, bool skewed) {
     opts.proxy_count = proxies;
     opts.steal_bound = 8;
     core::OffloadProxy p(rc, opts);
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       auto done = std::make_shared<int>(0);
       auto done_n = std::make_shared<sim::Notifier>(sim::Time(200));
@@ -601,14 +605,121 @@ void a10_proxy_scaling() {
   benchlib::finish_table(t);
 }
 
+/// One A11 cell: rank 0 runs 8 submitter fibers against peer 1 over a
+/// 4-engine offload proxy, each fiber pushing kGens generations of a
+/// kWin-message window and waiting each window out.
+/// Persistent mode pays send_init for the window ONCE, then every generation
+/// is start+wait on the same handles; one-shot mode re-posts isend every
+/// time. The receiver mirrors the mode (recv_init windows vs irecv). Rate is
+/// total messages over the union of the per-thread post-to-drain windows —
+/// the same figure of merit as A10, so the two tables compose.
+double a11_run(bool persistent) {
+  constexpr int kThreads = 8, kWin = 32, kGens = 16;
+  smpi::ClusterConfig cc;
+  cc.nranks = 2;
+  cc.deadline = sim::Time::from_sec(120);
+  smpi::Cluster cluster(cc);
+  double rate = 0;
+  cluster.run([&](smpi::RankCtx& rc) {
+    core::ProxyOptions opts;
+    opts.ring_capacity = 4096;
+    opts.pool_capacity = 1u << 15;
+    opts.lane_count = 16;
+    opts.lane_capacity = 256;
+    opts.proxy_count = 4;
+    core::OffloadProxy p(rc, opts);
+    p.start_engine();
+    const bool sender = rc.rank() == 0;
+    auto done = std::make_shared<int>(0);
+    auto done_n = std::make_shared<sim::Notifier>(sim::Time(200));
+    auto t_min = std::make_shared<sim::Time>(sim::Time::max());
+    auto t_max = std::make_shared<sim::Time>(sim::Time::zero());
+    auto worker = [&p, done, done_n, t_min, t_max, sender,
+                   persistent](int tid) {
+      const int peer = sender ? 1 : 0;
+      const sim::Time t0 = sim::now();
+      if (persistent) {
+        std::vector<core::PersistentReq> win(kWin);
+        for (int w = 0; w < kWin; ++w) {
+          const int tag = tid * 100 + w;
+          win[static_cast<std::size_t>(w)] =
+              sender ? p.send_init(nullptr, 8, smpi::Datatype::kByte, peer,
+                                   tag)
+                     : p.recv_init(nullptr, 8, smpi::Datatype::kByte, peer,
+                                   tag);
+        }
+        for (int g = 0; g < kGens; ++g) {
+          p.startall(win);
+          for (auto& r : win) p.wait(r);
+        }
+        for (auto& r : win) p.request_free(r);
+      } else {
+        std::vector<core::PReq> win(kWin);
+        for (int g = 0; g < kGens; ++g) {
+          for (int w = 0; w < kWin; ++w) {
+            const int tag = tid * 100 + w;
+            win[static_cast<std::size_t>(w)] =
+                sender ? p.isend(nullptr, 8, smpi::Datatype::kByte, peer, tag)
+                       : p.irecv(nullptr, 8, smpi::Datatype::kByte, peer, tag);
+          }
+          p.waitall(win);
+        }
+      }
+      const sim::Time t1 = sim::now();
+      *t_min = std::min(*t_min, t0);
+      *t_max = std::max(*t_max, t1);
+      ++*done;
+      done_n->signal();
+    };
+    constexpr int kThreadsHere = kThreads;
+    for (int t = 1; t < kThreadsHere; ++t) {
+      rc.cluster().spawn_on(rc.rank(), "sub" + std::to_string(t),
+                            [worker, t]() { worker(t); });
+    }
+    worker(0);
+    for (std::uint64_t seen = 0; *done < kThreadsHere;) {
+      seen = done_n->wait_beyond(seen);
+    }
+    if (sender) {
+      rate = kThreads * kWin * kGens /
+             std::max((*t_max - *t_min).us(), 1e-9);
+    }
+    p.barrier();
+    p.stop();
+  });
+  return rate;
+}
+
+void a11_persistent() {
+  std::printf("\nA11: persistent requests — init-once/start-many vs one-shot "
+              "isend, 8 submitter threads x 16 generations x 16-message "
+              "windows, offload proxy with 4 engine fibers\n");
+  const double oneshot = a11_run(/*persistent=*/false);
+  const double persist = a11_run(/*persistent=*/true);
+  const double speedup = persist / std::max(oneshot, 1e-12);
+  Table t({"mode", "rate(msg/us)", "speedup"});
+  char r0[16], r1[16], spd[16];
+  std::snprintf(r0, sizeof r0, "%.3f", oneshot);
+  std::snprintf(r1, sizeof r1, "%.3f", persist);
+  std::snprintf(spd, sizeof spd, "%.2fx", speedup);
+  t.row({"one-shot isend", r0, "1.00x"});
+  t.row({"persistent start", r1, spd});
+  benchlib::finish_table(t);
+  if (Runner::stats_enabled()) {
+    std::printf("[stats] a11 persistent: oneshot_rate=%.3f persist_rate=%.3f "
+                "speedup=%.2f\n",
+                oneshot, persist, speedup);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchlib::Runner runner(argc, argv);
   // Smoke mode (MPIOFF_BENCH_SMOKE=1, CI) runs only the A7 front-end
   // ablation (reduced thread sweep), the A8 collective-algorithm ablation,
-  // the A9 continuation ablation and the A10 proxy-count scaling sweep; the
-  // full run does everything.
+  // the A9 continuation ablation, the A10 proxy-count scaling sweep and the
+  // A11 persistent-request ablation; the full run does everything.
   if (!Runner::smoke_enabled()) {
     a1_eager_threshold();
     a2_pipeline_depth();
@@ -624,5 +735,6 @@ int main(int argc, char** argv) {
   a8_coll_algorithms();
   a9_continuations();
   a10_proxy_scaling();
+  a11_persistent();
   return 0;
 }

@@ -31,7 +31,7 @@ int main() {
   std::vector<float> dist_losses;
   cluster.run([&](smpi::RankCtx& rc) {
     auto mpi = core::make_proxy(Approach::kOffload, rc);
-    mpi->start();
+    mpi->start_engine();
     DistributedTrainer trainer(rc, *mpi, in_c, h, w, conv_c, hidden, out);
     const int local_b = batch / rc.nranks();
     Tensor shard(local_b, in_c, h, w);

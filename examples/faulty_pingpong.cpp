@@ -57,7 +57,7 @@ RunResult pingpong(Approach a, const machine::FaultSpec& faults) {
   RunResult res;
   cluster.run([&](smpi::RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int peer = 1 - rc.rank();
     std::vector<char> buf(kBytes);
     const sim::Time t0 = sim::now();

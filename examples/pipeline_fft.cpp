@@ -28,7 +28,7 @@ int main() {
   smpi::Cluster cluster(cfg);
   cluster.run([&](smpi::RankCtx& rc) {
     auto mpi = core::make_proxy(Approach::kOffload, rc);
-    mpi->start();
+    mpi->start_engine();
     DistributedFft dfft(rc, *mpi, rows, cols);
     const std::size_t loc = dfft.local();
     std::vector<cd> block(

@@ -23,7 +23,7 @@ int main() {
     // One line to get the paper's infrastructure: a dedicated offload thread
     // plus the lock-free command queue, behind the same API as direct MPI.
     auto mpi = core::make_proxy(core::Approach::kOffload, rc);
-    mpi->start();
+    mpi->start_engine();
 
     const int me = rc.rank();
     const int right = (me + 1) % rc.nranks();

@@ -29,7 +29,7 @@ Phases run_stencil(Approach a) {
 
   cluster.run([&](RankCtx& rc) {
     auto mpi = core::make_proxy(a, rc);
-    mpi->start();
+    mpi->start_engine();
     const int me = rc.rank(), np = rc.nranks();
     const int up = (me + 1) % np, dn = (me + np - 1) % np;
     const std::size_t halo = 512 * 1024;  // 512 KB faces (rendezvous)

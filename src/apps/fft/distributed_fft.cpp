@@ -201,7 +201,7 @@ FftPerfResult run_fft_perf(const FftPerfConfig& cfg) {
 
   cluster.run([&](smpi::RankCtx& rc) {
     auto proxy = core::make_proxy(cfg.approach, rc);
-    proxy->start();
+    proxy->start_engine();
     const int threads = proxy->compute_threads(cfg.profile.cores_per_rank);
     const double n_local = static_cast<double>(cfg.points_per_node);
     const double n_total = n_local * nranks;

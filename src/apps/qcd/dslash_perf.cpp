@@ -71,7 +71,7 @@ QcdPerfResult run_qcd_perf(const QcdPerfConfig& cfg) {
 
   cluster.run([&](smpi::RankCtx& rc) {
     auto proxy = core::make_proxy(cfg.approach, rc);
-    proxy->start();
+    proxy->start_engine();
     const Decomposition dec(cfg.global, grid, rc.rank());
     const CommPlan plan = make_plan(dec);
 

@@ -36,7 +36,7 @@ OsuResult osu_latency(Approach a, const machine::Profile& prof,
   Cluster c(cluster_cfg(a, prof, 2));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     std::vector<char> sbuf(std::max<std::size_t>(bytes, 1), 'a');
     std::vector<char> rbuf(std::max<std::size_t>(bytes, 1));
     const int me = rc.rank(), peer = 1 - me;
@@ -78,7 +78,7 @@ OsuResult osu_bandwidth(Approach a, const machine::Profile& prof,
   Cluster c(cluster_cfg(a, prof, 2));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank(), peer = 1 - me;
     std::vector<char> buf(bytes * static_cast<std::size_t>(window), 'b');
     char ack = 0;
@@ -124,7 +124,7 @@ OsuResult osu_latency_mt(Approach a, const machine::Profile& prof, int threads,
   sim::Stats lat_us;
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank(), peer = 1 - me;
     // Per-thread completion accounting on rank 0.
     auto done_count = std::make_shared<int>(0);

@@ -56,7 +56,7 @@ OverlapResult overlap_p2p(Approach a, const machine::Profile& prof,
   Cluster c(cluster_cfg(a, prof, 2));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int peer = 1 - rc.rank();
     std::vector<char> sbuf(bytes, 'o'), rbuf(bytes);
 
@@ -184,7 +184,7 @@ OverlapResult overlap_collective(Approach a, const machine::Profile& prof,
   Cluster c(cluster_cfg(a, prof, nranks));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const std::size_t per = std::max<std::size_t>(bytes, static_cast<std::size_t>(nranks));
     std::vector<char> s(per * static_cast<std::size_t>(nranks), 'c');
     std::vector<char> r(per * static_cast<std::size_t>(nranks));
@@ -236,7 +236,7 @@ double icollective_post_us(Approach a, const machine::Profile& prof,
   Cluster c(cluster_cfg(a, prof, nranks));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const std::size_t per = std::max<std::size_t>(bytes, static_cast<std::size_t>(nranks));
     std::vector<char> s(per * static_cast<std::size_t>(nranks), 'p');
     std::vector<char> r(per * static_cast<std::size_t>(nranks));

@@ -90,6 +90,9 @@ class atomic {
   T fetch_add(T delta, std::memory_order mo = std::memory_order_seq_cst) {
     return from_u64(detail::ck().atomic_fetch_add(loc_, to_u64(delta), mo));
   }
+  T fetch_or(T bits, std::memory_order mo = std::memory_order_seq_cst) {
+    return from_u64(detail::ck().atomic_fetch_or(loc_, to_u64(bits), mo));
+  }
 
   [[nodiscard]] int loc() const { return loc_; }
 

@@ -625,6 +625,33 @@ std::uint64_t Checker::atomic_fetch_add(int loc, std::uint64_t delta,
   return old;
 }
 
+std::uint64_t Checker::atomic_fetch_or(int loc, std::uint64_t bits,
+                                       std::memory_order req) {
+  pre_op();
+  detail::Loc& l = locs_[static_cast<std::size_t>(loc)];
+  detail::ModelThread& t = *threads_[static_cast<std::size_t>(current_tid_)];
+  ++t.clock.c[current_tid_];
+  note_sites(l, OpKind::kRmw, req, std::memory_order_relaxed);
+  const std::memory_order mo = effective_order(l, OpKind::kRmw, req);
+  if (mo == std::memory_order_seq_cst) t.clock.join(sc_clock_);
+  const detail::StoreElem& top = l.hist.back();
+  const std::uint64_t old = top.value;
+  if (has_acquire(mo)) t.clock.join(top.msg);
+  detail::StoreElem e;
+  e.value = old | bits;
+  e.tid = current_tid_;
+  e.when = t.clock.c[current_tid_];
+  e.when_clock = t.clock;
+  e.msg = top.msg;
+  if (has_release(mo)) e.msg.join(t.clock);
+  l.hist.push_back(std::move(e));
+  l.last_seen[current_tid_] = static_cast<int>(l.hist.size()) - 1;
+  if (mo == std::memory_order_seq_cst) sc_clock_.join(t.clock);
+  ++progress_marker_;
+  trace(detail::Ev::kRmw, loc, old | bits, old, mo);
+  return old;
+}
+
 void Checker::var_write(int loc) {
   detail::Loc& l = locs_[static_cast<std::size_t>(loc)];
   detail::ModelThread& t = *threads_[static_cast<std::size_t>(current_tid_)];

@@ -228,6 +228,8 @@ class Checker {
                   std::memory_order success, std::memory_order failure);
   std::uint64_t atomic_fetch_add(int loc, std::uint64_t delta,
                                  std::memory_order mo);
+  std::uint64_t atomic_fetch_or(int loc, std::uint64_t bits,
+                                std::memory_order mo);
   void var_write(int loc);
   void var_read(int loc);
 

@@ -93,8 +93,21 @@ Result check_mring(const Options& opt, const MringCfg& cfg = {});
 /// interleaving where the engine sleeps on a doorbell that already rang.
 Result check_doorbell(const Options& opt, bool buggy = false);
 
+/// The partition-ready word of a partitioned send (core/part_ready.hpp):
+/// N publisher fibers each write a plain payload cell (their slice of the
+/// user buffer) and then mark(p) their partition bit; the engine consumer
+/// polls the word and, for every newly-observed bit, reads that partition's
+/// payload — exactly what the offload engine does before handing the slice
+/// to the NIC. The payload cells are plain chk::vars ordered ONLY by the
+/// word's release/acquire pair, so weakening either side races immediately.
+/// Also asserts mark() reports a prior double-mark via its return value.
+struct PreadyCfg {
+  int publishers = 2;
+};
+Result check_pready(const Options& opt, const PreadyCfg& cfg = {});
+
 /// Run a spec by name ("ring" | "pool" | "lane" | "handshake" | "cont" |
-/// "mring" | "sleep") with its default cfg.
+/// "mring" | "sleep" | "pready") with its default cfg.
 Result run_spec(const std::string& spec, const Options& opt);
 
 /// One row of the mutation suite: weakening `site` must be caught by `spec`.

@@ -24,6 +24,15 @@ enum class CmdOp : std::uint8_t {
   kPut,
   kGet,
   kIfence,
+  /// Re-arm a persistent offload request: `count` carries the channel's
+  /// persistent-slot index, nothing else — the envelope already lives in the
+  /// engine's slot, which is why this command is cheap to publish
+  /// (Profile::cmd_enqueue_persist).
+  kStartPersistent,
+  /// Tear down a persistent slot's MPI-level requests and release its pool
+  /// slot; `count` carries the persistent-slot index. Ring FIFO guarantees
+  /// it runs after every start of that slot.
+  kFreePersistent,
 };
 
 /// Stable display name for a command opcode (trace span labels, logs).
@@ -45,6 +54,8 @@ constexpr const char* cmd_op_name(CmdOp op) {
     case CmdOp::kPut:        return "cmd:put";
     case CmdOp::kGet:        return "cmd:get";
     case CmdOp::kIfence:     return "cmd:ifence";
+    case CmdOp::kStartPersistent: return "cmd:start-persistent";
+    case CmdOp::kFreePersistent:  return "cmd:free-persistent";
   }
   return "cmd:?";
 }

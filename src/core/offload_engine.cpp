@@ -1,6 +1,7 @@
 #include "core/offload_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "san/san.hpp"
@@ -99,6 +100,12 @@ std::size_t OffloadChannel::engine_of(const Command& cmd) {
       return by(0x776e0000ull ^
                 static_cast<std::uint64_t>(
                     static_cast<std::uint32_t>(cmd.win.idx)));
+    case CmdOp::kStartPersistent:
+    case CmdOp::kFreePersistent:
+      // The slot's home engine was fixed at init (engine_of of the
+      // equivalent one-shot command), so every generation of one request
+      // lands in one engine's queues in submission order.
+      return persist_.at(static_cast<std::size_t>(cmd.count))->home_engine;
     case CmdOp::kShutdown:
       return 0;  // never routed: shutdown() broadcasts to every engine
     default:
@@ -364,6 +371,234 @@ void OffloadChannel::submit_batch(std::span<Command> cmds) {
   rc_.arrivals().signal();
 }
 
+void OffloadChannel::push_to_engine(std::size_t eidx, const Command& cmd) {
+  bool overflow = false;
+  if (Lane* lane = lane_for_caller(eidx, overflow); lane != nullptr) {
+    push_lane(*lane, cmd);
+    ++stats_.lane_submits;
+    ++lane->stats.submits;
+  } else {
+    push_shared_locked(*engines_[eidx], cmd);
+    ++(overflow ? stats_.overflow_submits : stats_.shared_submits);
+  }
+  trace::instant("doorbell", "offload");
+  rc_.arrivals().signal();
+}
+
+// ------------------------------------------- persistent application side ----
+
+namespace {
+[[noreturn]] void persist_throw(int rank, const char* call, const char* what) {
+  san::mpi_persist_misuse(rank, call, what);
+  throw std::logic_error(std::string(call) + ": " + what);
+}
+}  // namespace
+
+std::uint32_t OffloadChannel::persist_init(const Command& cmd,
+                                           std::uint32_t partitions) {
+  if (cmd.op != CmdOp::kIsend && cmd.op != CmdOp::kIrecv) {
+    throw std::invalid_argument("persist_init: only isend/irecv envelopes");
+  }
+  if (partitions != 0) {
+    if (partitions > static_cast<std::uint32_t>(smpi::kMaxPartitions)) {
+      persist_throw(rc_.rank(), "persist_init", "too many partitions");
+    }
+    if (cmd.tag < 0 || cmd.tag >= smpi::kMaxPartBaseTag) {
+      persist_throw(rc_.rank(), "persist_init",
+                    "partitioned base tag out of range");
+    }
+    if (cmd.peer == smpi::kAnySource) {
+      // Partition frames are invisible to wildcard matching by design.
+      persist_throw(rc_.rank(), "persist_init",
+                    "partitioned ops require a specific peer");
+    }
+  }
+  trace::Scope tsc("persist:init", "offload");
+  const auto& p = rc_.profile();
+  // Init pays the full serialize cost once — that is the bargain: every
+  // subsequent start pays only cmd_enqueue_persist.
+  sim::advance(p.cmd_enqueue);
+  auto ps = std::make_unique<PersistSlot>();
+  ps->is_send = cmd.op == CmdOp::kIsend;
+  ps->sbuf = cmd.sbuf;
+  ps->rbuf = cmd.rbuf;
+  ps->count = cmd.count;
+  ps->dtype = cmd.dtype;
+  ps->peer = cmd.peer;
+  ps->tag = cmd.tag;
+  ps->comm = cmd.comm;
+  ps->partitions = partitions;
+  ps->proxy = alloc_slot();  // pinned for the lifetime of the request
+  ps->home_engine = engine_of(cmd);
+  if (partitions != 0) {
+    const std::size_t words = (partitions + 63) / 64;
+    ps->ready = std::vector<PartReadyWord>(words);
+    ps->shipped.assign(words, 0);
+  }
+  if (slot_persist_.size() <= ps->proxy) {
+    slot_persist_.resize(static_cast<std::size_t>(ps->proxy) + 1, 0);
+  }
+  const auto idx = static_cast<std::uint32_t>(persist_.size());
+  slot_persist_[ps->proxy] = idx + 1;
+  persist_.push_back(std::move(ps));
+  return idx;
+}
+
+void OffloadChannel::persist_start(std::uint32_t idx) {
+  PersistSlot& ps = *persist_.at(idx);
+  if (ps.state == PState::kFreed) {
+    persist_throw(rc_.rank(), "persist_start", "request was freed");
+  }
+  if (ps.state == PState::kStarted) {
+    persist_throw(rc_.rank(), "persist_start",
+                  "previous generation still in flight");
+  }
+  trace::Scope tsc("persist:start", "offload");
+  const auto& p = rc_.profile();
+  // Re-arm the pinned pool slot and the continuation claim; both are
+  // quiescent (previous generation consumed, next start not yet published).
+  sim::advance(p.request_pool_op);
+  pool_.rearm(ps.proxy);
+  cont_.reset(ps.proxy);
+  for (PartReadyWord& w : ps.ready) w.reset();
+  ps.marked = 0;
+  ps.state = PState::kStarted;
+  Command cmd;
+  cmd.op = CmdOp::kStartPersistent;
+  cmd.proxy = ps.proxy;
+  cmd.count = idx;
+  cmd.peer = ps.peer;
+  cmd.comm = ps.comm;
+  if (Engine* e = engine_for_current_fiber(); e != nullptr) {
+    // A continuation restarting its own request: issue directly, like every
+    // other engine-context post.
+    sim::advance(p.cmd_dequeue);
+    engine_start_persistent(*e, idx);
+    return;
+  }
+  // The thin re-arm publish: a slot index, not an envelope.
+  sim::advance(p.cmd_enqueue_persist);
+  push_to_engine(ps.home_engine, cmd);
+}
+
+void OffloadChannel::persist_pready(std::uint32_t idx, std::uint32_t lo,
+                                    std::uint32_t hi) {
+  PersistSlot& ps = *persist_.at(idx);
+  if (!ps.is_send || ps.partitions == 0) {
+    persist_throw(rc_.rank(), "persist_pready",
+                  "request is not a partitioned send");
+  }
+  if (ps.state != PState::kStarted) {
+    persist_throw(rc_.rank(), "persist_pready", "no generation started");
+  }
+  if (lo > hi || hi >= ps.partitions) {
+    persist_throw(rc_.rank(), "persist_pready", "partition out of range");
+  }
+  const auto& p = rc_.profile();
+  for (std::uint32_t part = lo; part <= hi; ++part) {
+    sim::advance(p.pready_publish);
+    // One release-RMW: publishes the partition's payload bytes to the
+    // engine that observes the bit. The previous value is the double-mark
+    // check for free.
+    const std::uint64_t prev = ps.ready[part / 64].mark(part % 64);
+    if ((prev >> (part % 64)) & 1u) {
+      persist_throw(rc_.rank(), "persist_pready",
+                    "partition marked ready twice in one generation");
+    }
+    ++ps.marked;
+  }
+  trace::instant("pready", "offload");
+  // Doorbell: a sleeping engine re-checks persistent_ready_pending against
+  // this signal's count before committing to sleep.
+  rc_.arrivals().signal();
+}
+
+void OffloadChannel::persist_wait(std::uint32_t idx, smpi::Status* st) {
+  if (in_engine()) {
+    throw std::logic_error(
+        san::engine_block_message("OffloadChannel::persist_wait"));
+  }
+  PersistSlot& ps = *persist_.at(idx);
+  if (ps.state == PState::kFreed) {
+    persist_throw(rc_.rank(), "persist_wait", "request was freed");
+  }
+  if (ps.state == PState::kInactive) {
+    if (st != nullptr) *st = smpi::Status{};
+    return;  // trivially complete, like MPI_Wait on an inactive request
+  }
+  if (ps.is_send && ps.partitions != 0 && ps.marked != ps.partitions) {
+    persist_throw(rc_.rank(), "persist_wait",
+                  "wait with unmarked partitions (the send can never "
+                  "complete; pready every partition first)");
+  }
+  trace::Scope tsc("wait:flag", "offload");
+  const auto& p = rc_.profile();
+  for (;;) {
+    sim::advance(p.done_flag_check);
+    if (pool_.done(ps.proxy)) break;
+    const std::uint64_t seen = completions_.count();
+    if (pool_.done(ps.proxy)) break;
+    completions_.wait_beyond(seen);
+  }
+  san::acquire(&pool_, ps.proxy);  // done-flag acquire: Status visible
+  if (st != nullptr) *st = pool_.status(ps.proxy);
+  // Consume the completion WITHOUT freeing the pinned slot: the request
+  // returns to kInactive, ready for the next start.
+  ps.state = PState::kInactive;
+}
+
+bool OffloadChannel::persist_test(std::uint32_t idx, smpi::Status* st) {
+  PersistSlot& ps = *persist_.at(idx);
+  if (ps.state == PState::kFreed) {
+    persist_throw(rc_.rank(), "persist_test", "request was freed");
+  }
+  if (ps.state == PState::kInactive) {
+    if (st != nullptr) *st = smpi::Status{};
+    return true;
+  }
+  const auto& p = rc_.profile();
+  sim::advance(p.done_flag_check);
+  if (!pool_.done(ps.proxy)) return false;
+  san::acquire(&pool_, ps.proxy);
+  if (st != nullptr) *st = pool_.status(ps.proxy);
+  ps.state = PState::kInactive;
+  return true;
+}
+
+void OffloadChannel::persist_free(std::uint32_t idx) {
+  PersistSlot& ps = *persist_.at(idx);
+  if (ps.state == PState::kFreed) return;  // freeing twice is a no-op
+  if (ps.state == PState::kStarted) {
+    persist_throw(rc_.rank(), "persist_free", "generation still in flight");
+  }
+  ps.state = PState::kFreed;
+  Command cmd;
+  cmd.op = CmdOp::kFreePersistent;
+  cmd.proxy = ps.proxy;
+  cmd.count = idx;
+  cmd.peer = ps.peer;
+  cmd.comm = ps.comm;
+  if (Engine* e = engine_for_current_fiber(); e != nullptr) {
+    sim::advance(rc_.profile().cmd_dequeue);
+    engine_free_persistent(*e, idx);
+    return;
+  }
+  sim::advance(rc_.profile().cmd_enqueue_persist);
+  push_to_engine(ps.home_engine, cmd);
+}
+
+bool OffloadChannel::persist_attach_continuation(std::uint32_t idx,
+                                                 ContFn fn) {
+  PersistSlot& ps = *persist_.at(idx);
+  if (ps.state != PState::kStarted) {
+    persist_throw(rc_.rank(), "attach_continuation",
+                  "no generation started on this persistent request");
+  }
+  // Same arm/fire protocol as one-shot slots; the persistent-aware free
+  // paths (slot_persist_) reset the slot to kInactive instead of freeing it.
+  return attach_continuation(ps.proxy, std::move(fn));
+}
+
 void OffloadChannel::wait_done(std::uint32_t proxy, smpi::Status* st) {
   if (in_engine()) {
     throw std::logic_error(
@@ -422,10 +657,18 @@ bool OffloadChannel::attach_continuation(std::uint32_t proxy, ContFn fn) {
   cont_fns_[proxy] = nullptr;
   const smpi::Status st = pool_.status(proxy);
   cont_.reset(proxy);
-  sim::advance(p.request_pool_op);
-  san::release(&pool_, proxy);
-  pool_.free(proxy);
-  completions_.signal();
+  const std::uint32_t pers =
+      proxy < slot_persist_.size() ? slot_persist_[proxy] : 0;
+  if (pers != 0) {
+    // Persistent: consume the completion (kInactive) but keep the pinned
+    // slot — the inline callback may restart the request.
+    persist_[pers - 1]->state = PState::kInactive;
+  } else {
+    sim::advance(p.request_pool_op);
+    san::release(&pool_, proxy);
+    pool_.free(proxy);
+    completions_.signal();
+  }
   ++stats_.cont_inline;
   {
     trace::Scope tsc("cont:inline", "offload");
@@ -509,6 +752,12 @@ void OffloadChannel::issue(Engine& e, const Command& cmd) {
     case CmdOp::kIfence:
       track_inflight(e, rc_.ifence(cmd.win), cmd.proxy);
       return;
+    case CmdOp::kStartPersistent:
+      engine_start_persistent(e, static_cast<std::uint32_t>(cmd.count));
+      return;
+    case CmdOp::kFreePersistent:
+      engine_free_persistent(e, static_cast<std::uint32_t>(cmd.count));
+      return;
     default:
       break;
   }
@@ -556,8 +805,9 @@ void OffloadChannel::issue(Engine& e, const Command& cmd) {
 }
 
 void OffloadChannel::track_inflight(Engine& e, smpi::Request real,
-                                    std::uint32_t proxy) {
-  e.inflight.push_back({real, proxy, sim::now(), false});
+                                    std::uint32_t proxy,
+                                    std::uint32_t persist) {
+  e.inflight.push_back({real, proxy, sim::now(), false, persist});
   e.scratch_reqs.push_back(real);
   ++e.live_inflight;
   std::size_t live_total = 0;
@@ -565,6 +815,164 @@ void OffloadChannel::track_inflight(Engine& e, smpi::Request real,
   stats_.max_inflight =
       std::max<std::uint64_t>(stats_.max_inflight, live_total);
   e.g_inflight.set(static_cast<double>(e.live_inflight));
+}
+
+// ------------------------------------------------ persistent engine side ----
+
+void OffloadChannel::engine_start_persistent(Engine& e, std::uint32_t idx) {
+  PersistSlot& ps = *persist_.at(idx);
+  const std::uint32_t pidx = idx + 1;  // Inflight.persist tag
+  if (ps.partitions == 0) {
+    // Plain persistent: the rc_-level persistent request is created lazily
+    // on the first start (init never enters MPI from the engine), then every
+    // generation is a bare MPI_Start on the same handle.
+    if (ps.mpi.is_null()) {
+      ps.mpi = ps.is_send ? rc_.send_init(ps.sbuf, ps.count, ps.dtype,
+                                          ps.peer, ps.tag, ps.comm)
+                          : rc_.recv_init(ps.rbuf, ps.count, ps.dtype,
+                                          ps.peer, ps.tag, ps.comm);
+    }
+    rc_.start(ps.mpi);
+    ps.remaining = 1;
+    track_inflight(e, ps.mpi, ps.proxy, pidx);
+    return;
+  }
+  // Partitioned: one rc_-level persistent request per partition, each a byte
+  // slice of the buffer under its partition wire tag (wildcard receives can
+  // never match these frames — matching.cpp rejects tag-bit-30).
+  const std::uint64_t bytes = ps.count * smpi::datatype_size(ps.dtype);
+  if (ps.parts.empty()) {
+    ps.parts.resize(ps.partitions);
+    for (std::uint32_t p = 0; p < ps.partitions; ++p) {
+      const std::uint64_t lo = bytes * p / ps.partitions;
+      const std::uint64_t hi = bytes * (p + 1) / ps.partitions;
+      const int wtag = smpi::part_wire_tag(ps.tag, static_cast<int>(p));
+      if (ps.is_send) {
+        ps.parts[p] =
+            rc_.send_init(static_cast<const char*>(ps.sbuf) + lo, hi - lo,
+                          smpi::Datatype::kByte, ps.peer, wtag, ps.comm);
+      } else {
+        ps.parts[p] =
+            rc_.recv_init(static_cast<char*>(ps.rbuf) + lo, hi - lo,
+                          smpi::Datatype::kByte, ps.peer, wtag, ps.comm);
+      }
+    }
+  }
+  ps.remaining = ps.partitions;
+  if (ps.is_send) {
+    // Arm only: partitions ship from pump_persistent as pready bits land,
+    // which is the whole point — early partitions go to the wire while
+    // sibling compute threads are still producing theirs.
+    std::fill(ps.shipped.begin(), ps.shipped.end(), 0);
+    ps.armed = true;
+    ++armed_psends_;
+    // The arm races ahead-published pready bits: creating the per-partition
+    // requests above yields, so an app thread may publish (and ring the
+    // doorbell for) every partition before `armed` flips — a sibling engine
+    // that polled in that window saw armed_psends_ == 0, judged the bits
+    // un-actionable, and went to sleep past all of their signals. Re-ring
+    // the doorbell after the arm so it re-evaluates ownership.
+    for (const PartReadyWord& w : ps.ready) {
+      if (w.load() != 0) {
+        rc_.arrivals().signal();
+        break;
+      }
+    }
+    return;
+  }
+  // Partitioned receive: all partitions post immediately (the receiver has
+  // no readiness to wait for).
+  for (std::uint32_t p = 0; p < ps.partitions; ++p) {
+    rc_.start(ps.parts[p]);
+    track_inflight(e, ps.parts[p], ps.proxy, pidx);
+  }
+}
+
+void OffloadChannel::engine_free_persistent(Engine& e, std::uint32_t idx) {
+  (void)e;
+  PersistSlot& ps = *persist_.at(idx);
+  if (!ps.mpi.is_null()) rc_.request_free(ps.mpi);
+  for (smpi::Request& r : ps.parts) {
+    if (!r.is_null()) rc_.request_free(r);
+  }
+  ps.parts.clear();
+  slot_persist_[ps.proxy] = 0;
+  sim::advance(rc_.profile().request_pool_op);
+  san::release(&pool_, ps.proxy);
+  pool_.free(ps.proxy);
+  completions_.signal();
+}
+
+std::size_t OffloadChannel::partition_engine(const PersistSlot& ps,
+                                             std::uint32_t p) const {
+  const std::size_t n = engines_.size();
+  if (n == 1) return 0;
+  // Deterministic disjoint ownership: every engine computes the same map, so
+  // no two engines ever race to ship one partition. Mixing (comm, peer, p)
+  // spreads one request's partitions across engines — per-partition wire
+  // tags make them independent envelopes, so cross-engine issue is
+  // order-safe.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ps.comm.idx))
+       << 32) ^
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(ps.peer)) ^
+      (static_cast<std::uint64_t>(p + 1) << 20);
+  return static_cast<std::size_t>(mix64(key) >> 32) % n;
+}
+
+bool OffloadChannel::persistent_ready_pending(const Engine& e) const {
+  if (armed_psends_ == 0) return false;
+  for (const auto& psp : persist_) {
+    const PersistSlot& ps = *psp;
+    if (!ps.armed) continue;
+    for (std::size_t w = 0; w < ps.ready.size(); ++w) {
+      std::uint64_t avail = ps.ready[w].load() & ~ps.shipped[w];
+      while (avail != 0) {
+        const auto p = static_cast<std::uint32_t>(
+            w * 64 + static_cast<unsigned>(std::countr_zero(avail)));
+        if (partition_engine(ps, p) == e.index) return true;
+        avail &= avail - 1;
+      }
+    }
+  }
+  return false;
+}
+
+bool OffloadChannel::pump_persistent(Engine& e) {
+  if (armed_psends_ == 0) return false;
+  bool any = false;
+  for (std::size_t i = 0; i < persist_.size(); ++i) {
+    PersistSlot& ps = *persist_[i];
+    if (!ps.armed) continue;  // also gates slots whose start is still queued
+    for (std::size_t w = 0; w < ps.ready.size(); ++w) {
+      for (;;) {
+        // Re-read after every ship: rc_.start yields, and bits published
+        // meanwhile should go out in this same pass.
+        std::uint64_t avail = ps.ready[w].load() & ~ps.shipped[w];
+        bool shipped_one = false;
+        while (avail != 0) {
+          const auto bit = static_cast<unsigned>(std::countr_zero(avail));
+          avail &= avail - 1;
+          const auto p = static_cast<std::uint32_t>(w * 64 + bit);
+          if (partition_engine(ps, p) != e.index) continue;
+          // Shipped bit set BEFORE issuing: the issue yields, and our own
+          // next pass (or a sibling's re-check) must see the partition as
+          // taken.
+          ps.shipped[w] |= 1ull << bit;
+          trace::Scope tsc("part:ship", "offload");
+          sim::advance(rc_.profile().cmd_dequeue);
+          rc_.start(ps.parts[p]);
+          track_inflight(e, ps.parts[p], ps.proxy,
+                         static_cast<std::uint32_t>(i) + 1);
+          any = true;
+          shipped_one = true;
+          break;
+        }
+        if (!shipped_one) break;
+      }
+    }
+  }
+  return any;
 }
 
 void OffloadChannel::process_command(Engine& e, const Command& cmd) {
@@ -704,7 +1112,28 @@ void OffloadChannel::drive_progress(Engine& e) {
     const bool flag = rc_.testany(e.scratch_reqs, &idx, &st);
     if (!flag || idx < 0) break;
     const auto i = static_cast<std::size_t>(idx);
-    complete_slot(e, e.inflight[i].proxy, st);
+    if (const std::uint32_t pers = e.inflight[i].persist; pers != 0) {
+      // One generation (or one partition) of a persistent request. The proxy
+      // done flag publishes only when the whole generation is in: a
+      // partitioned send/recv is complete when its LAST partition lands.
+      PersistSlot& ps = *persist_[pers - 1];
+      if (--ps.remaining == 0) {
+        if (ps.armed) {
+          ps.armed = false;
+          --armed_psends_;
+        }
+        smpi::Status full = st;
+        if (ps.partitions != 0) {
+          // Synthesize the whole-message Status: base tag (the per-partition
+          // wire tags are an implementation detail) and total bytes.
+          full.tag = ps.tag;
+          full.bytes = ps.count * smpi::datatype_size(ps.dtype);
+        }
+        complete_slot(e, ps.proxy, full);
+      }
+    } else {
+      complete_slot(e, e.inflight[i].proxy, st);
+    }
     --e.live_inflight;
     e.g_inflight.set(static_cast<double>(e.live_inflight));
     if (e.live_inflight == 0) break;
@@ -730,11 +1159,20 @@ bool OffloadChannel::run_continuations(Engine& e) {
     const smpi::Status st = pool_.status(proxy);
     // Free before running: the callback may post enough follow-ups to need
     // this very slot, and the exactly-once claim already consumed it.
+    // Persistent slots are NOT freed — consuming the completion returns the
+    // request to kInactive first, so the callback may Start the next
+    // generation from inside itself.
     cont_.reset(proxy);
-    sim::advance(p.request_pool_op);
-    san::release(&pool_, proxy);
-    pool_.free(proxy);
-    completions_.signal();
+    const std::uint32_t pers =
+        proxy < slot_persist_.size() ? slot_persist_[proxy] : 0;
+    if (pers != 0) {
+      persist_[pers - 1]->state = PState::kInactive;
+    } else {
+      sim::advance(p.request_pool_op);
+      san::release(&pool_, proxy);
+      pool_.free(proxy);
+      completions_.signal();
+    }
     {
       trace::Scope tsc("cont:run", "offload");
       fn(st);
@@ -827,6 +1265,9 @@ void OffloadChannel::engine_main(std::size_t idx) {
     // else: a thief holds our queues; progress/continuations still run, and
     // the spin polls below keep virtual time moving until it releases.
     drive_progress(e);
+    // Ship any partition bits published since the last pass — this is where
+    // early partitions overlap the senders still computing.
+    worked = pump_persistent(e) || worked;
     worked = run_continuations(e) || worked;
     if (!worked) worked = steal_round(e);
     if (shutdown_requested_ && e.live_inflight == 0 &&
@@ -852,14 +1293,14 @@ void OffloadChannel::engine_main(std::size_t idx) {
       ++stats_.engine_spins;
       sim::advance(p.cmd_detect);
       woke = submissions_pending(e) || steal_work_available(e) ||
-             rc_.arrivals().count() > seen;
+             persistent_ready_pending(e) || rc_.arrivals().count() > seen;
     }
     for (int i = 0; i < p.engine_yield_polls && !woke; ++i) {
       ++stats_.engine_yields;
       sim::yield();
       sim::advance(p.cmd_detect);
       woke = submissions_pending(e) || steal_work_available(e) ||
-             rc_.arrivals().count() > seen;
+             persistent_ready_pending(e) || rc_.arrivals().count() > seen;
     }
     if (woke) continue;
     ++stats_.engine_sleeps;
@@ -874,7 +1315,10 @@ void OffloadChannel::engine_main(std::size_t idx) {
     // check-layer doorbell spec forces exactly that interleaving.)
     const std::uint64_t armed = rc_.arrivals().count();
     if (submissions_pending(e) || !e.cont_ready.empty() ||
-        steal_work_available(e)) {
+        steal_work_available(e) || persistent_ready_pending(e)) {
+      // (persistent_ready_pending: a pready published between our pump pass
+      // and this snapshot would otherwise be stranded — its doorbell signal
+      // may already be counted in `armed`.)
       // Own work re-checked under the armed snapshot — or a sibling still
       // has a backlog, which nothing would ring OUR doorbell for: keep
       // polling and retrying the steal instead of sleeping past it.

@@ -57,6 +57,7 @@
 #include "core/cont_table.hpp"
 #include "core/drain_claim.hpp"
 #include "core/mpsc_ring.hpp"
+#include "core/part_ready.hpp"
 #include "core/proxy_options.hpp"
 #include "core/request_pool.hpp"
 #include "core/spsc_lane.hpp"
@@ -71,6 +72,12 @@ namespace core {
 /// continuations, but must never block (the offload engine enforces this:
 /// a blocking wait from engine context throws).
 using ContFn = std::function<void(const smpi::Status&)>;
+
+/// Lifecycle of a persistent (init-once/start-many) request, shared by the
+/// proxy API and the offload channel. kInactive -> kStarted at Start;
+/// kStarted -> kInactive when the completion is consumed (wait/test or a
+/// fired continuation); kFreed is terminal.
+enum class PState : std::uint8_t { kInactive, kStarted, kFreed };
 
 struct OffloadStats {
   std::uint64_t commands = 0;
@@ -199,6 +206,53 @@ class OffloadChannel {
     return n;
   }
 
+  // ---------------- persistent / partitioned requests ----------------
+  // A persistent offload request pins one RequestPool slot for its whole
+  // lifetime and keeps its envelope in an engine-side PersistSlot; every
+  // re-arm publishes only the slot index (CmdOp::kStartPersistent, charged
+  // at Profile::cmd_enqueue_persist instead of a full enqueue). Partitioned
+  // sends additionally carry a per-partition ready word the engines poll:
+  // pready(p) from any compute fiber publishes one bit, and the engine that
+  // owns partition p (partition-hash sharding) ships it while sibling
+  // partitions are still computing.
+
+  /// Register a persistent envelope. `cmd` is the equivalent one-shot
+  /// kIsend/kIrecv command (buffer/count/dtype/peer/tag/comm); `partitions`
+  /// 0 = plain persistent, else the partition count (1..kMaxPartitions,
+  /// tag < kMaxPartBaseTag). Returns the channel's persistent-slot index.
+  std::uint32_t persist_init(const Command& cmd, std::uint32_t partitions);
+  /// Re-arm and publish one generation. Throws std::logic_error when the
+  /// previous generation's completion has not been consumed.
+  void persist_start(std::uint32_t idx);
+  /// Publish partitions [lo, hi] of a started partitioned send as ready.
+  /// Callable from any compute fiber; throws on double-mark or when no
+  /// generation is active.
+  void persist_pready(std::uint32_t idx, std::uint32_t lo, std::uint32_t hi);
+  /// Spin on the generation's done flag WITHOUT freeing the pool slot;
+  /// consuming the completion returns the request to kInactive. Trivially
+  /// complete (empty Status) when no generation is active.
+  void persist_wait(std::uint32_t idx, smpi::Status* st = nullptr);
+  /// Nonblocking persist_wait.
+  bool persist_test(std::uint32_t idx, smpi::Status* st = nullptr);
+  /// Tear down: requires kInactive. The engine frees the MPI-level requests
+  /// and the pool slot (ring FIFO runs it after every prior start).
+  void persist_free(std::uint32_t idx);
+  /// Bind `fn` to the CURRENT generation's completion. Unlike the one-shot
+  /// attach, the slot is NOT consumed — the callback (or an inline run)
+  /// returns the request to kInactive, so it may Start the next generation
+  /// from inside the callback. Returns true when run inline.
+  bool persist_attach_continuation(std::uint32_t idx, ContFn fn);
+  [[nodiscard]] PState persist_state(std::uint32_t idx) const {
+    return persist_.at(idx)->state;
+  }
+  [[nodiscard]] std::uint32_t persist_partitions(std::uint32_t idx) const {
+    return persist_.at(idx)->partitions;
+  }
+  /// The pool slot a persistent request pins (tests: slot-reuse assertions).
+  [[nodiscard]] std::uint32_t persist_pool_slot(std::uint32_t idx) const {
+    return persist_.at(idx)->proxy;
+  }
+
   /// Enqueue one shutdown command per engine (each engine exits after
   /// draining its lanes, its ring, its in-flight requests, and its
   /// continuation queue).
@@ -229,6 +283,43 @@ class OffloadChannel {
     std::uint32_t proxy;
     sim::Time issued_at;   ///< for the stuck-request watchdog
     bool flagged = false;  ///< already reported by the watchdog
+    /// Persistent-slot index + 1 when this in-flight is one generation (or
+    /// one partition) of a persistent request; 0 for one-shot requests. A
+    /// persistent completion decrements the slot's `remaining` instead of
+    /// completing the proxy slot directly.
+    std::uint32_t persist = 0;
+  };
+
+  /// Engine-side home of one persistent request. Envelope fields are written
+  /// once at init; generation state (armed/shipped/remaining, the lazily
+  /// created MPI requests) is touched only from engine context; `state` and
+  /// `marked` are app-side; `ready` is the one lock-free handoff (see
+  /// core/part_ready.hpp). Lives in a deque: stable addresses, slots are
+  /// never reused within a run.
+  struct PersistSlot {
+    // ---- envelope (init-time) ----
+    bool is_send = false;
+    const void* sbuf = nullptr;
+    void* rbuf = nullptr;
+    std::uint64_t count = 0;
+    smpi::Datatype dtype = smpi::Datatype::kByte;
+    int peer = -1;
+    int tag = 0;
+    smpi::Comm comm = smpi::kCommWorld;
+    std::uint32_t partitions = 0;  ///< 0 = plain persistent
+    std::uint32_t proxy = 0;       ///< pool slot pinned for the lifetime
+    std::size_t home_engine = 0;   ///< engine_of of the equivalent one-shot
+    // ---- app side ----
+    PState state = PState::kInactive;
+    std::uint32_t marked = 0;  ///< partitions pready'd this generation
+    /// Partition-ready words, bit p%64 of word p/64 (partitioned sends).
+    std::vector<PartReadyWord> ready;
+    // ---- engine side ----
+    smpi::Request mpi{};               ///< plain: the rc_ persistent request
+    std::vector<smpi::Request> parts;  ///< partitioned: one per partition
+    std::vector<std::uint64_t> shipped;  ///< mirror mask: partitions issued
+    std::uint32_t remaining = 0;  ///< parts of this generation still in flight
+    bool armed = false;  ///< partitioned send: generation open for shipping
   };
 
   /// One engine fiber's private state. Everything here is touched only by
@@ -307,12 +398,36 @@ class OffloadChannel {
   std::uint32_t submit_from_engine(Engine& e, Command cmd);
   void push_lane(Lane& lane, const Command& cmd);
   void push_shared_locked(Engine& e, const Command& cmd);
+  /// Publish `cmd` to engine `eidx` (lane if the caller has one, else the
+  /// shared ring) and ring the doorbell. The slot-allocation-free tail of
+  /// submit(): persistent starts/frees arrive here with their pool slot
+  /// already pinned.
+  void push_to_engine(std::size_t eidx, const Command& cmd);
 
   /// The Engine owned by the calling fiber, or nullptr.
   Engine* engine_for_current_fiber();
 
   void issue(Engine& e, const Command& cmd);
-  void track_inflight(Engine& e, smpi::Request real, std::uint32_t proxy);
+  void track_inflight(Engine& e, smpi::Request real, std::uint32_t proxy,
+                      std::uint32_t persist = 0);
+  // ---- persistent engine side ----
+  /// Process kStartPersistent: lazily create the MPI-level persistent
+  /// request(s), then start (plain / partitioned recv) or arm for shipping
+  /// (partitioned send).
+  void engine_start_persistent(Engine& e, std::uint32_t idx);
+  /// Process kFreePersistent: free the MPI-level requests and the pool slot.
+  void engine_free_persistent(Engine& e, std::uint32_t idx);
+  /// Ship every ready-but-unshipped partition owned by engine `e`
+  /// (partition-hash sharding: disjoint per-engine sets, so sibling engines
+  /// never race on a partition). Returns true when anything shipped.
+  bool pump_persistent(Engine& e);
+  /// Engine `e` owns partition `p` of slot `ps`.
+  [[nodiscard]] std::size_t partition_engine(const PersistSlot& ps,
+                                             std::uint32_t p) const;
+  /// A ready-but-unshipped partition owned by `e` exists: the engine must
+  /// not sleep past it (pready rings the rank doorbell, and this is the
+  /// matching pre-sleep re-check).
+  [[nodiscard]] bool persistent_ready_pending(const Engine& e) const;
   /// Publish a completion: done flag, stats, doorbell — and hand the slot
   /// to the discovering engine's continuation queue when one is armed.
   void complete_slot(Engine& e, std::uint32_t proxy, const smpi::Status& st);
@@ -357,6 +472,14 @@ class OffloadChannel {
   /// Communicators pinned to hash(comm) routing because a wildcard receive
   /// was posted on them (sticky; see engine_of).
   std::vector<int> wildcard_comms_;
+  /// Persistent slots, by index (deque: stable addresses; never reused
+  /// within a run — persistent requests are long-lived by design).
+  std::deque<std::unique_ptr<PersistSlot>> persist_;
+  /// Pool slot -> persistent index + 1 (0 = one-shot). The continuation
+  /// paths consult this to reset instead of free a persistent slot.
+  std::vector<std::uint32_t> slot_persist_;
+  /// Armed partitioned sends (fast-path gate for pump_persistent).
+  std::size_t armed_psends_ = 0;
   /// Signalled by an engine whenever it publishes a done flag; application
   /// waiters use it to model their done-flag spin loop without event spam.
   sim::Notifier completions_;

@@ -64,8 +64,13 @@ void Proxy::post_batch(std::span<const BatchOp> ops, std::span<PReq> out) {
       out[i] = isend(o.sbuf, o.count, o.dtype, o.peer, o.tag, o.comm);
     } else if (o.op == CmdOp::kIrecv) {
       out[i] = irecv(o.rbuf, o.count, o.dtype, o.peer, o.tag, o.comm);
+    } else if (o.op == CmdOp::kStartPersistent) {
+      PersistentReq pr{o.persist};
+      start(pr);
+      out[i] = PReq{};  // completion goes through the persistent handle
     } else {
-      throw std::invalid_argument("post_batch: only isend/irecv ops batch");
+      throw std::invalid_argument(
+          "post_batch: only isend/irecv/start ops batch");
     }
   }
 }
@@ -107,6 +112,283 @@ void Proxy::allgather(const void* s, void* r, std::size_t n_per,
                       smpi::Datatype dt, smpi::Comm c) {
   PReq rq = iallgather(s, r, n_per, dt, c);
   wait(rq);
+}
+
+// ---------------------------------------------- generic persistent (base) ----
+// Serves the direct approaches: one rc_-level persistent MPI request per
+// handle (or per partition). The calling thread enters MPI itself, so
+// pready(p) ships its partition immediately — the offload proxy overrides
+// all of this onto its channel's ready-word machinery.
+
+namespace {
+[[noreturn]] void persist_misuse(int rank, const char* call,
+                                 const char* what) {
+  san::mpi_persist_misuse(rank, call, what);
+  throw std::logic_error(std::string(call) + ": " + what);
+}
+}  // namespace
+
+Proxy::PersistentOp& Proxy::pop_of(const PersistentReq& r, const char* call) {
+  if (r.is_null() || r.v > pops_.size()) {
+    throw std::logic_error(std::string(call) +
+                           ": null or invalid persistent request handle");
+  }
+  return *pops_[static_cast<std::size_t>(r.v - 1)];
+}
+
+PersistentReq Proxy::send_init(const void* b, std::size_t n, smpi::Datatype dt,
+                               int dst, int tag, smpi::Comm c) {
+  auto pop = std::make_unique<PersistentOp>();
+  pop->is_send = true;
+  pop->peer = dst;
+  pop->tag = tag;
+  pop->bytes = n * smpi::datatype_size(dt);
+  pop->req = rc_.send_init(b, n, dt, dst, tag, c);
+  pops_.push_back(std::move(pop));
+  return PersistentReq{pops_.size()};
+}
+
+PersistentReq Proxy::recv_init(void* b, std::size_t n, smpi::Datatype dt,
+                               int src, int tag, smpi::Comm c) {
+  auto pop = std::make_unique<PersistentOp>();
+  pop->peer = src;
+  pop->tag = tag;
+  pop->bytes = n * smpi::datatype_size(dt);
+  pop->req = rc_.recv_init(b, n, dt, src, tag, c);
+  pops_.push_back(std::move(pop));
+  return PersistentReq{pops_.size()};
+}
+
+namespace {
+void validate_partitioned(int rank, const char* call, int tag,
+                          std::uint32_t partitions, int peer) {
+  if (partitions == 0 ||
+      partitions > static_cast<std::uint32_t>(smpi::kMaxPartitions)) {
+    persist_misuse(rank, call, "partition count out of range");
+  }
+  if (tag < 0 || tag >= smpi::kMaxPartBaseTag) {
+    persist_misuse(rank, call, "partitioned base tag out of range");
+  }
+  if (peer == smpi::kAnySource) {
+    // Partition frames are invisible to wildcard matching by design
+    // (mpi/matching.cpp); a wildcard partitioned receive would never match.
+    persist_misuse(rank, call, "partitioned ops require a specific peer");
+  }
+}
+}  // namespace
+
+PersistentReq Proxy::psend_init(const void* b, std::size_t n,
+                                smpi::Datatype dt, int dst, int tag,
+                                std::uint32_t partitions, smpi::Comm c) {
+  validate_partitioned(rc_.rank(), "psend_init", tag, partitions, dst);
+  auto pop = std::make_unique<PersistentOp>();
+  pop->is_send = true;
+  pop->partitions = partitions;
+  pop->peer = dst;
+  pop->tag = tag;
+  const std::uint64_t bytes = n * smpi::datatype_size(dt);
+  pop->bytes = bytes;
+  pop->parts.resize(partitions);
+  pop->part_started.assign(partitions, false);
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    const std::uint64_t lo = bytes * p / partitions;
+    const std::uint64_t hi = bytes * (p + 1) / partitions;
+    pop->parts[p] = rc_.send_init(
+        static_cast<const char*>(b) + lo, hi - lo, smpi::Datatype::kByte, dst,
+        smpi::part_wire_tag(tag, static_cast<int>(p)), c);
+  }
+  pops_.push_back(std::move(pop));
+  return PersistentReq{pops_.size()};
+}
+
+PersistentReq Proxy::precv_init(void* b, std::size_t n, smpi::Datatype dt,
+                                int src, int tag, std::uint32_t partitions,
+                                smpi::Comm c) {
+  validate_partitioned(rc_.rank(), "precv_init", tag, partitions, src);
+  auto pop = std::make_unique<PersistentOp>();
+  pop->partitions = partitions;
+  pop->peer = src;
+  pop->tag = tag;
+  const std::uint64_t bytes = n * smpi::datatype_size(dt);
+  pop->bytes = bytes;
+  pop->parts.resize(partitions);
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    const std::uint64_t lo = bytes * p / partitions;
+    const std::uint64_t hi = bytes * (p + 1) / partitions;
+    pop->parts[p] = rc_.recv_init(
+        static_cast<char*>(b) + lo, hi - lo, smpi::Datatype::kByte, src,
+        smpi::part_wire_tag(tag, static_cast<int>(p)), c);
+  }
+  pops_.push_back(std::move(pop));
+  return PersistentReq{pops_.size()};
+}
+
+void Proxy::start(PersistentReq& r) {
+  PersistentOp& pop = pop_of(r, "start");
+  if (pop.state == PState::kFreed) {
+    persist_misuse(rc_.rank(), "start", "request was freed");
+  }
+  if (pop.state == PState::kStarted) {
+    persist_misuse(rc_.rank(), "start",
+                   "previous generation still in flight");
+  }
+  pop.state = PState::kStarted;
+  if (pop.partitions == 0) {
+    rc_.start(pop.req);
+    return;
+  }
+  pop.part_started.assign(pop.partitions, false);
+  pop.started_parts = 0;
+  // Sends arm only — pready ships each partition; receives post everything
+  // now (the receiver has no readiness to wait for).
+  if (!pop.is_send) rc_.startall(pop.parts);
+}
+
+void Proxy::startall(std::span<PersistentReq> rs) {
+  if (rs.empty()) return;  // MPI_Startall(0, ...) is a no-op
+  for (PersistentReq& r : rs) start(r);
+}
+
+void Proxy::pready(PersistentReq& r, std::uint32_t p) {
+  PersistentOp& pop = pop_of(r, "pready");
+  if (!pop.is_send || pop.partitions == 0) {
+    persist_misuse(rc_.rank(), "pready", "request is not a partitioned send");
+  }
+  if (pop.state != PState::kStarted) {
+    persist_misuse(rc_.rank(), "pready", "no generation started");
+  }
+  if (p >= pop.partitions) {
+    persist_misuse(rc_.rank(), "pready", "partition out of range");
+  }
+  if (pop.part_started[p]) {
+    persist_misuse(rc_.rank(), "pready",
+                   "partition marked ready twice in one generation");
+  }
+  pop.part_started[p] = true;
+  ++pop.started_parts;
+  rc_.start(pop.parts[p]);  // direct approach: ships right here
+}
+
+void Proxy::pready_range(PersistentReq& r, std::uint32_t lo,
+                         std::uint32_t hi) {
+  if (lo > hi) {
+    persist_misuse(rc_.rank(), "pready_range", "partition range is empty");
+  }
+  for (std::uint32_t p = lo; p <= hi; ++p) pready(r, p);
+}
+
+void Proxy::wait(PersistentReq& r, smpi::Status* st) {
+  PersistentOp& pop = pop_of(r, "wait");
+  if (pop.state == PState::kFreed) {
+    persist_misuse(rc_.rank(), "wait", "request was freed");
+  }
+  if (pop.state == PState::kInactive) {
+    if (st != nullptr) *st = smpi::Status{};
+    return;  // trivially complete, like MPI_Wait on an inactive request
+  }
+  if (pop.partitions == 0) {
+    rc_.wait(pop.req, st);  // persistent at the MPI layer: handle survives
+  } else {
+    if (pop.is_send && pop.started_parts != pop.partitions) {
+      persist_misuse(rc_.rank(), "wait",
+                     "wait with unmarked partitions (the send can never "
+                     "complete; pready every partition first)");
+    }
+    // waitall nulls array entries of completed persistent requests (the
+    // dead-slot contract) — wait on copies so the originals stay valid.
+    std::vector<smpi::Request> copies(pop.parts.begin(), pop.parts.end());
+    rc_.waitall(copies);
+    if (st != nullptr) {
+      st->source = pop.peer;
+      st->tag = pop.tag;
+      st->bytes = pop.bytes;
+    }
+  }
+  pop.state = PState::kInactive;
+}
+
+bool Proxy::test(PersistentReq& r, smpi::Status* st) {
+  PersistentOp& pop = pop_of(r, "test");
+  if (pop.state == PState::kFreed) {
+    persist_misuse(rc_.rank(), "test", "request was freed");
+  }
+  if (pop.state == PState::kInactive) {
+    if (st != nullptr) *st = smpi::Status{};
+    return true;
+  }
+  if (pop.partitions == 0) {
+    if (!rc_.test(pop.req, st)) return false;
+  } else {
+    // Unstarted partitions are inactive — hence settled — at the MPI layer
+    // and would wrongly pass a testall; an unfinished partitioned send is
+    // simply not complete yet.
+    if (pop.is_send && pop.started_parts != pop.partitions) return false;
+    std::vector<smpi::Request> copies(pop.parts.begin(), pop.parts.end());
+    if (!rc_.testall(copies)) return false;
+    if (st != nullptr) {
+      st->source = pop.peer;
+      st->tag = pop.tag;
+      st->bytes = pop.bytes;
+    }
+  }
+  pop.state = PState::kInactive;
+  return true;
+}
+
+void Proxy::request_free(PersistentReq& r) {
+  if (r.is_null()) return;
+  PersistentOp& pop = pop_of(r, "request_free");
+  if (pop.state == PState::kStarted) {
+    persist_misuse(rc_.rank(), "request_free", "generation still in flight");
+  }
+  if (pop.state != PState::kFreed) {
+    if (!pop.req.is_null()) rc_.request_free(pop.req);
+    for (smpi::Request& part : pop.parts) {
+      if (!part.is_null()) rc_.request_free(part);
+    }
+    pop.state = PState::kFreed;
+  }
+  r = PersistentReq{};
+}
+
+void Proxy::attach_continuation(PersistentReq& r, ContFn fn) {
+  PersistentOp& pop = pop_of(r, "attach_continuation");
+  if (pop.state != PState::kStarted) {
+    persist_misuse(rc_.rank(), "attach_continuation",
+                   "no generation started on this persistent request");
+  }
+  PersistentOp* p = &pop;  // stable: pops_ holds unique_ptrs
+  if (pop.partitions == 0) {
+    PReq pr{static_cast<std::uint64_t>(pop.req.idx)};
+    attach_continuation(pr, [p, f = std::move(fn)](const smpi::Status& st) {
+      // Consumed first: the callback observes kInactive and may start() the
+      // next generation from inside itself.
+      p->state = PState::kInactive;
+      f(st);
+    });
+    return;
+  }
+  if (pop.is_send && pop.started_parts != pop.partitions) {
+    // An armed-but-unmarked partition would leave the when-all counter
+    // permanently short — the continuation could never fire.
+    persist_misuse(rc_.rank(), "attach_continuation",
+                   "attach with unmarked partitions (pready every partition "
+                   "first)");
+  }
+  auto remaining = std::make_shared<std::uint32_t>(pop.partitions);
+  auto cb = std::make_shared<ContFn>(std::move(fn));
+  for (const smpi::Request part : pop.parts) {
+    PReq pr{static_cast<std::uint64_t>(part.idx)};
+    attach_continuation(pr, [p, remaining, cb](const smpi::Status&) {
+      if (--*remaining != 0) return;
+      p->state = PState::kInactive;
+      smpi::Status st;
+      st.source = p->peer;
+      st.tag = p->tag;
+      st.bytes = p->bytes;
+      (*cb)(st);
+    });
+  }
 }
 
 smpi::Win Proxy::win_create(void* base, std::size_t bytes, smpi::Comm c) {
@@ -270,7 +552,7 @@ void IprobeProxy::progress_hint() {
 
 // ---------------------------------------------------------- CommSelfProxy ----
 
-void CommSelfProxy::start() {
+void CommSelfProxy::start_engine() {
   if (rc_.thread_level() != smpi::ThreadLevel::kMultiple) {
     throw std::logic_error("comm-self requires MPI_THREAD_MULTIPLE");
   }
@@ -314,7 +596,7 @@ PReq preq_of(std::uint32_t slot) {
 std::uint32_t slot_of(PReq r) { return static_cast<std::uint32_t>(r.v - 1); }
 }  // namespace
 
-void OffloadProxy::start() {
+void OffloadProxy::start_engine() {
   auto* ch = &channel_;
   const std::size_t n = channel_.engine_count();
   engine_fibers_.reserve(n);
@@ -468,6 +750,15 @@ void OffloadProxy::post_batch(std::span<const BatchOp> ops,
   if (ops.size() != out.size()) {
     throw std::invalid_argument("post_batch: ops/out span size mismatch");
   }
+  for (const BatchOp& o : ops) {
+    if (o.op == CmdOp::kStartPersistent) {
+      // Persistent starts carry a pre-pinned pool slot and a different
+      // command shape than the alloc-as-you-publish batch path — post mixed
+      // groups element-wise (each start is already the cheap re-arm form).
+      Proxy::post_batch(ops, out);
+      return;
+    }
+  }
   const std::size_t flush = channel_.options().batch_flush;
   // Per-call scratch: submit_batch advances virtual time (and a real enqueue
   // would block), so another fiber can enter post_batch concurrently — a
@@ -548,6 +839,99 @@ PReq OffloadProxy::iallgather(const void* s, void* r, std::size_t n_per,
   cmd.count = n_per;
   cmd.dtype = dt;
   return preq_of(channel_.submit(cmd));
+}
+
+// Persistent & partitioned: every call maps onto the channel's PersistSlot
+// machinery (persistent-slot index biased by one so the null handle stays 0).
+
+namespace {
+std::uint32_t persist_idx(PersistentReq r, const char* call) {
+  if (r.is_null()) {
+    throw std::logic_error(std::string(call) +
+                           ": null persistent request handle");
+  }
+  return static_cast<std::uint32_t>(r.v - 1);
+}
+}  // namespace
+
+PersistentReq OffloadProxy::send_init(const void* b, std::size_t n,
+                                      smpi::Datatype dt, int dst, int tag,
+                                      smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kIsend, c);
+  cmd.sbuf = b;
+  cmd.count = n;
+  cmd.dtype = dt;
+  cmd.peer = dst;
+  cmd.tag = tag;
+  return PersistentReq{
+      static_cast<std::uint64_t>(channel_.persist_init(cmd, 0)) + 1};
+}
+
+PersistentReq OffloadProxy::recv_init(void* b, std::size_t n,
+                                      smpi::Datatype dt, int src, int tag,
+                                      smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kIrecv, c);
+  cmd.rbuf = b;
+  cmd.count = n;
+  cmd.dtype = dt;
+  cmd.peer = src;
+  cmd.tag = tag;
+  return PersistentReq{
+      static_cast<std::uint64_t>(channel_.persist_init(cmd, 0)) + 1};
+}
+
+PersistentReq OffloadProxy::psend_init(const void* b, std::size_t n,
+                                       smpi::Datatype dt, int dst, int tag,
+                                       std::uint32_t partitions,
+                                       smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kIsend, c);
+  cmd.sbuf = b;
+  cmd.count = n;
+  cmd.dtype = dt;
+  cmd.peer = dst;
+  cmd.tag = tag;
+  return PersistentReq{
+      static_cast<std::uint64_t>(channel_.persist_init(cmd, partitions)) + 1};
+}
+
+PersistentReq OffloadProxy::precv_init(void* b, std::size_t n,
+                                       smpi::Datatype dt, int src, int tag,
+                                       std::uint32_t partitions,
+                                       smpi::Comm c) {
+  Command cmd = base_cmd(CmdOp::kIrecv, c);
+  cmd.rbuf = b;
+  cmd.count = n;
+  cmd.dtype = dt;
+  cmd.peer = src;
+  cmd.tag = tag;
+  return PersistentReq{
+      static_cast<std::uint64_t>(channel_.persist_init(cmd, partitions)) + 1};
+}
+
+void OffloadProxy::start(PersistentReq& r) {
+  channel_.persist_start(persist_idx(r, "start"));
+}
+void OffloadProxy::pready(PersistentReq& r, std::uint32_t p) {
+  channel_.persist_pready(persist_idx(r, "pready"), p, p);
+}
+void OffloadProxy::pready_range(PersistentReq& r, std::uint32_t lo,
+                                std::uint32_t hi) {
+  channel_.persist_pready(persist_idx(r, "pready_range"), lo, hi);
+}
+void OffloadProxy::wait(PersistentReq& r, smpi::Status* st) {
+  channel_.persist_wait(persist_idx(r, "wait"), st);
+}
+bool OffloadProxy::test(PersistentReq& r, smpi::Status* st) {
+  return channel_.persist_test(persist_idx(r, "test"), st);
+}
+void OffloadProxy::request_free(PersistentReq& r) {
+  if (r.is_null()) return;
+  channel_.persist_free(persist_idx(r, "request_free"));
+  r = PersistentReq{};
+}
+void OffloadProxy::attach_continuation(PersistentReq& r, ContFn fn) {
+  channel_.persist_attach_continuation(persist_idx(r, "attach_continuation"),
+                                       std::move(fn));
 }
 
 void OffloadProxy::attach_continuation(PReq& r, ContFn fn) {

@@ -49,11 +49,25 @@ struct PReq {
   [[nodiscard]] bool is_null() const { return v == 0; }
 };
 
+/// Persistent (init-once/start-many) request handle. Unlike PReq, completion
+/// calls do NOT consume it: wait/test return it to the inactive state, ready
+/// for the next start(); only request_free() retires it. Meaning is
+/// proxy-specific (base PersistentOp-table index + 1 for the direct
+/// approaches, OffloadChannel persistent-slot index + 1 for offload); zero is
+/// the null handle everywhere.
+struct PersistentReq {
+  std::uint64_t v = 0;
+  [[nodiscard]] bool is_null() const { return v == 0; }
+};
+
 /// One operation of a batched nonblocking post (Proxy::post_batch). Only
 /// point-to-point ops batch: that is the halo-exchange shape the batching
-/// path exists for (N posts -> one lane publish + one doorbell).
+/// path exists for (N posts -> one lane publish + one doorbell). A
+/// kStartPersistent entry re-arms an initialized persistent request in the
+/// same group; its `out` slot stays null (the persistent handle itself is
+/// how the caller waits).
 struct BatchOp {
-  CmdOp op = CmdOp::kIsend;  ///< kIsend or kIrecv
+  CmdOp op = CmdOp::kIsend;  ///< kIsend, kIrecv, or kStartPersistent
   const void* sbuf = nullptr;
   void* rbuf = nullptr;
   std::size_t count = 0;
@@ -61,6 +75,7 @@ struct BatchOp {
   int peer = -1;
   int tag = 0;
   smpi::Comm comm = smpi::kCommWorld;
+  std::uint64_t persist = 0;  ///< PersistentReq::v for kStartPersistent
 
   static BatchOp isend(const void* b, std::size_t n, smpi::Datatype dt,
                        int dst, int tag, smpi::Comm c = smpi::kCommWorld) {
@@ -86,6 +101,12 @@ struct BatchOp {
     o.comm = c;
     return o;
   }
+  static BatchOp start(PersistentReq r) {
+    BatchOp o;
+    o.op = CmdOp::kStartPersistent;
+    o.persist = r.v;
+    return o;
+  }
 };
 
 class Proxy {
@@ -100,7 +121,13 @@ class Proxy {
   [[nodiscard]] virtual Approach approach() const = 0;
 
   /// Spawn helper threads (comm-self progress thread / offload engine).
-  virtual void start() {}
+  virtual void start_engine() {}
+  /// Deprecated alias for start_engine(); kept while call sites migrate.
+  /// Deliberately non-virtual (override start_engine instead) and distinct
+  /// from start(PersistentReq&), which begins a persistent generation.
+  [[deprecated("use start_engine(); start(PersistentReq&) begins a "
+               "persistent generation")]]
+  void start() { start_engine(); }
   /// Drain and join helper threads. Must be called before the rank exits.
   virtual void stop() {}
 
@@ -120,6 +147,63 @@ class Proxy {
   /// into its submission lane with one publish and one doorbell each
   /// (ProxyOptions::batch_flush commands per chunk).
   virtual void post_batch(std::span<const BatchOp> ops, std::span<PReq> out);
+
+  // ---- persistent & partitioned point-to-point (MPI-4 style) ----
+  // init-once/start-many: the envelope is registered once, then each
+  // generation cycles start -> complete -> (restart | free). Completion
+  // calls return the handle to the inactive state instead of consuming it.
+  // Partitioned variants split the buffer into `partitions` contiguous byte
+  // slices; pready(p), callable from ANY compute fiber, publishes slice p as
+  // ready so it can ship while sibling slices are still being computed —
+  // under the offload approach the engines poll a per-partition ready word
+  // and issue early partitions without the sender ever entering MPI.
+  //
+  // The base implementations serve the direct approaches (the caller's
+  // thread enters MPI itself: pready ships its partition immediately);
+  // OffloadProxy overrides everything onto its channel.
+
+  virtual PersistentReq send_init(const void* b, std::size_t n,
+                                  smpi::Datatype dt, int dst, int tag,
+                                  smpi::Comm c = smpi::kCommWorld);
+  virtual PersistentReq recv_init(void* b, std::size_t n, smpi::Datatype dt,
+                                  int src, int tag,
+                                  smpi::Comm c = smpi::kCommWorld);
+  /// Partitioned send: `partitions` contiguous byte slices of the buffer
+  /// (1..kMaxPartitions; tag < kMaxPartBaseTag). Every generation must mark
+  /// each partition ready exactly once via pready.
+  virtual PersistentReq psend_init(const void* b, std::size_t n,
+                                   smpi::Datatype dt, int dst, int tag,
+                                   std::uint32_t partitions,
+                                   smpi::Comm c = smpi::kCommWorld);
+  /// Partitioned receive: posts all partitions at start().
+  virtual PersistentReq precv_init(void* b, std::size_t n, smpi::Datatype dt,
+                                   int src, int tag, std::uint32_t partitions,
+                                   smpi::Comm c = smpi::kCommWorld);
+  /// Begin one generation. Throws std::logic_error when the previous
+  /// generation's completion has not been consumed or the request was freed.
+  virtual void start(PersistentReq& r);
+  /// start() every handle in `rs`; an empty span is a no-op.
+  virtual void startall(std::span<PersistentReq> rs);
+  /// Mark partition `p` of a started partitioned send ready. Throws on
+  /// double-mark, on an inactive generation, or on a non-partitioned handle.
+  virtual void pready(PersistentReq& r, std::uint32_t p);
+  /// pready for every partition in [lo, hi].
+  virtual void pready_range(PersistentReq& r, std::uint32_t lo,
+                            std::uint32_t hi);
+  /// Block until the current generation completes; the handle returns to
+  /// the inactive state (NOT nulled — start it again or free it). Trivially
+  /// complete with an empty Status when no generation is active. Throws when
+  /// a partitioned send still has unmarked partitions.
+  virtual void wait(PersistentReq& r, smpi::Status* st = nullptr);
+  /// Nonblocking wait(PersistentReq&). A partitioned send with unmarked
+  /// partitions reports false (it can never complete yet).
+  virtual bool test(PersistentReq& r, smpi::Status* st = nullptr);
+  /// Retire the request (requires no generation in flight); nulls `r`.
+  virtual void request_free(PersistentReq& r);
+  /// Bind `fn` to the CURRENT generation's completion. The handle is NOT
+  /// consumed: the callback observes the request back in the inactive state
+  /// and may start() the next generation from inside itself.
+  virtual void attach_continuation(PersistentReq& r, ContFn fn);
 
   // ---- completion ----
   virtual void wait(PReq& r, smpi::Status* st = nullptr) = 0;
@@ -199,6 +283,25 @@ class Proxy {
   [[nodiscard]] virtual std::size_t inflight() const { return 0; }
 
  protected:
+  /// Generic persistent request record for the direct approaches: one (or
+  /// one-per-partition) rc_-level persistent MPI request. unique_ptr: stable
+  /// addresses (continuation callbacks capture the record), never reused.
+  struct PersistentOp {
+    PState state = PState::kInactive;
+    bool is_send = false;
+    std::uint32_t partitions = 0;  ///< 0 = plain persistent
+    int peer = -1;
+    int tag = 0;                   ///< base tag (partition tags derive)
+    std::uint64_t bytes = 0;       ///< whole-message size (Status synth)
+    smpi::Request req{};           ///< plain: the one rc_ request
+    std::vector<smpi::Request> parts;      ///< partitioned: per partition
+    std::vector<bool> part_started;        ///< this generation's pready marks
+    std::uint32_t started_parts = 0;       ///< count of marks this generation
+  };
+  /// Look up a handle, throwing on null/out-of-range.
+  PersistentOp& pop_of(const PersistentReq& r, const char* call);
+
+  std::vector<std::unique_ptr<PersistentOp>> pops_;
   smpi::RankCtx& rc_;
 };
 
@@ -206,6 +309,11 @@ class Proxy {
 class DirectProxy : public Proxy {
  public:
   using Proxy::Proxy;
+  // The PReq overrides below would hide the base's PersistentReq overloads
+  // (which serve the direct approaches as-is) — keep both visible.
+  using Proxy::wait;
+  using Proxy::test;
+  using Proxy::attach_continuation;
   [[nodiscard]] Approach approach() const override { return Approach::kBaseline; }
 
   PReq isend(const void* b, std::size_t n, smpi::Datatype dt, int dst, int tag,
@@ -264,7 +372,7 @@ class CommSelfProxy : public DirectProxy {
  public:
   using DirectProxy::DirectProxy;
   [[nodiscard]] Approach approach() const override { return Approach::kCommSelf; }
-  void start() override;
+  void start_engine() override;
   void stop() override;
   [[nodiscard]] int compute_threads(int cores) const override {
     return cores > 1 ? cores - 1 : cores;
@@ -284,7 +392,10 @@ class OffloadProxy : public Proxy {
   /// Explicit tuning (tests/ablations); the environment is NOT consulted.
   OffloadProxy(smpi::RankCtx& rc, const ProxyOptions& opts);
   [[nodiscard]] Approach approach() const override { return Approach::kOffload; }
-  void start() override;
+  // start(PersistentReq&) below would hide the engine-lifecycle start()
+  // shim; keep the whole overload set visible.
+  using Proxy::start;
+  void start_engine() override;
   void stop() override;
   [[nodiscard]] int compute_threads(int cores) const override {
     return cores > 1 ? cores - 1 : cores;
@@ -331,6 +442,29 @@ class OffloadProxy : public Proxy {
   /// request already completed).
   void attach_continuation(PReq& r, ContFn fn) override;
   void cont_wait(const std::function<bool()>& done) override;
+
+  // ---- persistent & partitioned: mapped onto the channel's PersistSlots.
+  // start publishes one cheap kStartPersistent command; pready publishes a
+  // partition-ready bit the engines poll (early-partition shipping).
+  PersistentReq send_init(const void* b, std::size_t n, smpi::Datatype dt,
+                          int dst, int tag,
+                          smpi::Comm c = smpi::kCommWorld) override;
+  PersistentReq recv_init(void* b, std::size_t n, smpi::Datatype dt, int src,
+                          int tag, smpi::Comm c = smpi::kCommWorld) override;
+  PersistentReq psend_init(const void* b, std::size_t n, smpi::Datatype dt,
+                           int dst, int tag, std::uint32_t partitions,
+                           smpi::Comm c = smpi::kCommWorld) override;
+  PersistentReq precv_init(void* b, std::size_t n, smpi::Datatype dt, int src,
+                           int tag, std::uint32_t partitions,
+                           smpi::Comm c = smpi::kCommWorld) override;
+  void start(PersistentReq& r) override;
+  void pready(PersistentReq& r, std::uint32_t p) override;
+  void pready_range(PersistentReq& r, std::uint32_t lo,
+                    std::uint32_t hi) override;
+  void wait(PersistentReq& r, smpi::Status* st = nullptr) override;
+  bool test(PersistentReq& r, smpi::Status* st = nullptr) override;
+  void request_free(PersistentReq& r) override;
+  void attach_continuation(PersistentReq& r, ContFn fn) override;
 
  private:
   OffloadChannel channel_;

@@ -1,43 +1,41 @@
 #include "core/proxy_options.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
 #include "util/env.hpp"
+#include "util/spec_parser.hpp"
 
 namespace core {
 
 namespace {
 
+constexpr const char* kEnv = "MPIOFF_PROXY";
+
 constexpr const char* kValidKeys =
     "ring, pool, lanes, lane_cap, drain, batch, watchdog, cont_run, "
     "proxies, steal";
 
-std::size_t parse_count(const std::string& v, const std::string& key) {
-  char* end = nullptr;
-  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
-  if (end == v.c_str() || *end != '\0') {
-    throw std::invalid_argument("MPIOFF_PROXY: bad count for '" + key +
-                                "': " + v);
-  }
-  return static_cast<std::size_t>(n);
+// Both separators are accepted (proxies:4 reads naturally next to the
+// MPIOFF_SAN-style specs; key=value stays valid everywhere).
+util::SpecParser grammar() {
+  util::SpecParser g(kEnv, "=:", kValidKeys);
+  g.key("ring")
+      .key("pool")
+      .key("lanes")
+      .key("lane_cap")
+      .key("drain")
+      .key("batch")
+      .key("watchdog")
+      .key("cont_run")
+      .key("proxies")
+      .key("steal");
+  return g;
 }
 
-sim::Time parse_duration(const std::string& v, const std::string& key) {
-  char* end = nullptr;
-  const double n = std::strtod(v.c_str(), &end);
-  if (end == v.c_str() || n < 0) {
-    throw std::invalid_argument("MPIOFF_PROXY: bad duration for '" + key +
-                                "': " + v);
-  }
-  const std::string unit(end);
-  if (unit.empty() || unit == "ns") return sim::Time(static_cast<std::int64_t>(n));
-  if (unit == "us") return sim::Time::from_us(n);
-  if (unit == "ms") return sim::Time::from_ms(n);
-  if (unit == "s") return sim::Time::from_sec(n);
-  throw std::invalid_argument("MPIOFF_PROXY: bad unit for '" + key + "': " + v);
+std::size_t count_of(const util::SpecItem& it) {
+  return util::SpecParser::parse_count(kEnv, it.value, it.key);
 }
 
 }  // namespace
@@ -58,53 +56,28 @@ ProxyOptions ProxyOptions::defaults_for(const machine::Profile& p) {
 
 ProxyOptions ProxyOptions::parse(const std::string& spec, ProxyOptions base) {
   ProxyOptions o = base;
-  std::vector<std::string> seen_keys;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    std::size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    const std::string item = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (item.empty()) continue;
-    // Both separators are accepted (proxies:4 reads naturally next to the
-    // MPIOFF_SAN-style specs; key=value stays valid everywhere).
-    const std::size_t eq = item.find_first_of("=:");
-    if (eq == std::string::npos) {
-      throw std::invalid_argument("MPIOFF_PROXY: expected key=value, got '" +
-                                  item + "'");
-    }
-    const std::string key = item.substr(0, eq);
-    const std::string val = item.substr(eq + 1);
-    if (std::find(seen_keys.begin(), seen_keys.end(), key) !=
-        seen_keys.end()) {
-      throw std::invalid_argument("MPIOFF_PROXY: duplicate key '" + key +
-                                  "' (each of " + kValidKeys +
-                                  " may appear once)");
-    }
-    seen_keys.push_back(key);
-    if (key == "ring") {
-      o.ring_capacity = parse_count(val, key);
-    } else if (key == "pool") {
-      o.pool_capacity = static_cast<std::uint32_t>(parse_count(val, key));
-    } else if (key == "lanes") {
-      o.lane_count = parse_count(val, key);
-    } else if (key == "lane_cap") {
-      o.lane_capacity = parse_count(val, key);
-    } else if (key == "drain") {
-      o.lane_drain_bound = parse_count(val, key);
-    } else if (key == "batch") {
-      o.batch_flush = parse_count(val, key);
-    } else if (key == "watchdog") {
-      o.watchdog_budget = parse_duration(val, key);
-    } else if (key == "cont_run") {
-      o.cont_run_bound = parse_count(val, key);
-    } else if (key == "proxies") {
-      o.proxy_count = parse_count(val, key);
-    } else if (key == "steal") {
-      o.steal_bound = parse_count(val, key);
-    } else {
-      throw std::invalid_argument("MPIOFF_PROXY: unknown key '" + key +
-                                  "' (valid: " + kValidKeys + ")");
+  for (const util::SpecItem& it : grammar().parse(spec)) {
+    if (it.key == "ring") {
+      o.ring_capacity = count_of(it);
+    } else if (it.key == "pool") {
+      o.pool_capacity = static_cast<std::uint32_t>(count_of(it));
+    } else if (it.key == "lanes") {
+      o.lane_count = count_of(it);
+    } else if (it.key == "lane_cap") {
+      o.lane_capacity = count_of(it);
+    } else if (it.key == "drain") {
+      o.lane_drain_bound = count_of(it);
+    } else if (it.key == "batch") {
+      o.batch_flush = count_of(it);
+    } else if (it.key == "watchdog") {
+      o.watchdog_budget =
+          util::SpecParser::parse_duration(kEnv, it.value, it.key);
+    } else if (it.key == "cont_run") {
+      o.cont_run_bound = count_of(it);
+    } else if (it.key == "proxies") {
+      o.proxy_count = count_of(it);
+    } else if (it.key == "steal") {
+      o.steal_bound = count_of(it);
     }
   }
   if (o.lane_drain_bound == 0 || o.batch_flush == 0 ||

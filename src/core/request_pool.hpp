@@ -29,8 +29,10 @@
 //    itself validates, so they are relaxed.
 //  * complete: done store (release) publishes the Status payload.
 //  * done: done load (acquire) makes the Status safe to read.
+//  * rearm: done store (relaxed) — quiescent between generations of a
+//    persistent slot by construction (see rearm()).
 //
-// memorder-audit: relaxed=8 acquire=5 release=2 acq_rel=0 seq_cst=0
+// memorder-audit: relaxed=9 acquire=5 release=2 acq_rel=0 seq_cst=0
 // (tools/check_memorder.py fails CI when this line disagrees with the
 // std::memory_order_* tokens actually used below — update both together.)
 #pragma once
@@ -100,6 +102,17 @@ class RequestPoolT {
   void complete(std::uint32_t idx, const smpi::Status& st) {
     slots_[idx].status.ref_w() = st;
     slots_[idx].done.store(1, std::memory_order_release);
+  }
+
+  /// Persistent re-arm: clear the done flag of a slot the caller owns
+  /// between generations. Not part of the concurrent protocol — the previous
+  /// generation's completion was consumed and the next start command has not
+  /// been published, so nothing else touches the slot and relaxed suffices;
+  /// the lane/ring publish of the start command is the release edge that
+  /// hands the slot back to the engine.
+  void rearm(std::uint32_t idx) {
+    slots_[idx].done.store(0, std::memory_order_relaxed);
+    slots_[idx].status.ref_w() = smpi::Status{};
   }
 
   /// Application side: has the request completed?

@@ -4,10 +4,16 @@
 #include <stdexcept>
 
 #include "sim/rng.hpp"
+#include "util/spec_parser.hpp"
 
 namespace machine {
 
 namespace {
+
+constexpr const char* kEnv = "MPIOFF_FAULTS";
+
+constexpr const char* kValidKeys =
+    "drop, dup, corrupt, delay, reorder, stall, rto, seed";
 
 std::uint64_t splitmix(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
@@ -17,28 +23,11 @@ std::uint64_t splitmix(std::uint64_t x) {
 }
 
 double parse_prob(const std::string& v, const std::string& key) {
-  char* end = nullptr;
-  const double p = std::strtod(v.c_str(), &end);
-  if (end == v.c_str() || p < 0.0 || p > 1.0) {
-    throw std::invalid_argument("MPIOFF_FAULTS: bad probability for '" + key +
-                                "': " + v);
-  }
-  return p;
+  return util::SpecParser::parse_prob(kEnv, v, key);
 }
 
 sim::Time parse_duration(const std::string& v, const std::string& key) {
-  char* end = nullptr;
-  const double n = std::strtod(v.c_str(), &end);
-  if (end == v.c_str() || n < 0) {
-    throw std::invalid_argument("MPIOFF_FAULTS: bad duration for '" + key +
-                                "': " + v);
-  }
-  const std::string unit(end);
-  if (unit.empty() || unit == "ns") return sim::Time(static_cast<std::int64_t>(n));
-  if (unit == "us") return sim::Time::from_us(n);
-  if (unit == "ms") return sim::Time::from_ms(n);
-  if (unit == "s") return sim::Time::from_sec(n);
-  throw std::invalid_argument("MPIOFF_FAULTS: bad unit for '" + key + "': " + v);
+  return util::SpecParser::parse_duration(kEnv, v, key);
 }
 
 }  // namespace
@@ -46,20 +35,18 @@ sim::Time parse_duration(const std::string& v, const std::string& key) {
 FaultSpec FaultSpec::parse(const std::string& spec) {
   FaultSpec f;
   f.on = true;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    std::size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    const std::string item = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (item.empty()) continue;
-    const std::size_t eq = item.find('=');
-    if (eq == std::string::npos) {
-      throw std::invalid_argument("MPIOFF_FAULTS: expected key=value, got '" +
-                                  item + "'");
-    }
-    const std::string key = item.substr(0, eq);
-    std::string val = item.substr(eq + 1);
+  util::SpecParser grammar(kEnv, "=", kValidKeys);
+  grammar.key("drop")
+      .key("dup")
+      .key("corrupt")
+      .key("delay")
+      .key("reorder")
+      .key("stall")
+      .key("rto")
+      .key("seed");
+  for (const util::SpecItem& it : grammar.parse(spec)) {
+    const std::string& key = it.key;
+    std::string val = it.value;
     // "prob:duration" forms split the optional duration off first.
     std::string dur;
     if (const std::size_t colon = val.find(':'); colon != std::string::npos) {
@@ -88,8 +75,6 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
       if (end == val.c_str()) {
         throw std::invalid_argument("MPIOFF_FAULTS: bad seed: " + val);
       }
-    } else {
-      throw std::invalid_argument("MPIOFF_FAULTS: unknown key '" + key + "'");
     }
     if (!dur.empty() && key != "delay" && key != "stall") {
       throw std::invalid_argument("MPIOFF_FAULTS: '" + key +

@@ -123,6 +123,18 @@ struct Profile {
   /// setup) is paid once per batch, later commands only pay argument
   /// marshalling into already-hot lane cells.
   sim::Time cmd_enqueue_batch{40};
+  /// Re-arm command of a persistent (init-once/start-many) offload request:
+  /// the envelope already lives in the engine's persistent slot, so the app
+  /// thread only publishes a slot index — no parameter marshalling, no pool
+  /// alloc. This is the amortization persistent requests exist for.
+  sim::Time cmd_enqueue_persist{40};
+  /// MPI-layer Start on a prebuilt persistent envelope (replaces
+  /// mpi_call_overhead for that entry: no argument validation, no envelope
+  /// construction — matches the cheap MPI_Start of mainstream MPIs).
+  sim::Time persist_start{40};
+  /// App-side publish of one partition-ready bit (MPI_Pready): one RMW on
+  /// the ready word plus the engine doorbell.
+  sim::Time pready_publish{25};
   /// Cost for a producer to gain ownership of the shared MPSC ring's tail
   /// cache line when another thread touched it last. This is the per-push
   /// serialization that sharded per-thread lanes exist to avoid: concurrent

@@ -5,12 +5,15 @@
 #include <stdexcept>
 
 #include "util/env.hpp"
+#include "util/spec_parser.hpp"
 
 namespace smpi {
 
 namespace {
 
 bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+constexpr const char* kEnv = "MPIOFF_COLL";
 
 constexpr const char* kValidItems =
     "barrier|bcast|reduce|allreduce|alltoall|allgather|gather|scatter|scan|"
@@ -22,23 +25,7 @@ constexpr const char* kValidAlgos =
 
 /// Parse a byte count with optional k/K (KiB) or m/M (MiB) suffix.
 std::size_t parse_bytes(const std::string& v, const std::string& item) {
-  char* end = nullptr;
-  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
-  if (end == v.c_str()) {
-    throw std::invalid_argument("MPIOFF_COLL: bad size in '" + item + "'");
-  }
-  std::size_t mult = 1;
-  if (*end == 'k' || *end == 'K') {
-    mult = 1024;
-    ++end;
-  } else if (*end == 'm' || *end == 'M') {
-    mult = 1024 * 1024;
-    ++end;
-  }
-  if (*end != '\0') {
-    throw std::invalid_argument("MPIOFF_COLL: bad size in '" + item + "'");
-  }
-  return static_cast<std::size_t>(n) * mult;
+  return util::SpecParser::parse_bytes(kEnv, v, item);
 }
 
 bool parse_coll(const std::string& s, CollectiveId* out) {
@@ -160,58 +147,34 @@ CollTuner CollTuner::parse(const std::string& spec, CollTuner base) {
   CollTuner t = std::move(base);
   // Algo rules for the same collective stack by threshold (that is the
   // grammar's way to build a size-tiered policy), but the scalar knobs are
-  // single-valued: a repeated seg/chains is a typo, not an override.
-  bool seen_seg = false;
-  bool seen_chains = false;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    std::size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    const std::string item = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (item.empty()) continue;
-    const std::size_t colon = item.find(':');
-    if (colon == std::string::npos) {
-      throw std::invalid_argument("MPIOFF_COLL: expected key:value, got '" +
-                                  item + "' (valid: " + std::string(kValidItems) +
-                                  ")");
-    }
-    const std::string key = item.substr(0, colon);
-    const std::string val = item.substr(colon + 1);
-    if (key == "seg") {
-      if (seen_seg) {
-        throw std::invalid_argument(
-            "MPIOFF_COLL: duplicate key 'seg' (seg and chains may appear once; "
-            "valid: " + std::string(kValidItems) + ")");
-      }
-      seen_seg = true;
-      t.seg_bytes_ = std::max<std::size_t>(1, parse_bytes(val, item));
+  // single-valued: a repeated seg/chains is a typo, not an override. The
+  // collective names form an open key class handled by the fallback.
+  util::SpecParser grammar(kEnv, ":", kValidItems);
+  grammar.key("seg").key("chains").open_keys([](const std::string& k) {
+    CollectiveId ignored{};
+    return parse_coll(k, &ignored);
+  });
+  for (const util::SpecItem& it : grammar.parse(spec)) {
+    if (it.key == "seg") {
+      t.seg_bytes_ = std::max<std::size_t>(1, parse_bytes(it.value, it.raw));
       continue;
     }
-    if (key == "chains") {
-      if (seen_chains) {
-        throw std::invalid_argument(
-            "MPIOFF_COLL: duplicate key 'chains' (seg and chains may appear "
-            "once; valid: " + std::string(kValidItems) + ")");
-      }
-      seen_chains = true;
-      const std::size_t n = parse_bytes(val, item);
+    if (it.key == "chains") {
+      const std::size_t n = parse_bytes(it.value, it.raw);
       if (n < 1 || n > 64) {
         throw std::invalid_argument("MPIOFF_COLL: chains must be 1..64 in '" +
-                                    item + "'");
+                                    it.raw + "'");
       }
       t.max_chains_ = static_cast<int>(n);
       continue;
     }
     CollectiveId coll{};
-    if (!parse_coll(key, &coll)) {
-      throw std::invalid_argument("MPIOFF_COLL: unknown key '" + key +
-                                  "' (valid: " + std::string(kValidItems) + ")");
-    }
-    const std::size_t at = val.find('@');
+    parse_coll(it.key, &coll);  // open_keys already vetted the name
+    const std::size_t at = it.value.find('@');
     Rule r;
-    r.algo = parse_algo(val.substr(0, at), item);
-    r.min_bytes = at == std::string::npos ? 0 : parse_bytes(val.substr(at + 1), item);
+    r.algo = parse_algo(it.value.substr(0, at), it.raw);
+    r.min_bytes =
+        at == std::string::npos ? 0 : parse_bytes(it.value.substr(at + 1), it.raw);
     auto& rules = t.rules_[static_cast<int>(coll)];
     rules.push_back(r);
     std::stable_sort(rules.begin(), rules.end(),

@@ -36,6 +36,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -97,6 +98,50 @@ inline Pending irecv(core::Proxy& p, void* b, std::size_t n,
 }
 /// Adopt any proxy request (collectives, post_batch output, ...).
 inline Pending wrap(core::Proxy& p, core::PReq r) { return Pending(p, r); }
+
+/// The current generation of a STARTED persistent request, awaiting its
+/// `.then()`. Unlike Pending, chaining does NOT consume the handle: the
+/// callback observes the request back in the inactive state and may
+/// p.start(r) the next generation from inside itself — a self-restarting
+/// receive loop is three lines. Not RAII (the persistent handle's lifetime
+/// is the caller's, via request_free).
+class PendingGeneration {
+ public:
+  PendingGeneration(core::Proxy& p, core::PersistentReq r)
+      : proxy_(&p), r_(r) {}
+  /// Chain `fn` onto the current generation's completion.
+  void then(ContFn fn) && { proxy_->attach_continuation(r_, std::move(fn)); }
+
+ private:
+  core::Proxy* proxy_;
+  core::PersistentReq r_;
+};
+
+/// cont::generation(proxy, pr).then(cb) — chain onto the current generation
+/// of a started persistent request.
+inline PendingGeneration generation(core::Proxy& p, core::PersistentReq r) {
+  return PendingGeneration(p, r);
+}
+
+/// when_all over started persistent generations: `fin` runs exactly once,
+/// after every member's CURRENT generation completes (with the Status of the
+/// last one). Handles are NOT consumed — each member is back in the inactive
+/// state when `fin` runs, so the callback may restart the whole set.
+inline void when_all_generations(core::Proxy& p,
+                                 std::span<core::PersistentReq> rs,
+                                 ContFn fin) {
+  if (rs.empty()) {
+    fin(smpi::Status{});
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(rs.size());
+  auto cb = std::make_shared<ContFn>(std::move(fin));
+  for (core::PersistentReq& r : rs) {
+    p.attach_continuation(r, [remaining, cb](const smpi::Status& st) {
+      if (--*remaining == 0) (*cb)(st);
+    });
+  }
+}
 
 /// One-shot completion flag for joining a continuation graph back to the
 /// application thread: the graph's tail continuation set()s it, the

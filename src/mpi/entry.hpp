@@ -21,7 +21,12 @@ namespace smpi {
 
 class MpiEntry {
  public:
-  MpiEntry(RankCtx& rc, bool internal, const char* call_name = nullptr)
+  /// `call_cost` overrides the fixed entry overhead (mpi_call_overhead) for
+  /// thin entry points that skip argument validation and envelope setup —
+  /// Start on a persistent request replays a prebuilt envelope, so it pays
+  /// Profile::persist_start instead. Locking behavior is unchanged.
+  MpiEntry(RankCtx& rc, bool internal, const char* call_name = nullptr,
+           const sim::Time* call_cost = nullptr)
       : rc_(rc), internal_(internal) {
     if (internal_) return;
     const auto& p = rc_.profile();
@@ -31,7 +36,7 @@ class MpiEntry {
       call_span_ = true;
       begin_span(call_name);
     }
-    sim::advance(p.mpi_call_overhead);
+    sim::advance(call_cost != nullptr ? *call_cost : p.mpi_call_overhead);
     if (rc_.thread_level() == ThreadLevel::kMultiple) {
       const bool contended = trace::Tracer::on() && rc_.big_lock_.locked();
       if (contended) begin_span("lock:wait");

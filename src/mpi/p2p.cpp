@@ -40,15 +40,27 @@ const machine::Profile& RankCtx::profile() const { return cluster_.profile(); }
 Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
                                 int dst_global, std::uint32_t ctx, int tag,
                                 Comm comm) {
+  RequestImpl& r = reqs_.alloc();
+  post_send_into(r, buf, bytes, dst_global, ctx, tag, comm,
+                 /*registered=*/false);
+  return Request{r.idx};
+}
+
+void RankCtx::post_send_into(RequestImpl& r, const void* buf,
+                             std::size_t bytes, int dst_global,
+                             std::uint32_t ctx, int tag, Comm comm,
+                             bool registered) {
   (void)comm;
   const auto& p = profile();
-  RequestImpl& r = reqs_.alloc();
 
   if (dst_global == rank_) {
     // Loopback: one shared-memory copy, delivered straight to our own inbox
-    // (always "eager" — no NIC involved).
+    // (always "eager" — no NIC involved). Registered (persistent) buffers
+    // are byte-stable for the generation, so the receiver DMAs straight from
+    // them — no sender-side bounce-copy charge (the memcpy below stays:
+    // simulation bookkeeping, digests must see the payload).
     trace::Scope tsc("send:loopback", "mpi");
-    sim::advance(p.copy_cost(bytes));
+    if (!registered) sim::advance(p.copy_cost(bytes));
     machine::NetMessage m;
     m.src = m.dst = rank_;
     m.kind = kWireEager;
@@ -66,7 +78,7 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
     r.kind = ReqKind::kSendEager;
     r.complete = true;
     ++stats_.eager_sends;
-    return Request{r.idx};
+    return;
   }
 
   // Collective stages batch their sends on one doorbell (see
@@ -90,8 +102,9 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
     // sends come from schedule-owned registered buffers that stay stable
     // until the stage completes, so the NIC serializes straight from them —
     // no CPU bounce copy (the simulation memcpy below is bookkeeping only).
+    // Registered persistent-send buffers get the same treatment.
     trace::Scope tsc("send:eager", "mpi");
-    if (!stage_post) sim::advance(p.copy_cost(bytes));
+    if (!stage_post && !registered) sim::advance(p.copy_cost(bytes));
     charge_doorbell();
     machine::NetMessage m;
     m.src = rank_;
@@ -109,7 +122,7 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
     r.kind = ReqKind::kSendEager;
     r.complete = true;
     ++stats_.eager_sends;
-    return Request{r.idx};
+    return;
   }
 
   // Rendezvous: control message only; the payload stays in the user buffer.
@@ -134,13 +147,19 @@ Request RankCtx::isend_internal(const void* buf, std::size_t bytes,
   // that inflight window is exactly what the sanitizer's buffer lint guards.
   // (Eager/loopback sends complete at post time — nothing stays inflight.)
   if (!stage_post) san::mpi_post_send(rank_, r.idx, buf, bytes);
-  return Request{r.idx};
 }
 
 Request RankCtx::irecv_internal(void* buf, std::size_t bytes, int src_global,
                                 std::uint32_t ctx, int tag, Comm comm) {
-  const auto& p = profile();
   RequestImpl& r = reqs_.alloc();
+  post_recv_into(r, buf, bytes, src_global, ctx, tag, comm);
+  return Request{r.idx};
+}
+
+void RankCtx::post_recv_into(RequestImpl& r, void* buf, std::size_t bytes,
+                             int src_global, std::uint32_t ctx, int tag,
+                             Comm comm) {
+  const auto& p = profile();
   r.kind = ReqKind::kRecv;
   r.rbuf = buf;
   r.rbytes = bytes;
@@ -175,12 +194,45 @@ Request RankCtx::irecv_internal(void* buf, std::size_t bytes, int src_global,
       r.status.bytes = um->bytes;
       r.complete = true;
     }
-    return Request{r.idx};
+    return;
   }
 
   match_.post_recv(&r);
   if (!r.coll_internal) san::mpi_post_recv(rank_, r.idx, buf, bytes);
-  return Request{r.idx};
+}
+
+// ---------------------------------------------------- persistent internals --
+
+void RankCtx::start_internal(RequestImpl& r) {
+  if (!r.persistent) {
+    san::mpi_persist_misuse(rank_, "Start", "request is not persistent");
+    throw std::logic_error("MPI_Start: request is not persistent");
+  }
+  if (r.p_started && !r.complete) {
+    san::mpi_persist_misuse(rank_, "Start",
+                            "previous generation still in flight");
+    throw std::logic_error("MPI_Start: previous generation still in flight");
+  }
+  if (r.p_started && r.complete) {
+    // Completed but never waited: settle the old generation before re-arming
+    // (its status is dropped — wait/test between generations to observe it).
+    san::mpi_complete(rank_, r.idx);
+  }
+  r.reset_transfer_state();
+  r.p_started = true;
+  if (r.p_peer == kProcNull) {
+    r.kind = r.p_send ? ReqKind::kSendEager : ReqKind::kRecv;
+    if (!r.p_send) r.status = Status{kProcNull, kAnyTag, 0};
+    r.complete = true;
+    return;
+  }
+  if (r.p_send) {
+    post_send_into(r, r.p_buf, r.p_bytes, r.p_peer, r.p_ctx, r.p_tag, r.p_comm,
+                   /*registered=*/true);
+  } else {
+    post_recv_into(r, r.p_rbuf, r.p_bytes, r.p_peer, r.p_ctx, r.p_tag,
+                   r.p_comm);
+  }
 }
 
 // ------------------------------------------------------------ wait core ----
@@ -251,13 +303,32 @@ void RankCtx::wait_until(MpiEntry& entry, const std::function<bool()>& done) {
 }
 
 bool RankCtx::test_internal(RequestImpl& r, Status* st) {
-  if (!r.complete) return false;
+  if (!r.settled()) return false;
   if (st != nullptr) *st = r.status;
   return true;
 }
 
 void RankCtx::release_if_complete(Request& r, Status* st) {
   RequestImpl& impl = reqs_.get(r);
+  if (impl.persistent) {
+    // Persistent requests are reset, never released: the table slot (and the
+    // handle value) survive until request_free. The caller's handle COPY is
+    // nulled — that is load-bearing for the offload engine's testany sweep,
+    // which uses a nulled scratch entry as its dead-slot marker; the public
+    // wait/test restore the app-visible handle afterwards.
+    if (!impl.p_started) {  // inactive: trivially complete, empty status
+      if (st != nullptr) *st = Status{};
+      r = kRequestNull;
+      return;
+    }
+    if (!impl.complete) return;
+    if (st != nullptr) *st = impl.status;
+    san::mpi_complete(rank_, impl.idx);  // verify checksum, drop registration
+    impl.complete = false;
+    impl.p_started = false;  // back to inactive, ready for the next Start
+    r = kRequestNull;
+    return;
+  }
   if (!impl.complete) return;
   if (st != nullptr) *st = impl.status;
   san::mpi_complete(rank_, impl.idx);  // verify checksum, drop registration
@@ -326,8 +397,10 @@ bool RankCtx::test(Request& r, Status* st) {
   }
   progress_poll();
   RequestImpl& impl = reqs_.get(r);
-  if (!impl.complete) return false;
+  if (!impl.settled()) return false;
+  const bool keep = impl.persistent;
   release_if_complete(r, st);
+  if (keep) r = Request{impl.idx};  // handle survives across generations
   return true;
 }
 
@@ -340,8 +413,10 @@ void RankCtx::wait(Request& r, Status* st) {
     return;
   }
   RequestImpl& impl = reqs_.get(r);
-  wait_until(entry, [&] { return impl.complete; });
+  wait_until(entry, [&] { return impl.settled(); });
+  const bool keep = impl.persistent;
   release_if_complete(r, st);
+  if (keep) r = Request{impl.idx};  // handle survives across generations
 }
 
 void RankCtx::waitall(std::span<Request> rs) {
@@ -354,7 +429,7 @@ void RankCtx::waitall(std::span<Request> rs) {
   }
   wait_until(entry, [&] {
     for (Request& r : rs) {
-      if (!r.is_null() && !reqs_.get(r).complete) return false;
+      if (!r.is_null() && !reqs_.get(r).settled()) return false;
     }
     return true;
   });
@@ -377,7 +452,7 @@ int RankCtx::waitany(std::span<Request> rs, Status* st) {
     for (std::size_t i = 0; i < rs.size(); ++i) {
       if (rs[i].is_null()) continue;
       any_active = true;
-      if (reqs_.get(rs[i]).complete) {
+      if (reqs_.get(rs[i]).settled()) {
         found = static_cast<int>(i);
         return true;
       }
@@ -407,7 +482,7 @@ bool RankCtx::testany(std::span<Request> rs, int* index, Status* st) {
   for (std::size_t i = 0; i < rs.size(); ++i) {
     if (rs[i].is_null()) continue;
     any_active = true;
-    if (reqs_.get(rs[i]).complete) {
+    if (reqs_.get(rs[i]).settled()) {
       *index = static_cast<int>(i);
       release_if_complete(rs[i], st);
       return true;
@@ -427,7 +502,7 @@ bool RankCtx::testall(std::span<Request> rs) {
   }
   progress_poll();
   for (Request& r : rs) {
-    if (!r.is_null() && !reqs_.get(r).complete) return false;
+    if (!r.is_null() && !reqs_.get(r).settled()) return false;
   }
   for (Request& r : rs) {
     if (!r.is_null()) release_if_complete(r, nullptr);
@@ -449,18 +524,103 @@ std::vector<int> RankCtx::waitsome(std::span<Request> rs) {
   if (!any_active) return {};
   wait_until(entry, [&] {
     for (Request& r : rs) {
-      if (!r.is_null() && reqs_.get(r).complete) return true;
+      if (!r.is_null() && reqs_.get(r).settled()) return true;
     }
     return false;
   });
   std::vector<int> done;
   for (std::size_t i = 0; i < rs.size(); ++i) {
-    if (!rs[i].is_null() && reqs_.get(rs[i]).complete) {
+    if (!rs[i].is_null() && reqs_.get(rs[i]).settled()) {
       done.push_back(static_cast<int>(i));
       release_if_complete(rs[i], nullptr);
     }
   }
   return done;
+}
+
+Request RankCtx::send_init(const void* buf, std::size_t count, Datatype dt,
+                           int dst, int tag, Comm comm) {
+  MpiEntry entry(*this, false, "Send_init");
+  const CommInfo& ci = comms_.get(comm);
+  RequestImpl& r = reqs_.alloc();
+  r.persistent = true;
+  r.p_send = true;
+  r.p_buf = buf;
+  r.p_bytes = count * datatype_size(dt);
+  r.p_peer = (dst == kProcNull) ? kProcNull : ci.to_global(dst);
+  r.p_ctx = ci.context;
+  r.p_tag = tag;
+  r.p_comm = comm;
+  return Request{r.idx};
+}
+
+Request RankCtx::recv_init(void* buf, std::size_t count, Datatype dt, int src,
+                           int tag, Comm comm) {
+  MpiEntry entry(*this, false, "Recv_init");
+  const CommInfo& ci = comms_.get(comm);
+  RequestImpl& r = reqs_.alloc();
+  r.persistent = true;
+  r.p_send = false;
+  r.p_rbuf = buf;
+  r.p_bytes = count * datatype_size(dt);
+  r.p_peer = (src == kProcNull || src == kAnySource) ? src : ci.to_global(src);
+  r.p_ctx = ci.context;
+  r.p_tag = tag;
+  r.p_comm = comm;
+  return Request{r.idx};
+}
+
+void RankCtx::start(Request r) {
+  const auto& p = profile();
+  MpiEntry entry(*this, false, "Start", &p.persist_start);
+  if (r.is_null()) {
+    san::mpi_persist_misuse(rank_, "Start", "null request");
+    throw std::logic_error("MPI_Start on the null request");
+  }
+  if (!san::mpi_handle_ok(rank_, r.idx, reqs_.get(r).active, "Start")) {
+    throw std::logic_error("MPI_Start on a freed request handle");
+  }
+  start_internal(reqs_.get(r));
+  // Deliberately no progress_poll: Start is the thin re-arm path — that the
+  // entry stays cheap is the point of persistent requests.
+}
+
+void RankCtx::startall(std::span<Request> rs) {
+  if (rs.empty()) return;  // MPI_Startall(0, ...): no entry overhead
+  const auto& p = profile();
+  MpiEntry entry(*this, false, "Startall", &p.persist_start);
+  for (Request& r : rs) {
+    if (r.is_null()) {
+      san::mpi_persist_misuse(rank_, "Startall", "null request");
+      throw std::logic_error("MPI_Startall on the null request");
+    }
+    if (!san::mpi_handle_ok(rank_, r.idx, reqs_.get(r).active, "Startall")) {
+      throw std::logic_error("MPI_Startall on a freed request handle");
+    }
+    start_internal(reqs_.get(r));
+  }
+}
+
+void RankCtx::request_free(Request& r) {
+  MpiEntry entry(*this, false, "Request_free");
+  if (r.is_null()) return;
+  if (!san::mpi_handle_ok(rank_, r.idx, reqs_.get(r).active, "Request_free")) {
+    r = kRequestNull;
+    return;
+  }
+  RequestImpl& impl = reqs_.get(r);
+  if (!impl.persistent) {
+    san::mpi_persist_misuse(rank_, "Request_free",
+                            "request is not persistent");
+    throw std::logic_error("MPI_Request_free: request is not persistent");
+  }
+  if (impl.p_started && !impl.complete) {
+    san::mpi_persist_misuse(rank_, "Request_free", "generation in flight");
+    throw std::logic_error("MPI_Request_free: generation still in flight");
+  }
+  if (impl.p_started && impl.complete) san::mpi_complete(rank_, impl.idx);
+  reqs_.release(impl);
+  r = kRequestNull;
 }
 
 void RankCtx::sendrecv(const void* sbuf, std::size_t scount, int dst, int stag,

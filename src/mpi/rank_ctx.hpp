@@ -122,6 +122,31 @@ class RankCtx {
                 void* rbuf, std::size_t rcount, int src, int rtag, Datatype dt,
                 Comm comm, Status* st = nullptr);
 
+  // ---------------- persistent point-to-point ----------------
+  // MPI_Send_init / MPI_Recv_init: capture the envelope once, replay it with
+  // Start. A persistent request cycles inactive -> started -> complete ->
+  // inactive; the table slot (and handle) survives until request_free. The
+  // completion calls treat an inactive persistent request as trivially
+  // complete, and they reset — never release — a completed one (public
+  // wait/test preserve the caller's handle; the array calls null their span
+  // entries, so keep your own copy, as the proxies do).
+  Request send_init(const void* buf, std::size_t count, Datatype dt, int dst,
+                    int tag, Comm comm);
+  Request recv_init(void* buf, std::size_t count, Datatype dt, int src, int tag,
+                    Comm comm);
+  /// MPI_Start: re-post the captured envelope. Throws std::logic_error on a
+  /// non-persistent handle or when the previous generation is still in
+  /// flight (start-before-complete). Charges Profile::persist_start instead
+  /// of the full call overhead — the envelope is prebuilt. Persistent sends
+  /// are treated as registered buffers (the caller promises byte stability
+  /// for the generation), so eager starts skip the CPU bounce-copy charge.
+  void start(Request r);
+  /// MPI_Startall; empty span is a no-op with no entry overhead.
+  void startall(std::span<Request> rs);
+  /// MPI_Request_free restricted to persistent requests: requires the
+  /// request inactive (or complete), releases the table slot, nulls `r`.
+  void request_free(Request& r);
+
   // ---------------- completion ----------------
   bool test(Request& r, Status* st = nullptr);
   void wait(Request& r, Status* st = nullptr);
@@ -233,6 +258,17 @@ class RankCtx {
                          std::uint32_t ctx, int tag, Comm comm);
   Request irecv_internal(void* buf, std::size_t bytes, int src_global,
                          std::uint32_t ctx, int tag, Comm comm);
+  /// Post-into core shared by the one-shot and persistent paths: `r` is an
+  /// allocated slot; fills transfer state and injects/posts. `registered`
+  /// marks a byte-stable buffer (persistent send, collective stage) whose
+  /// eager path skips the CPU bounce-copy charge.
+  void post_send_into(RequestImpl& r, const void* buf, std::size_t bytes,
+                      int dst_global, std::uint32_t ctx, int tag, Comm comm,
+                      bool registered);
+  void post_recv_into(RequestImpl& r, void* buf, std::size_t bytes,
+                      int src_global, std::uint32_t ctx, int tag, Comm comm);
+  /// Start one persistent request (no entry overhead; caller is inside).
+  void start_internal(RequestImpl& r);
   bool test_internal(RequestImpl& r, Status* st);
   void release_if_complete(Request& r, Status* st);
 

@@ -54,6 +54,50 @@ struct RequestImpl {
   // ---- collective ----
   std::unique_ptr<CollOp> coll;
 
+  // ---- persistent envelope (MPI_Send_init / MPI_Recv_init) ----
+  // Captured once at init time and replayed by every Start; survives
+  // reset_transfer_state() so one table slot serves many generations.
+  bool persistent = false;
+  bool p_started = false;  ///< a generation is active (or complete, unwaited)
+  bool p_send = false;
+  const void* p_buf = nullptr;  ///< send-side user buffer
+  void* p_rbuf = nullptr;       ///< recv-side user buffer
+  std::size_t p_bytes = 0;
+  int p_peer = -1;  ///< global rank, kProcNull, or kAnySource (recv)
+  std::uint32_t p_ctx = 0;
+  int p_tag = 0;
+  Comm p_comm{};
+
+  /// A request the completion calls may settle: complete, or a persistent
+  /// request with no generation in flight (MPI treats inactive persistent
+  /// requests as trivially complete with an empty status).
+  [[nodiscard]] bool settled() const {
+    return complete || (persistent && !p_started);
+  }
+
+  /// Clear one generation's transfer state, preserving the slot identity and
+  /// the persistent envelope. Called by Start before re-posting.
+  void reset_transfer_state() {
+    kind = ReqKind::kNull;
+    complete = false;
+    status = Status{};
+    rbuf = nullptr;
+    rbytes = 0;
+    ctx = 0;
+    src_global = kAnySource;
+    tag = kAnyTag;
+    comm = Comm{};
+    matched_rndv = data_arrived = false;
+    coll_internal = false;
+    sbuf = nullptr;
+    sbytes = 0;
+    dst_global = -1;
+    cts_received = false;
+    peer_rreq = 0;
+    dma_sent = dma_delivered = 0;
+    rndv_received = 0;
+  }
+
   void reset() {
     kind = ReqKind::kNull;
     active = complete = false;
@@ -74,6 +118,14 @@ struct RequestImpl {
     dma_sent = dma_delivered = 0;
     rndv_received = 0;
     coll.reset();
+    persistent = p_started = p_send = false;
+    p_buf = nullptr;
+    p_rbuf = nullptr;
+    p_bytes = 0;
+    p_peer = -1;
+    p_ctx = 0;
+    p_tag = 0;
+    p_comm = Comm{};
   }
 };
 

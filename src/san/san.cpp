@@ -8,6 +8,7 @@
 
 #include "san/vclock.hpp"
 #include "trace/tracer.hpp"
+#include "util/spec_parser.hpp"
 
 namespace san {
 
@@ -171,70 +172,48 @@ std::string reg_str(const Reg& reg) {
 Options Options::parse(const std::string& spec) {
   Options o;
   if (spec.empty() || spec == "0") return o;
-  std::vector<std::string> toks;
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    const std::size_t c = spec.find(',', pos);
-    toks.push_back(spec.substr(pos, c == std::string::npos ? c : c - pos));
-    if (c == std::string::npos) break;
-    pos = c + 1;
-  }
-  if (toks.empty() || (toks[0] != "0" && toks[0] != "1")) {
+  // The leading bare token is the master switch — everything after the first
+  // comma is an ordinary key:value spec handled by the shared grammar engine.
+  const std::size_t head_end = spec.find(',');
+  const std::string head = spec.substr(0, head_end);
+  if (head != "0" && head != "1") {
     throw std::invalid_argument(
         "MPIOFF_SAN: spec must start with '1' (on) or '0' (off), got '" +
         spec + "'");
   }
-  if (toks[0] == "0") {
-    if (toks.size() > 1) {
+  const std::string rest =
+      head_end == std::string::npos ? std::string() : spec.substr(head_end + 1);
+  if (head == "0") {
+    if (!rest.empty()) {
       throw std::invalid_argument(
           "MPIOFF_SAN: '0' disables the sanitizer and takes no keys");
     }
     return o;
   }
   o.enabled = true;
-  std::set<std::string> seen;
-  for (std::size_t i = 1; i < toks.size(); ++i) {
-    const std::string& t = toks[i];
-    const std::size_t c = t.find(':');
-    if (c == std::string::npos || c == 0 || c + 1 >= t.size()) {
-      throw std::invalid_argument("MPIOFF_SAN: malformed token '" + t +
-                                  "' (expected key:value)");
-    }
-    const std::string k = t.substr(0, c);
-    const std::string v = t.substr(c + 1);
-    if (!seen.insert(k).second) {
-      throw std::invalid_argument("MPIOFF_SAN: duplicate key '" + k + "'");
-    }
-    const auto as_bool = [&]() {
-      if (v == "0") return false;
-      if (v == "1") return true;
-      throw std::invalid_argument("MPIOFF_SAN: key '" + k +
-                                  "' takes 0 or 1, got '" + v + "'");
-    };
-    if (k == "race") {
-      o.race = as_bool();
-    } else if (k == "usage") {
-      o.usage = as_bool();
-    } else if (k == "fail") {
-      o.fail = as_bool();
-    } else if (k == "max_reports") {
-      std::size_t used = 0;
-      unsigned long n = 0;
+  util::SpecParser grammar("MPIOFF_SAN", ":",
+                           "race, usage, fail, max_reports");
+  grammar.key("race").key("usage").key("fail").key("max_reports");
+  for (const util::SpecItem& it : grammar.parse(rest)) {
+    if (it.key == "race") {
+      o.race = util::SpecParser::parse_bool("MPIOFF_SAN", it.value, it.key);
+    } else if (it.key == "usage") {
+      o.usage = util::SpecParser::parse_bool("MPIOFF_SAN", it.value, it.key);
+    } else if (it.key == "fail") {
+      o.fail = util::SpecParser::parse_bool("MPIOFF_SAN", it.value, it.key);
+    } else if (it.key == "max_reports") {
+      std::size_t n = 0;
       try {
-        n = std::stoul(v, &used);
-      } catch (const std::exception&) {
-        used = 0;
+        n = util::SpecParser::parse_count("MPIOFF_SAN", it.value, it.key);
+      } catch (const std::invalid_argument&) {
+        n = 0;
       }
-      if (used != v.size() || n == 0) {
+      if (n == 0) {
         throw std::invalid_argument(
-            "MPIOFF_SAN: max_reports takes a positive integer, got '" + v +
-            "'");
+            "MPIOFF_SAN: max_reports takes a positive integer, got '" +
+            it.value + "'");
       }
       o.max_reports = n;
-    } else {
-      throw std::invalid_argument(
-          "MPIOFF_SAN: unknown key '" + k +
-          "' (valid keys: race, usage, fail, max_reports)");
     }
   }
   return o;
@@ -550,6 +529,14 @@ void coll_posted_slow(int rank, std::uint32_t ctx, int kind, int root,
               ") there — collectives must be posted in the same order with "
               "the same root on every rank");
   }
+}
+
+void persist_misuse_slow(int rank, const char* call, const char* what) {
+  raise("persist-misuse",
+        std::string(call) + " on rank " + std::to_string(rank) + ": " + what +
+            " — persistent/partitioned requests cycle init -> start -> "
+            "complete -> (restart | free), with every partition marked "
+            "ready exactly once per generation");
 }
 
 void teardown_slow(int rank, std::size_t leaked) {

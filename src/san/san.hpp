@@ -126,6 +126,7 @@ void complete_slow(int rank, int req);
 bool handle_ok_slow(int rank, int req, const char* call);
 void coll_posted_slow(int rank, std::uint32_t ctx, int kind, int root,
                       const char* name);
+void persist_misuse_slow(int rank, const char* call, const char* what);
 void teardown_slow(int rank, std::size_t leaked);
 }  // namespace detail
 
@@ -218,6 +219,15 @@ inline void mpi_coll_posted(int rank, std::uint32_t ctx, int kind, int root,
                             const char* name) {
   if (detail::g_usage) detail::coll_posted_slow(rank, ctx, kind, root, name);
 }
+/// Persistent/partitioned lifecycle misuse (start-before-complete, Pready on
+/// an inactive request, double-marked partition, wait with unmarked
+/// partitions, free of an active request). Records a "persist-misuse"
+/// report; the call site ALWAYS throws std::logic_error afterwards, so this
+/// hook only feeds the report stream (and fail:1 turns it into san::Error,
+/// which still IS a logic_error).
+inline void mpi_persist_misuse(int rank, const char* call, const char* what) {
+  if (detail::g_usage) detail::persist_misuse_slow(rank, call, what);
+}
 /// Cluster teardown: `leaked` = RequestTable::active_count() for the rank.
 inline void mpi_teardown(int rank, std::size_t leaked) {
   if (detail::g_usage) detail::teardown_slow(rank, leaked);
@@ -244,6 +254,7 @@ inline void mpi_post_recv(int, int, const void*, std::size_t) {}
 inline void mpi_complete(int, int) {}
 inline bool mpi_handle_ok(int, int, bool, const char*) { return true; }
 inline void mpi_coll_posted(int, std::uint32_t, int, int, const char*) {}
+inline void mpi_persist_misuse(int, const char*, const char*) {}
 inline void mpi_teardown(int, std::size_t) {}
 
 #endif  // MPIOFFLOAD_NO_SAN

@@ -1,0 +1,82 @@
+// Model-checking the partition-ready word (core/part_ready.hpp): publisher
+// fibers write their slice of the user buffer and then mark(p) with a
+// release fetch_or; the engine consumer polls with an acquire load and
+// reads every newly-ready slice. The word is the only ordering between
+// compute fibers and the engine for partitioned sends, so both sides of
+// the release/acquire pair must be load-bearing under every interleaving.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/specs.hpp"
+
+namespace {
+
+using chk::Mode;
+using chk::Mutation;
+using chk::Options;
+using chk::Result;
+using chk::specs::check_pready;
+using chk::specs::PreadyCfg;
+
+TEST(CheckPready, Exhaustive) {
+  Options opt;
+  opt.mode = Mode::kExhaustive;
+  const Result r = check_pready(opt);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_TRUE(r.complete) << "state space not exhausted in " << r.executions;
+}
+
+TEST(CheckPready, ExhaustiveDeeperPreemptionBound) {
+  Options opt;
+  opt.mode = Mode::kExhaustive;
+  opt.preemption_bound = 3;
+  const Result r = check_pready(opt);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(CheckPready, RandomSweepThreePublishers) {
+  // Three publishers + consumer: out-of-order marks, partial fresh masks.
+  Options opt;
+  opt.mode = Mode::kRandom;
+  opt.iterations = 2000;
+  opt.seed = 17;
+  PreadyCfg cfg;
+  cfg.publishers = 3;
+  const Result r = check_pready(opt, cfg);
+  EXPECT_FALSE(r.failed) << r.str() << "\n" << r.trace;
+  EXPECT_EQ(r.executions, 2000u);
+}
+
+TEST(CheckPready, ObservesBothSidesOfTheWord) {
+  Options opt;
+  opt.mode = Mode::kRandom;
+  opt.iterations = 50;
+  const Result r = check_pready(opt);
+  ASSERT_FALSE(r.failed) << r.message;
+  auto has = [&](const char* loc, chk::OpKind op, chk::Side side) {
+    return std::find(r.sites.begin(), r.sites.end(),
+                     chk::Site{loc, op, side}) != r.sites.end();
+  };
+  EXPECT_TRUE(has("pready.word", chk::OpKind::kRmw, chk::Side::kRelease));
+  EXPECT_TRUE(has("pready.word", chk::OpKind::kLoad, chk::Side::kAcquire));
+}
+
+TEST(CheckPready, WeakenedWordFencesAreCaught) {
+  // The mutation suite runs these rows too (test_check_mutations); asserting
+  // them here keeps the partitioned-send story self-contained: drop either
+  // side and the engine ships an unpublished slice.
+  for (const auto& [op, side] :
+       {std::pair{chk::OpKind::kRmw, chk::Side::kRelease},
+        std::pair{chk::OpKind::kLoad, chk::Side::kAcquire}}) {
+    Options opt;
+    opt.mode = Mode::kExhaustive;
+    opt.mutation = Mutation::of({"pready.word", op, side});
+    const Result r = check_pready(opt);
+    ASSERT_TRUE(r.failed) << "mutant survived: " << opt.mutation.str();
+    EXPECT_FALSE(r.trace.empty());
+  }
+}
+
+}  // namespace

@@ -134,7 +134,7 @@ TEST_P(HybridRanks, DistributedTrainingMatchesSerial) {
   smpi::Cluster cluster(ccfg(nranks));
   cluster.run([&](smpi::RankCtx& rc) {
     auto proxy = core::make_proxy(Approach::kBaseline, rc);
-    proxy->start();
+    proxy->start_engine();
     DistributedTrainer trainer(rc, *proxy, in_c, h, w, conv_c, hidden, out);
     const int local_b = batch / nranks;
     Tensor shard(local_b, in_c, h, w);

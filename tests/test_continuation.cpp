@@ -49,7 +49,7 @@ TEST_P(ContMatrix, ThenRunsExactlyOnceWithPayloadVisible) {
   Cluster c(cfg_for(a, 2));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank(), peer = 1 - me;
     std::vector<double> rbuf(256), sbuf(256, me + 1.0);
     int runs = 0;
@@ -82,7 +82,7 @@ TEST_P(ContMatrix, ChainedCallbacksPostFollowUpsWithoutAppThreadMpi) {
   Cluster c(cfg_for(a, 2));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank(), peer = 1 - me;
     constexpr int kHops = 3;
     // Per-hop buffers: hop h's isend may still be in flight when hop h+1 is
@@ -127,7 +127,7 @@ TEST_P(ContMatrix, WhenAllRunsEachHookThenFinalExactlyOnce) {
   Cluster c(cfg_for(a, 2));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank(), peer = 1 - me;
     std::vector<float> r0(64), r1(64), s0(64, 1.0F), s1(64, 2.0F);
     std::vector<PReq> reqs(4);
@@ -161,7 +161,7 @@ TEST_P(ContMatrix, AttachToCompletedRequestRunsInline) {
   Cluster c(cfg_for(a, 2));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank(), peer = 1 - me;
     std::vector<char> rbuf(32), sbuf(32, static_cast<char>('a' + me));
     PReq rr = p->irecv(rbuf.data(), rbuf.size(), Datatype::kByte, peer, 0);
@@ -191,7 +191,7 @@ TEST_P(ContMatrix, NullAndReleasedHandlesRunInline) {
   Cluster c(cfg_for(a, 1));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     // Attach on a never-posted (null) handle: inline, empty Status.
     PReq null_req;
     bool ran = false;
@@ -218,7 +218,7 @@ TEST_P(ContMatrix, EmptySpanWaitApisAreNoOps) {
   Cluster c(cfg_for(a, 1));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     std::vector<PReq> empty;
     p->waitall(empty);                    // MPI_Waitall(0, ...): no-op
     EXPECT_EQ(p->waitany(empty), -1);     // MPI_UNDEFINED
@@ -237,7 +237,7 @@ TEST_P(ContMatrix, PendingDestructorWaitsAndReleaseOptsOut) {
   Cluster c(cfg_for(a, 2));
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank(), peer = 1 - me;
     std::vector<int> rbuf(8), sbuf(8, me);
     {
@@ -282,7 +282,7 @@ TEST(ContOffload, EngineRunsCallbacksAndCountsThem) {
   Cluster c(cfg_for(Approach::kOffload, 2));
   c.run([&](RankCtx& rc) {
     core::OffloadProxy p(rc, {});
-    p.start();
+    p.start_engine();
     const int me = rc.rank(), peer = 1 - me;
     std::vector<int> rbuf(16), sbuf(16, me);
     cont::Event done;
@@ -312,7 +312,7 @@ TEST(ContOffload, CallbackPostsThroughEngineBypassingTheRing) {
     opts.ring_capacity = 2;
     opts.lane_count = 0;  // everything through the tiny shared ring
     core::OffloadProxy p(rc, opts);
-    p.start();
+    p.start_engine();
     const int me = rc.rank(), peer = 1 - me;
     std::vector<int> r1(8), r2(8), sbuf(8, me + 40);
     cont::Event done;
@@ -338,7 +338,7 @@ TEST(ContOffload, BlockingWaitFromCallbackThrows) {
   Cluster c(cfg_for(Approach::kOffload, 2));
   c.run([&](RankCtx& rc) {
     core::OffloadProxy p(rc, {});
-    p.start();
+    p.start_engine();
     const int me = rc.rank(), peer = 1 - me;
     std::vector<int> rbuf(8), rbuf2(8), sbuf(8, me);
     bool threw = false;
@@ -374,7 +374,7 @@ TEST(ContOffload, RunBoundDefersBurstsToTheNextPass) {
     core::ProxyOptions opts;
     opts.cont_run_bound = 1;
     core::OffloadProxy p(rc, opts);
-    p.start();
+    p.start_engine();
     const int me = rc.rank(), peer = 1 - me;
     constexpr int kN = 8;
     std::vector<std::vector<int>> rbufs(kN, std::vector<int>(512));
@@ -421,7 +421,7 @@ void qcd_chained_vs_polling(const ClusterConfig& base, Approach a) {
   Cluster cluster(cc);
   cluster.run([&](RankCtx& rc) {
     auto proxy = core::make_proxy(a, rc);
-    proxy->start();
+    proxy->start_engine();
     Decomposition dec(global, grid, rc.rank());
     DistributedDslash d(dec, *proxy);
     const Dims& ld = dec.local();
@@ -468,7 +468,7 @@ void fft_chained_vs_polling(const ClusterConfig& base, Approach a) {
   Cluster cluster(cc);
   cluster.run([&](RankCtx& rc) {
     auto proxy = core::make_proxy(a, rc);
-    proxy->start();
+    proxy->start_engine();
     DistributedFft dfft(rc, *proxy, rows, cols);
     const std::size_t loc = dfft.local();
     const auto lo = static_cast<std::ptrdiff_t>(

@@ -67,7 +67,7 @@ RunOut run_workload(Approach a, std::uint64_t seed, const char* fault_spec) {
   out.digests.assign(kRanks, 0);
   c.run([&](smpi::RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank();
     const int np = kRanks;
     std::uint64_t digest = 14695981039346656037ull;

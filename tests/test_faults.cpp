@@ -74,7 +74,7 @@ SoakResult run_soak(Approach a, const FaultSpec& faults) {
   res.outcomes.resize(kRanks);
   c.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank();
     const int right = (me + 1) % kRanks, left = (me + kRanks - 1) % kRanks;
     RankOutcome& out = res.outcomes[static_cast<std::size_t>(me)];
@@ -308,7 +308,7 @@ TEST(OffloadWatchdog, FlagsRequestsStuckBeyondBudget) {
   std::uint64_t flags = 0;
   c.run([&](RankCtx& rc) {
     core::OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       int got = -1;
       PReq r = p.irecv(&got, 1, Datatype::kInt, 1, 0);
@@ -334,7 +334,7 @@ TEST(OffloadWatchdog, ZeroBudgetDisables) {
   Cluster c(cfg);
   c.run([&](RankCtx& rc) {
     core::OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       int got = -1;
       PReq r = p.irecv(&got, 1, Datatype::kInt, 1, 0);

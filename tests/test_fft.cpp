@@ -85,7 +85,7 @@ TEST_P(DistFft, MatchesNaiveDft) {
   smpi::Cluster cluster(ccfg(tc.ranks, tc.approach));
   cluster.run([&](smpi::RankCtx& rc) {
     auto proxy = core::make_proxy(tc.approach, rc);
-    proxy->start();
+    proxy->start_engine();
     DistributedFft dfft(rc, *proxy, tc.rows, tc.cols);
     const std::size_t loc = dfft.local();
     std::vector<cd> block(x.begin() + static_cast<std::ptrdiff_t>(loc * static_cast<std::size_t>(rc.rank())),

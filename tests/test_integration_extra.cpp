@@ -51,7 +51,7 @@ TEST(OffloadConcurrency, ManyFibersSubmitThroughOneRing) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     core::OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     const int me = rc.rank(), peer = 1 - me;
     constexpr int kThreads = 6, kMsgs = 20;
     auto done = std::make_shared<int>(0);
@@ -179,7 +179,7 @@ TEST(Determinism, FullAppPipelineIsBitStable) {
     std::int64_t t = 0;
     c.run([&](RankCtx& rc) {
       auto p = core::make_proxy(Approach::kOffload, rc);
-      p->start();
+      p->start_engine();
       std::vector<float> g(100000, 1.0f), out(100000);
       for (int i = 0; i < 3; ++i) {
         core::PReq r = p->iallreduce(g.data(), out.data(), g.size(),

@@ -123,7 +123,7 @@ TEST(Matching, PerPeerFifoSurvivesMultiProxy) {
     core::OffloadProxy p(rc, core::ProxyOptions{.lane_count = 2,
                                                 .proxy_count = 4,
                                                 .steal_bound = 4});
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       std::vector<int> vals(kPeers * kPer);
       std::vector<core::PReq> reqs;

@@ -26,7 +26,7 @@ TEST(OffloadEngine, RoundTripAllOffloadableOps) {
   Cluster c(cfg(4));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     const int me = rc.rank();
     // p2p
     int v = me, got = -1;
@@ -66,7 +66,7 @@ TEST(OffloadEngine, PostReturnsBeforeCompletion) {
   std::int64_t post_small = 0, post_big = 0;
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     const std::size_t big = 4 << 20;
     std::vector<char> sb(big, 'x'), rb(big);
     const int peer = 1 - rc.rank();
@@ -99,7 +99,7 @@ TEST(OffloadEngine, AsynchronousProgressOverlapsRendezvous) {
   std::int64_t wait_ns = -1;
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     std::vector<char> sbuf(big, 's'), rbuf(big);
     const int peer = 1 - rc.rank();
     PReq rr = p.irecv(rbuf.data(), big, Datatype::kByte, peer, 0);
@@ -120,7 +120,7 @@ TEST(OffloadEngine, ManyOutstandingRequests) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc, core::ProxyOptions{.ring_capacity = 64});
-    p.start();
+    p.start_engine();
     const int peer = 1 - rc.rank();
     constexpr int kN = 500;  // forces ring wrap and pool recycling
     std::vector<int> rvals(kN), svals(kN);
@@ -143,7 +143,7 @@ TEST(OffloadEngine, TestDoneNonBlocking) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       int got = -1;
       PReq r = p.irecv(&got, 1, Datatype::kInt, 1, 0);
@@ -164,7 +164,7 @@ TEST(OffloadEngine, StatusPropagatesThroughProxy) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       double data[8];
       Status st;
@@ -187,7 +187,7 @@ TEST(OffloadEngine, OnlyOffloadThreadEntersMpi) {
   c.run([&](RankCtx& rc) {
     const std::uint64_t calls_before = rc.stats().calls;
     OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     int v = 1, s = 0;
     p.allreduce(&v, &s, 1, Datatype::kInt, Op::kSum);
     p.stop();
@@ -203,7 +203,7 @@ TEST(OffloadEngine, ShutdownDrainsInflight) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     const int peer = 1 - rc.rank();
     int got = -1, v = rc.rank();
     PReq rr = p.irecv(&got, 1, Datatype::kInt, peer, 0);
@@ -223,7 +223,7 @@ TEST(OffloadEngine, PoolExhaustionCountsPoolFullStalls) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc, core::ProxyOptions{.ring_capacity = 64, .pool_capacity = 8});
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       int vals[9];
       PReq reqs[9];
@@ -269,7 +269,7 @@ TEST(OffloadEngine, RingBackpressureCountsRingFullStalls) {
     // lane_count = 0 pins every submit to the shared MPSC ring: this test
     // is specifically about the shared ring's backpressure counter.
     OffloadProxy p(rc, core::ProxyOptions{.ring_capacity = 4, .lane_count = 0});
-    p.start();
+    p.start_engine();
     const int peer = 1 - rc.rank();
     constexpr int kN = 64;
     std::vector<int> rvals(kN), svals(kN);
@@ -301,7 +301,7 @@ TEST(OffloadEngine, LongLivedRequestSurvivesCompactionAndStaysFair) {
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc, core::ProxyOptions{.ring_capacity = 128,
                                           .pool_capacity = 256});
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       int slow_got = -1;
       PReq slow = p.irecv(&slow_got, 1, Datatype::kInt, 1, 999);

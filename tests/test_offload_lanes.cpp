@@ -38,7 +38,7 @@ TEST(OffloadLanes, MultiLaneSubmitIsFairAcrossThreads) {
     OffloadProxy p(rc, ProxyOptions{.lane_count = kThreads,
                                     .lane_capacity = 8,
                                     .lane_drain_bound = 2});
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       auto done = std::make_shared<int>(0);
       auto submit = [&p, done](int tid) {
@@ -100,7 +100,7 @@ TEST(OffloadLanes, SubmitBatchKeepsFifoOrderWithinLane) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc, ProxyOptions{.lane_count = 2, .batch_flush = 8});
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       std::vector<int> vals(kN);
       std::vector<BatchOp> ops;
@@ -143,7 +143,7 @@ TEST(OffloadLanes, ShutdownDrainsNonEmptyLanes) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc, ProxyOptions{.lane_count = 2});
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       std::vector<int> vals(kN);
       std::vector<BatchOp> ops;
@@ -176,7 +176,7 @@ TEST(OffloadLanes, OverflowThreadsFallBackToSharedRing) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc, ProxyOptions{.lane_count = 1});
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       auto done = std::make_shared<int>(0);
       auto submit = [&p, done](int tid) {
@@ -227,7 +227,7 @@ TEST(OffloadLanes, WaitanyRetiresInCompletionOrder) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       int slow = -1, fast = -1;
       PReq reqs[2] = {p.irecv(&slow, 1, Datatype::kInt, 1, 0),
@@ -259,7 +259,7 @@ TEST(OffloadLanes, TestallReleasesAllOrNothing) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       int a = -1, b = -1;
       PReq reqs[2] = {p.irecv(&a, 1, Datatype::kInt, 1, 0),
@@ -293,7 +293,7 @@ TEST(OffloadLanes, DirectProxyWaitanyAndTestall) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     auto p = make_proxy(Approach::kBaseline, rc);
-    p->start();
+    p->start_engine();
     if (rc.rank() == 0) {
       int a = -1, b = -1;
       PReq reqs[2] = {p->irecv(&a, 1, Datatype::kInt, 1, 0),
@@ -431,7 +431,7 @@ TEST(OffloadLanes, MultiProxyShardsTrafficAcrossEngines) {
     OffloadProxy p(rc, ProxyOptions{.lane_count = 2,
                                     .proxy_count = 4,
                                     .steal_bound = 0});
-    p.start();
+    p.start_engine();
     EXPECT_EQ(p.channel().engine_count(), 4u);
     EXPECT_EQ(p.channel().lane_count(), 8u);  // 2 rows x 4 engine columns
     if (rc.rank() == 0) {
@@ -473,7 +473,7 @@ TEST(OffloadLanes, IdleEnginesStealSkewedTraffic) {
                                     .batch_flush = 16,
                                     .proxy_count = 4,
                                     .steal_bound = 4});
-    p.start();
+    p.start_engine();
     if (rc.rank() == 0) {
       std::vector<int> vals(kN);
       std::vector<BatchOp> ops;
@@ -509,7 +509,7 @@ TEST(OffloadLanes, EngineIdentityGuardsReentryAndClearsOnExit) {
   Cluster c(cfg(2));
   c.run([&](RankCtx& rc) {
     OffloadProxy p(rc, ProxyOptions{.proxy_count = 2});
-    p.start();
+    p.start_engine();
     // start() only spawns the engine fibers; let them run far enough to take
     // ownership of their slots before poking at the re-entry guard.
     sim::advance(sim::Time::from_us(10));

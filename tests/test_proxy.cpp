@@ -31,7 +31,7 @@ TEST_P(ProxyMatrix, HaloExchangePattern) {
   Cluster c(cfg_for(a, 4));
   c.run([&](RankCtx& rc) {
     auto p = make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank(), np = 4;
     const int left = (me + np - 1) % np, right = (me + 1) % np;
     const std::size_t n = 4096;
@@ -60,7 +60,7 @@ TEST_P(ProxyMatrix, CollectiveSuiteProducesIdenticalData) {
   Cluster c(cfg_for(a, 4));
   c.run([&](RankCtx& rc) {
     auto p = make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank();
     double v = me + 1.0, s = 0;
     p->allreduce(&v, &s, 1, Datatype::kDouble, Op::kSum);
@@ -80,7 +80,7 @@ TEST_P(ProxyMatrix, RendezvousMessagesThroughProxy) {
   Cluster c(cfg_for(a, 2));
   c.run([&](RankCtx& rc) {
     auto p = make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const std::size_t big = 1 << 20;
     std::vector<char> sb(big, static_cast<char>('A' + rc.rank())), rb(big);
     const int peer = 1 - rc.rank();

@@ -104,7 +104,7 @@ TEST_P(DslashGrids, DistributedMatchesReference) {
   smpi::Cluster cluster(cfg(nranks));
   cluster.run([&](smpi::RankCtx& rc) {
     auto proxy = core::make_proxy(Approach::kBaseline, rc);
-    proxy->start();
+    proxy->start_engine();
     Decomposition dec(global, grid, rc.rank());
     DistributedDslash d(dec, *proxy);
     load_local(dec, gpsi, gu, d.psi(), d.gauge());
@@ -149,7 +149,7 @@ TEST(Dslash, DistributedMatchesReferenceUnderOffload) {
   smpi::Cluster cluster(cfg(4, Approach::kOffload));
   cluster.run([&](smpi::RankCtx& rc) {
     auto proxy = core::make_proxy(Approach::kOffload, rc);
-    proxy->start();
+    proxy->start_engine();
     Decomposition dec(global, grid, rc.rank());
     DistributedDslash d(dec, *proxy);
     load_local(dec, gpsi, gu, d.psi(), d.gauge());
@@ -200,7 +200,7 @@ TEST_P(SolverTest, CgConvergesAndSolvesSystem) {
   smpi::Cluster cluster(cfg(4, a));
   cluster.run([&](smpi::RankCtx& rc) {
     auto proxy = core::make_proxy(a, rc);
-    proxy->start();
+    proxy->start_engine();
     Decomposition dec(global, grid, rc.rank());
     DistributedDslash d(dec, *proxy);
     fill_random_gauge(d.gauge(), 7);
@@ -228,7 +228,7 @@ TEST(Solver, BicgstabConverges) {
   smpi::Cluster cluster(cfg(2));
   cluster.run([&](smpi::RankCtx& rc) {
     auto proxy = core::make_proxy(Approach::kBaseline, rc);
-    proxy->start();
+    proxy->start_engine();
     Decomposition dec(global, grid, rc.rank());
     DistributedDslash d(dec, *proxy);
     fill_random_gauge(d.gauge(), 9);

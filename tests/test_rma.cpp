@@ -29,7 +29,7 @@ TEST_P(RmaProxies, PutIntoNeighborWindow) {
   Cluster cluster(c);
   cluster.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank(), np = rc.nranks();
     std::vector<int> window(static_cast<std::size_t>(np), -1);
     Win w = p->win_create(window.data(), window.size() * sizeof(int));
@@ -54,7 +54,7 @@ TEST_P(RmaProxies, GetFromNeighborWindow) {
   Cluster cluster(c);
   cluster.run([&](RankCtx& rc) {
     auto p = core::make_proxy(a, rc);
-    p->start();
+    p->start_engine();
     const int me = rc.rank(), np = rc.nranks();
     std::vector<double> window(8, me * 1.5);
     Win w = p->win_create(window.data(), window.size() * sizeof(double));
@@ -165,7 +165,7 @@ TEST(Rma, OffloadedFenceDoesNotStallOtherCommands) {
   Cluster cluster(c);
   cluster.run([&](RankCtx& rc) {
     core::OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     const int me = rc.rank(), peer = 1 - me;
     int wslot = -1;
     Win w = p.win_create(&wslot, sizeof(int), kCommWorld);

@@ -147,7 +147,7 @@ TEST(SanNegative, BlockingWaitInEngineContextIsReported) {
     Cluster c(cfg);
     c.run([&](RankCtx& rc) {
       core::OffloadProxy p(rc, {});
-      p.start();
+      p.start_engine();
       const int me = rc.rank(), peer = 1 - me;
       std::vector<int> rbuf(8), rbuf2(8), sbuf(8, me);
       cont::Event done;

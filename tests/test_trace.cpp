@@ -157,7 +157,7 @@ sim::Time run_offload_exchange() {
   const std::size_t bytes = 512 << 10;  // rendezvous path
   return c.run([&](smpi::RankCtx& rc) {
     core::OffloadProxy p(rc);
-    p.start();
+    p.start_engine();
     const int peer = 1 - rc.rank();
     std::vector<char> sbuf(bytes, 'x'), rbuf(bytes);
     for (int i = 0; i < 3; ++i) {

@@ -26,6 +26,7 @@ FILES = [
     "src/core/request_pool.hpp",
     "src/core/cont_table.hpp",
     "src/core/drain_claim.hpp",
+    "src/core/part_ready.hpp",
 ]
 
 ORDERS = ["relaxed", "acquire", "release", "acq_rel", "seq_cst"]
