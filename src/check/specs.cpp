@@ -233,6 +233,62 @@ Result check_cont(const Options& opt) {
   });
 }
 
+Result check_whenany(const Options& opt, const WhenAnyCfg& cfg) {
+  return explore(opt, [&cfg](Sim& sim) {
+    core::AnyClaimT<ModelAtomics> claim;
+    const auto n = static_cast<std::size_t>(cfg.completers);
+    // What each member publishes before its claim CAS — the Status record
+    // stand-in. The winner's cell is read by every loser (through the failed
+    // CAS's acquire) and by the observer (through winner()'s acquire), so a
+    // weakened edge on any of the three orders is a detectable race here.
+    std::vector<var<int>> record(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ModelAtomics::set_name(record[i], "any.record", i);
+    }
+    int winner_runs = 0;  // only the single claim winner increments
+
+    std::vector<std::function<void()>> bodies;
+    bodies.reserve(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      bodies.emplace_back([&claim, &record, &winner_runs, i] {
+        record[i].ref_w() = static_cast<int>(i) + 100;
+        std::uint32_t observed;
+        if (claim.claim(static_cast<std::uint32_t>(i), observed)) {
+          ++winner_runs;  // the win callback: reads its own publication
+          check(record[i].ref_r() == static_cast<int>(i) + 100,
+                "winner's own record visible in the win callback");
+        } else {
+          // Loser: the failed CAS observed the winner's index with acquire —
+          // the ONLY edge making the winner's record safe to read here (the
+          // hedging edge rank reads the winning response buffer like this).
+          const auto w = static_cast<std::size_t>(observed);
+          check(w < record.size(), "loser observes a decided winner");
+          check(record[w].ref_r() == static_cast<int>(w) + 100,
+                "winner's record visible to the loser");
+        }
+      });
+    }
+    // Observer: a third party (the settled hook / a draining fiber) that
+    // learns the winner only through winner()'s acquire load.
+    bodies.emplace_back([&claim, &record] {
+      std::uint32_t w;
+      while ((w = claim.winner()) == core::AnyClaimT<ModelAtomics>::kOpen) {
+        Sim::yield();
+      }
+      check(record[w].ref_r() == static_cast<int>(w) + 100,
+            "winner's record visible to a winner() observer");
+    });
+    sim.threads(std::move(bodies));
+
+    check(winner_runs == 1, "exactly one member won the claim");
+    const std::uint32_t w = claim.winner();
+    check(w < n, "final winner index is a member");
+    claim.reset();
+    check(claim.winner() == core::AnyClaimT<ModelAtomics>::kOpen,
+          "reset reopens the word for the next group");
+  });
+}
+
 Result check_mring(const Options& opt, const MringCfg& cfg) {
   return explore(opt, [&cfg](Sim& sim) {
     core::MpscRing<RingCmd, ModelAtomics> ring(cfg.capacity);
@@ -423,6 +479,7 @@ Result run_spec(const std::string& spec, const Options& opt) {
   if (spec == "lane") return check_lane(opt);
   if (spec == "handshake") return check_handshake(opt);
   if (spec == "cont") return check_cont(opt);
+  if (spec == "whenany") return check_whenany(opt);
   if (spec == "mring") return check_mring(opt);
   if (spec == "sleep") return check_doorbell(opt);
   if (spec == "pready") return check_pready(opt);
@@ -457,6 +514,13 @@ std::vector<MutationCase> mutation_matrix() {
       // is what lets the loser read it before running the callback.
       {{"cont.state", OpKind::kRmw, Side::kAcquire}, "cont"},
       {{"cont.state", OpKind::kRmw, Side::kRelease}, "cont"},
+      // AnyClaim first-wins word (when_any): the winning claim's release
+      // publishes the winner's Status record; the losers' failure-acquire
+      // and the observer's winner() load-acquire are the only edges that
+      // make it safe to read. All three load-bearing.
+      {{"any.winner", OpKind::kRmw, Side::kRelease}, "whenany"},
+      {{"any.winner", OpKind::kRmw, Side::kAcquire}, "whenany"},
+      {{"any.winner", OpKind::kLoad, Side::kAcquire}, "whenany"},
       // DrainClaim consumer handoff: the successful try_claim's acquire
       // joins the previous holder's release, carrying the queues'
       // consumer-side plain state between engines. Only the multi-consumer
@@ -479,8 +543,8 @@ std::vector<Site> collect_sites() {
   opt.seed = 12345;
   std::set<Site> all;
   for (const char* spec :
-       {"ring", "pool", "lane", "handshake", "cont", "mring", "sleep",
-        "pready"}) {
+       {"ring", "pool", "lane", "handshake", "cont", "whenany", "mring",
+        "sleep", "pready"}) {
     const Result r = run_spec(spec, opt);
     if (r.failed) {
       throw std::logic_error(std::string("collect_sites: spec '") + spec +

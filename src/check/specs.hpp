@@ -93,6 +93,19 @@ Result check_mring(const Options& opt, const MringCfg& cfg = {});
 /// interleaving where the engine sleeps on a doorbell that already rang.
 Result check_doorbell(const Options& opt, bool buggy = false);
 
+/// The when_any first-wins race (core::AnyClaimT): N completer threads each
+/// publish a Status record cell (their member's payload) and then claim()
+/// the single winner word with their index. Exactly one claim must succeed;
+/// every loser reads the winner's record through its failure-acquire, and an
+/// observer thread that polls winner() (acquire) until the race is decided
+/// reads the same record — the three orders (CAS release, CAS
+/// failure-acquire, winner() load-acquire) are each the only edge ordering
+/// one of those reads, so weakening any of them races immediately.
+struct WhenAnyCfg {
+  int completers = 2;
+};
+Result check_whenany(const Options& opt, const WhenAnyCfg& cfg = {});
+
 /// The partition-ready word of a partitioned send (core/part_ready.hpp):
 /// N publisher fibers each write a plain payload cell (their slice of the
 /// user buffer) and then mark(p) their partition bit; the engine consumer
@@ -107,7 +120,7 @@ struct PreadyCfg {
 Result check_pready(const Options& opt, const PreadyCfg& cfg = {});
 
 /// Run a spec by name ("ring" | "pool" | "lane" | "handshake" | "cont" |
-/// "mring" | "sleep" | "pready") with its default cfg.
+/// "whenany" | "mring" | "sleep" | "pready") with its default cfg.
 Result run_spec(const std::string& spec, const Options& opt);
 
 /// One row of the mutation suite: weakening `site` must be caught by `spec`.

@@ -31,7 +31,17 @@
 //    side that ran the callback), so no ordering is needed; publication of
 //    the recycled slot happens through RequestPool::free's release CAS.
 //
-// memorder-audit: relaxed=2 acquire=2 release=0 acq_rel=2 seq_cst=0
+// AnyClaimT below is the group-level sibling: where ContTable decides WHO
+// runs one request's callback, AnyClaim decides WHICH member of a when_any
+// group is the winner. Every completing member publishes its Status record
+// and then CASes the single winner word from kOpen to its own index; the
+// first CAS wins (its release half publishes the winner's record), every
+// later member's CAS fails (the failure-acquire half makes the winner's
+// record safe to read), and winner() lets any third party that observed a
+// non-kOpen value (acquire) read that record too. The src/check/ "whenany"
+// mutation rows prove all three orders load-bearing.
+//
+// memorder-audit: relaxed=3 acquire=4 release=0 acq_rel=3 seq_cst=0
 // (tools/check_memorder.py fails CI when this line disagrees with the
 // std::memory_order_* tokens actually used below — update both together.)
 #pragma once
@@ -106,5 +116,53 @@ class ContTableT {
 
 /// Production continuation table: std::atomic, zero instrumentation.
 using ContTable = ContTableT<>;
+
+/// First-wins claim word for when_any groups (header doc above). Members are
+/// indexed 0..n-1; kOpen means no member has completed yet.
+template <typename Atomics = StdAtomics>
+class AnyClaimT {
+ public:
+  static constexpr std::uint32_t kOpen = 0xffffffffu;
+
+  AnyClaimT() { Atomics::set_name(winner_, "any.winner"); }
+  AnyClaimT(const AnyClaimT&) = delete;
+  AnyClaimT& operator=(const AnyClaimT&) = delete;
+
+  /// Completer side: publish member `idx`'s Status record *before* calling
+  /// claim(). Returns true when this member is the winner (run the win
+  /// callback); false when another member already won — `observed` then
+  /// holds the winner's index, and the winner's record is safe to read
+  /// through the failed CAS's acquire (no extra winner() load needed).
+  bool claim(std::uint32_t idx, std::uint32_t& observed) {
+    observed = kOpen;
+    const bool won = winner_.compare_exchange_strong(
+        observed, idx, std::memory_order_acq_rel, std::memory_order_acquire);
+    if (won) observed = idx;
+    return won;
+  }
+
+  /// Claim without caring who beat you (the common hedging path: losers
+  /// just decline to run the win callback).
+  bool claim(std::uint32_t idx) {
+    std::uint32_t observed;
+    return claim(idx, observed);
+  }
+
+  /// Which member won, or kOpen if the race is still undecided. A non-kOpen
+  /// result (acquire) makes the winner's published record safe to read.
+  [[nodiscard]] std::uint32_t winner() const {
+    return winner_.load(std::memory_order_acquire);
+  }
+
+  /// Recycle for the next group. Single-owner at this point (all members
+  /// settled), so no ordering is needed.
+  void reset() { winner_.store(kOpen, std::memory_order_relaxed); }
+
+ private:
+  typename Atomics::template atomic<std::uint32_t> winner_{kOpen};
+};
+
+/// Production when_any claim word: std::atomic, zero instrumentation.
+using AnyClaim = AnyClaimT<>;
 
 }  // namespace core

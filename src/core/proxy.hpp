@@ -121,13 +121,9 @@ class Proxy {
   [[nodiscard]] virtual Approach approach() const = 0;
 
   /// Spawn helper threads (comm-self progress thread / offload engine).
+  /// (The old `start()` alias is gone: start(PersistentReq&) begins a
+  /// persistent generation, start_engine() starts helper threads.)
   virtual void start_engine() {}
-  /// Deprecated alias for start_engine(); kept while call sites migrate.
-  /// Deliberately non-virtual (override start_engine instead) and distinct
-  /// from start(PersistentReq&), which begins a persistent generation.
-  [[deprecated("use start_engine(); start(PersistentReq&) begins a "
-               "persistent generation")]]
-  void start() { start_engine(); }
   /// Drain and join helper threads. Must be called before the rank exits.
   virtual void stop() {}
 
@@ -392,9 +388,6 @@ class OffloadProxy : public Proxy {
   /// Explicit tuning (tests/ablations); the environment is NOT consulted.
   OffloadProxy(smpi::RankCtx& rc, const ProxyOptions& opts);
   [[nodiscard]] Approach approach() const override { return Approach::kOffload; }
-  // start(PersistentReq&) below would hide the engine-lifecycle start()
-  // shim; keep the whole overload set visible.
-  using Proxy::start;
   void start_engine() override;
   void stop() override;
   [[nodiscard]] int compute_threads(int cores) const override {

@@ -1,6 +1,7 @@
 #include "mpi/continuation.hpp"
 
 #include <memory>
+#include <stdexcept>
 
 namespace cont {
 
@@ -42,6 +43,68 @@ void Join::then(ContFn fin) && {
           if (each) each(i, s);
           if (--st->remaining == 0) st->fin(s);
         });
+  }
+}
+
+AnyJoin::AnyJoin(core::Proxy& p, std::span<core::PReq> rs,
+                 std::span<core::PersistentReq> gens)
+    : proxy_(&p) {
+  reqs_.reserve(rs.size());
+  for (core::PReq& r : rs) {
+    reqs_.push_back(std::exchange(r, core::PReq{}));
+  }
+  gens_.assign(gens.begin(), gens.end());
+}
+
+AnyJoin when_any(core::Proxy& p, std::span<core::PReq> rs,
+                 std::span<core::PersistentReq> gens) {
+  return AnyJoin(p, rs, gens);
+}
+
+void AnyJoin::then(AnyFn win) && {
+  std::move(*this).then(std::move(win), ContFn{});
+}
+
+void AnyJoin::then(AnyFn win, ContFn settled) && {
+  const std::size_t members = reqs_.size() + gens_.size();
+  if (members == 0) {
+    throw std::invalid_argument("cont::when_any: empty group has no winner");
+  }
+  // The claim word is the only cross-context state; the countdown is a plain
+  // size_t because all attached callbacks run on this rank's cooperatively
+  // scheduled fibers (see header). A real pthread port must make `remaining`
+  // atomic (the claim already is).
+  struct State {
+    core::AnyClaim claim;
+    std::size_t remaining;
+    AnyFn win;
+    ContFn settled;
+  };
+  auto st = std::make_shared<State>();
+  st->remaining = members;
+  st->win = std::move(win);
+  st->settled = std::move(settled);
+  auto member_done = [st](std::size_t i, const smpi::Status& s) {
+    // Status publication happens-before the claim through the claim CAS
+    // itself (the completer's attach path already published `s` to this
+    // callback); the CAS decides the winner exactly once.
+    if (st->claim.claim(static_cast<std::uint32_t>(i))) st->win(i, s);
+    if (--st->remaining == 0 && st->settled) st->settled(s);
+  };
+  for (std::size_t i = 0; i < reqs_.size(); ++i) {
+    // Null / already-completed handles run the callback inline from
+    // attach_continuation — they race for the win right here at arm time.
+    proxy_->attach_continuation(reqs_[i], [member_done, i](
+                                              const smpi::Status& s) {
+      member_done(i, s);
+    });
+  }
+  for (std::size_t j = 0; j < gens_.size(); ++j) {
+    const std::size_t i = reqs_.size() + j;
+    proxy_->attach_continuation(gens_[j], [member_done, i](
+                                              const smpi::Status& s) {
+      member_done(i, s);
+    });
   }
 }
 

@@ -184,4 +184,58 @@ class Join {
 /// before the countdown, with `i` indexing the original span.
 Join when_all(core::Proxy& p, std::span<core::PReq> rs, EachFn each = {});
 
+/// Winner hook of when_any: runs exactly once, for the FIRST member of the
+/// group to complete, with that member's index and Status.
+using AnyFn = std::function<void(std::size_t, const smpi::Status&)>;
+
+/// The when_any(...) combinator's intermediate: a racing group. Built for
+/// redundant-request hedging (post the same request to a primary and a
+/// replica shard, act on whichever answers first).
+///
+/// Semantics (DESIGN.md §17):
+///   * `win` runs exactly once, for the first member to complete — decided
+///     by a first-wins claim CAS (core::AnyClaim), so two members completing
+///     on different progress contexts still elect exactly one winner;
+///   * the losers are NOT cancelled (the one documented relaxation vs
+///     MPI_Cancel): they complete normally through the usual continuation
+///     path, which is also what frees their request slots — so every
+///     member's buffer must stay valid until `settled` runs;
+///   * `settled`, if provided, runs exactly once after EVERY member
+///     completed (winner and losers alike) — the buffer-reclamation /
+///     slot-reuse hook;
+///   * one-shot members (span of PReq) are consumed (nulled); a null or
+///     already-completed handle counts as completing at arm time, so it
+///     races for the win like any other member (first arm wins, inline);
+///   * persistent members (span of PersistentReq) are NOT consumed: the
+///     group attaches to each member's CURRENT generation, and a loser is
+///     back in the inactive state once `settled` runs — `win`/`settled` may
+///     restart it (hedge loops over persistent requests re-arm for free);
+///   * an entirely empty group throws std::invalid_argument (there is no
+///     meaningful winner).
+///
+/// Member indexing: one-shots are 0..rs.size()-1 in span order; persistent
+/// generations follow at rs.size()..rs.size()+gens.size()-1.
+class AnyJoin {
+ public:
+  /// Arm the race: `win(index, status)` for the first completion.
+  void then(AnyFn win) &&;
+  /// Arm with a group-drained hook: `settled` runs after all members.
+  void then(AnyFn win, ContFn settled) &&;
+
+ private:
+  friend AnyJoin when_any(core::Proxy& p, std::span<core::PReq> rs,
+                          std::span<core::PersistentReq> gens);
+  AnyJoin(core::Proxy& p, std::span<core::PReq> rs,
+          std::span<core::PersistentReq> gens);
+  core::Proxy* proxy_;
+  std::vector<core::PReq> reqs_;
+  std::vector<core::PersistentReq> gens_;
+};
+
+/// Racing combinator: when_any(proxy, reqs).then(win[, settled]). Consumes
+/// (nulls) every one-shot handle in `rs`; started persistent generations in
+/// `gens` are raced without being consumed.
+AnyJoin when_any(core::Proxy& p, std::span<core::PReq> rs,
+                 std::span<core::PersistentReq> gens = {});
+
 }  // namespace cont

@@ -1,0 +1,84 @@
+// Model-checking the when_any claim race: AnyClaim's first-wins CAS must
+// elect exactly one winner, publish that winner's completion record to every
+// loser (through the CAS failure-acquire) and to late observers (through the
+// winner() acquire load), under every interleaving of a weak-memory model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/specs.hpp"
+
+namespace {
+
+using chk::Mode;
+using chk::Mutation;
+using chk::Options;
+using chk::Result;
+using chk::specs::check_whenany;
+
+TEST(CheckWhenAny, Exhaustive) {
+  Options opt;
+  opt.mode = Mode::kExhaustive;
+  const Result r = check_whenany(opt);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_TRUE(r.complete) << "state space not exhausted in " << r.executions;
+}
+
+TEST(CheckWhenAny, ExhaustiveDeeperPreemptionBound) {
+  Options opt;
+  opt.mode = Mode::kExhaustive;
+  opt.preemption_bound = 3;
+  const Result r = check_whenany(opt);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(CheckWhenAny, ThreeCompleters) {
+  Options opt;
+  opt.mode = Mode::kRandom;
+  opt.iterations = 1500;
+  opt.seed = 11;
+  chk::specs::WhenAnyCfg cfg;
+  cfg.completers = 3;
+  const Result r = check_whenany(opt, cfg);
+  EXPECT_FALSE(r.failed) << r.str() << "\n" << r.trace;
+  EXPECT_EQ(r.executions, 1500u);
+}
+
+TEST(CheckWhenAny, ObservesTheClaimSites) {
+  Options opt;
+  opt.mode = Mode::kRandom;
+  opt.iterations = 50;
+  const Result r = check_whenany(opt);
+  ASSERT_FALSE(r.failed) << r.message;
+  auto has = [&](const char* loc, chk::OpKind op, chk::Side side) {
+    return std::find(r.sites.begin(), r.sites.end(),
+                     chk::Site{loc, op, side}) != r.sites.end();
+  };
+  // The protocol is one CAS and one load: the winner's release publishes its
+  // record, the loser's failure-acquire reads it, the observer's acquire
+  // load of winner() reads it from outside the race.
+  EXPECT_TRUE(has("any.winner", chk::OpKind::kRmw, chk::Side::kRelease));
+  EXPECT_TRUE(has("any.winner", chk::OpKind::kRmw, chk::Side::kAcquire));
+  EXPECT_TRUE(has("any.winner", chk::OpKind::kLoad, chk::Side::kAcquire));
+}
+
+TEST(CheckWhenAny, WeakenedClaimFencesAreCaught) {
+  // All three orders are load-bearing: weaken any one and either a loser or
+  // the observer reads the winner's record before it was published.
+  const chk::Site rows[] = {
+      {"any.winner", chk::OpKind::kRmw, chk::Side::kRelease},
+      {"any.winner", chk::OpKind::kRmw, chk::Side::kAcquire},
+      {"any.winner", chk::OpKind::kLoad, chk::Side::kAcquire},
+  };
+  for (const chk::Site& site : rows) {
+    Options opt;
+    opt.mode = Mode::kExhaustive;
+    opt.mutation = Mutation::of(site);
+    const Result r = check_whenany(opt);
+    ASSERT_TRUE(r.failed) << "mutant survived: " << opt.mutation.str();
+    EXPECT_FALSE(r.trace.empty());
+  }
+}
+
+}  // namespace
